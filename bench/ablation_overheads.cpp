@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Ablation studies on the design axes DESIGN.md calls out: per-step
+ * synchronization latency, launch overhead, bidirectional ICI, the
+ * logical-mesh contention of GPU-style deployments (Sec 6), and the
+ * peak-memory effect of slicing. Workload: the GPT-3 ffn1 forward
+ * GeMM on a 32x8 mesh (weak scaling at 256 chips).
+ */
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/memory_model.hpp"
+#include "util/table.hpp"
+
+using namespace meshslice;
+
+namespace {
+
+Gemm2DSpec
+workload()
+{
+    Gemm2DSpec spec;
+    spec.m = 262144;
+    spec.k = 12288;
+    spec.n = 49152;
+    spec.dataflow = Dataflow::kOS;
+    spec.rows = 32;
+    spec.cols = 8;
+    return spec;
+}
+
+/** Autotune S for the config, then simulate; returns (S, util). */
+std::pair<int, double>
+tunedRun(const ChipConfig &cfg, Algorithm algo)
+{
+    const CostModel cost = CostModel::calibrated(cfg);
+    Gemm2DSpec spec = workload();
+    auto [s, est] = cost.tuneSliceCount(algo, spec);
+    (void)est;
+    spec.sliceCount = s;
+    GemmRunResult res = simulateOneGemm(cfg, algo, spec);
+    return {s, res.utilization(cfg, spec.chips())};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablations on GPT-3 ffn1.fwd, 32x8 mesh (256 chips)\n\n";
+
+    // 1. Synchronization latency: MeshSlice pays (P-1)*S syncs, so the
+    //    autotuned S must shrink as syncs get slower.
+    std::cout << "1. Sync latency sweep (MeshSlice autotuned S):\n";
+    Table sync_table({"t_sync (us)", "tuned S", "MeshSlice util",
+                      "Collective util"});
+    for (double us_val : {0.5, 1.5, 5.0, 15.0, 50.0}) {
+        ChipConfig cfg = tpuV4Config();
+        cfg.syncLatency = us(us_val);
+        auto [s, util] = tunedRun(cfg, Algorithm::kMeshSlice);
+        auto [s1, coll] = tunedRun(cfg, Algorithm::kCollective);
+        (void)s1;
+        sync_table.addRow({Table::num(us_val, 1), std::to_string(s),
+                           Table::pct(util), Table::pct(coll)});
+    }
+    sync_table.print(std::cout);
+
+    // 2. Launch overhead: each partial collective costs one launch.
+    std::cout << "\n2. Launch overhead sweep (MeshSlice autotuned S):\n";
+    Table launch_table({"t_launch (us)", "tuned S", "MeshSlice util"});
+    for (double us_val : {2.0, 20.0, 100.0, 400.0}) {
+        ChipConfig cfg = tpuV4Config();
+        cfg.launchOverhead = us(us_val);
+        auto [s, util] = tunedRun(cfg, Algorithm::kMeshSlice);
+        launch_table.addRow({Table::num(us_val, 0), std::to_string(s),
+                             Table::pct(util)});
+    }
+    launch_table.print(std::cout);
+
+    // 3. Bidirectional ICI rings.
+    std::cout << "\n3. Bidirectional vs unidirectional ICI:\n";
+    Table bidir_table({"mode", "MeshSlice util", "Collective util"});
+    for (bool bidir : {true, false}) {
+        ChipConfig cfg = tpuV4Config();
+        cfg.bidirectionalIci = bidir;
+        auto [s, ms] = tunedRun(cfg, Algorithm::kMeshSlice);
+        (void)s;
+        auto [s1, coll] = tunedRun(cfg, Algorithm::kCollective);
+        (void)s1;
+        bidir_table.addRow({bidir ? "bidirectional" : "unidirectional",
+                            Table::pct(ms), Table::pct(coll)});
+    }
+    bidir_table.print(std::cout);
+
+    // 4. Logical-mesh contention (Sec 6: GPU clusters overlay the mesh
+    //    on a shared fabric; effective link bandwidth drops).
+    std::cout << "\n4. Logical-mesh contention (GPU-style deployment):\n";
+    Table cont_table({"contention", "tuned S", "MeshSlice util",
+                      "Collective util"});
+    for (double factor : {1.0, 2.0, 4.0}) {
+        ChipConfig cfg = tpuV4Config();
+        cfg.logicalMeshContention = factor;
+        auto [s, ms] = tunedRun(cfg, Algorithm::kMeshSlice);
+        auto [s1, coll] = tunedRun(cfg, Algorithm::kCollective);
+        (void)s1;
+        cont_table.addRow({Table::num(factor, 0) + "x",
+                           std::to_string(s), Table::pct(ms),
+                           Table::pct(coll)});
+    }
+    cont_table.print(std::cout);
+
+    // 5. Peak-memory effect of slicing.
+    std::cout << "\n5. Per-chip peak memory vs slice count "
+                 "(resident shards + buffers):\n";
+    Table mem_table({"algorithm", "S", "gather buffers (MB)",
+                     "total (MB)"});
+    for (int s : {1, 4, 16}) {
+        Gemm2DSpec spec = workload();
+        spec.sliceCount = s;
+        const MemoryFootprint fp =
+            gemmMemoryFootprint(Algorithm::kMeshSlice, spec);
+        mem_table.addRow({"MeshSlice", std::to_string(s),
+                          Table::num(fp.gatherBuffers / 1e6, 1),
+                          Table::num(fp.total() / 1e6, 1)});
+    }
+    {
+        const MemoryFootprint fp =
+            gemmMemoryFootprint(Algorithm::kCollective, workload());
+        mem_table.addRow({"Collective", "-",
+                          Table::num(fp.gatherBuffers / 1e6, 1),
+                          Table::num(fp.total() / 1e6, 1)});
+    }
+    mem_table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,177 @@
+#include "bench/common.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/topology.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+/** Analytical 1D pipeline estimate used only to tune the 1D S. */
+Time
+estimate1DTime(const CostModel &cost, const Gemm1DSpec &spec)
+{
+    const Bytes traffic =
+        spec.commBytes / spec.chips * (spec.chips - 1);
+    const Time t_shift = cost.shiftTime(traffic / spec.sliceCount);
+    GemmWork work = spec.localWork();
+    if (work.m >= work.n)
+        work.m = std::max<std::int64_t>(1, work.m / spec.sliceCount);
+    else
+        work.n = std::max<std::int64_t>(1, work.n / spec.sliceCount);
+    const Time t_c = cost.computeTime(work);
+    const Time steady = std::max(t_shift, t_c);
+    return t_shift + (spec.sliceCount - 1) * steady + t_c;
+}
+
+/** Build the 1D baseline spec for one FC GeMM (Sec 4.3). */
+Gemm1DSpec
+make1DSpec(const FcGemm &gemm, Algorithm algo, int chips,
+           int bytes_per_element)
+{
+    Gemm1DSpec spec;
+    spec.m = gemm.m;
+    spec.k = gemm.k;
+    spec.n = gemm.n;
+    spec.chips = chips;
+    spec.bytesPerElement = bytes_per_element;
+    const Bytes e = bytes_per_element;
+    if (algo == Algorithm::kOneDTP) {
+        // Sequence-parallel 1D TP: activations move. Forward and
+        // backward-data all-gather the (m x k) input; backward-weight
+        // reduce-scatters the (m x n) weight gradient.
+        if (gemm.pass == Pass::kBackwardWeight) {
+            spec.commBytes = gemm.m * gemm.n * e;
+            spec.commIsReduce = true;
+            spec.local = GemmWork{gemm.m, gemm.k / chips, gemm.n};
+        } else {
+            spec.commBytes = gemm.m * gemm.k * e;
+            spec.commIsReduce = false;
+            spec.local = GemmWork{gemm.m, gemm.k, gemm.n / chips};
+        }
+    } else { // FSDP: weights move, data stays sharded.
+        if (gemm.pass == Pass::kBackwardWeight) {
+            // W' (m x n here) is reduce-scattered across the ring.
+            spec.commBytes = gemm.m * gemm.n * e;
+            spec.commIsReduce = true;
+            spec.local = GemmWork{gemm.m, gemm.k / chips, gemm.n};
+        } else {
+            spec.commBytes = gemm.k * gemm.n * e;
+            spec.commIsReduce = false;
+            spec.local = GemmWork{gemm.m / chips, gemm.k, gemm.n};
+        }
+    }
+    return spec;
+}
+
+} // namespace
+
+double
+utilizationOf(const ChipConfig &cfg, const GemmRunResult &result, int chips)
+{
+    return result.utilization(cfg, chips);
+}
+
+GemmRunResult
+simulateOneGemm(const ChipConfig &cfg, Algorithm algo,
+                const Gemm2DSpec &spec)
+{
+    Cluster cluster(cfg, spec.chips());
+    TorusMesh mesh(cluster, spec.rows, spec.cols);
+    GemmExecutor exec(mesh);
+    return exec.run(algo, spec);
+}
+
+FcSimResult
+simulateFcBlock(const ChipConfig &cfg, const TransformerConfig &model,
+                const TrainingConfig &train, int chips, Algorithm algo,
+                bool optimize_dataflow, const ChipConfig *plan_cfg)
+{
+    FcSimResult out;
+    // The plan (mesh shape, dataflows, slice counts) may be made for a
+    // different configuration than the one executed — e.g. Table 3
+    // deploys an overlap-tuned plan on hardware that cannot overlap.
+    CostModel cost = CostModel::calibrated(plan_cfg ? *plan_cfg : cfg);
+
+    if (algo == Algorithm::kOneDTP || algo == Algorithm::kFsdp) {
+        Cluster cluster(cfg, chips);
+        RingNetwork net(cluster);
+        for (const FcGemm &gemm : blockFcGemms(model, train)) {
+            Gemm1DSpec spec = make1DSpec(gemm, algo, chips,
+                                         cfg.bytesPerElement);
+            // Tune S with the analytic pipeline estimate.
+            int best_s = 1;
+            Time best_t = 1e300;
+            for (int s : {1, 2, 4, 8, 16, 32}) {
+                spec.sliceCount = s;
+                const Time t = estimate1DTime(cost, spec);
+                if (t < best_t) {
+                    best_t = t;
+                    best_s = s;
+                }
+            }
+            spec.sliceCount = best_s;
+            GemmRunResult res = runGemm1D(net, spec);
+            out.fcTime += res.time;
+            out.fcFlops += res.flops;
+            out.comm += res.horizontal;
+            out.comm += res.vertical;
+            out.computeIdeal += cost.computeTime(spec.localWork());
+        }
+        out.rows = 1;
+        out.cols = chips;
+    } else {
+        LlmAutotuner tuner(cost);
+        AutotuneResult plan = tuner.tuneForAlgorithm(
+            algo, model, train, chips, optimize_dataflow);
+        Cluster cluster(cfg, chips);
+        TorusMesh mesh(cluster, plan.rows, plan.cols);
+        GemmExecutor exec(mesh);
+        // Identical (shape, dataflow, S) GeMMs give identical timing;
+        // cache to avoid re-simulating duplicates within the block.
+        std::map<std::string, GemmRunResult> cache;
+        for (const GemmPlan &gemm_plan : plan.allPlans()) {
+            Gemm2DSpec spec =
+                makeSpec(gemm_plan.gemm, gemm_plan.dataflow, plan.rows,
+                         plan.cols, gemm_plan.sliceCount,
+                         cfg.bytesPerElement);
+            const std::string key = spec.str();
+            GemmRunResult res;
+            if (auto it = cache.find(key); it != cache.end()) {
+                res = it->second;
+            } else {
+                res = exec.run(algo, spec);
+                cache.emplace(key, res);
+            }
+            out.fcTime += res.time;
+            out.fcFlops += res.flops;
+            out.comm += res.horizontal;
+            out.comm += res.vertical;
+            Gemm2DSpec whole = spec;
+            whole.sliceCount = 1;
+            out.computeIdeal += cost.computeTime(localSliceWork(whole));
+        }
+        out.rows = plan.rows;
+        out.cols = plan.cols;
+    }
+
+    out.utilization =
+        out.fcFlops /
+        (out.fcTime * cfg.peakFlops * static_cast<double>(chips));
+    return out;
+}
+
+Time
+endToEndBlockTime(const ChipConfig &cfg, const TransformerConfig &model,
+                  const TrainingConfig &train, int chips,
+                  const FcSimResult &fc)
+{
+    return fc.fcTime + nonFcBlockTime(cfg, model, train, chips);
+}
+
+} // namespace meshslice

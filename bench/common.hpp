@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks: runs all 12
+ * FC-layer training GeMMs of one transformer block through the cluster
+ * simulator for a given algorithm, with the autotuner picking mesh
+ * shape, dataflows and slice counts (optimal-per-algorithm, as the
+ * paper's methodology requires for fairness, Sec 4.2).
+ */
+#ifndef MESHSLICE_BENCH_COMMON_HPP_
+#define MESHSLICE_BENCH_COMMON_HPP_
+
+#include <string>
+
+#include "core/executor.hpp"
+#include "model/transformer.hpp"
+#include "tuner/autotuner.hpp"
+
+namespace meshslice {
+
+/** Aggregate of one block's FC layers under one algorithm. */
+struct FcSimResult
+{
+    Time fcTime = 0.0;   ///< simulated fwd+bwd FC time of one block
+    Flops fcFlops = 0.0; ///< total GeMM FLOPs of the block
+    double utilization = 0.0;
+    CommStats comm;        ///< launch/transfer/sync summed, both dirs
+    Time computeIdeal = 0.0; ///< ideal (communication-free) GeMM time
+    int rows = 0;          ///< chosen mesh rows (0 for 1D ring)
+    int cols = 0;
+};
+
+/**
+ * Simulate one block's 12 FC GeMMs under @p algo on @p chips chips.
+ * 2D algorithms get an autotuned mesh shape / dataflows / slice
+ * counts; 1D baselines run on a ring. @p optimize_dataflow false
+ * forces Y-stationary dataflows (the Table 2 baseline).
+ */
+FcSimResult simulateFcBlock(const ChipConfig &cfg,
+                            const TransformerConfig &model,
+                            const TrainingConfig &train, int chips,
+                            Algorithm algo, bool optimize_dataflow = true,
+                            const ChipConfig *plan_cfg = nullptr);
+
+/**
+ * Simulate a single 2D GeMM (autotuned S) under @p algo on the given
+ * mesh shape; used by the per-shape and per-S sweeps (Fig 11/13/14).
+ */
+GemmRunResult simulateOneGemm(const ChipConfig &cfg, Algorithm algo,
+                              const Gemm2DSpec &spec);
+
+/** FLOP utilization of a run on @p chips chips. */
+double utilizationOf(const ChipConfig &cfg, const GemmRunResult &result,
+                     int chips);
+
+/**
+ * End-to-end step time estimate for the whole model: FC time from the
+ * simulation plus the non-FC roofline estimate (Sec 4.4), per block.
+ */
+Time endToEndBlockTime(const ChipConfig &cfg,
+                       const TransformerConfig &model,
+                       const TrainingConfig &train, int chips,
+                       const FcSimResult &fc);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_BENCH_COMMON_HPP_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 10: breakdown of each algorithm's total communication time
+ * (overlapped plus non-overlapped) into launch / transfer / sync,
+ * relative to its own GeMM computation time, for 256-chip clusters
+ * training GPT-3 and Megatron-NLG. An algorithm can theoretically hide
+ * all communication if its total relative time is below 1.
+ */
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+using namespace meshslice;
+
+int
+main()
+{
+    const ChipConfig cfg = tpuV4Config();
+    const int chips = 256;
+    const TrainingConfig train = TrainingConfig::weakScaling(chips);
+
+    std::cout << "Figure 10: communication time breakdown relative to "
+                 "computation time (256 chips)\n\n";
+
+    for (const TransformerConfig &model :
+         {gpt3Config(), megatronNlgConfig()}) {
+        Table table({"algorithm", "launch", "transfer", "sync",
+                     "total(rel)", "hideable?"});
+        for (Algorithm algo : allAlgorithms()) {
+            FcSimResult res =
+                simulateFcBlock(cfg, model, train, chips, algo);
+            const double denom = res.computeIdeal;
+            const double launch = res.comm.launch / denom;
+            const double transfer = res.comm.transfer / denom;
+            const double sync = res.comm.sync / denom;
+            const double total = launch + transfer + sync;
+            table.addRow({algorithmName(algo), Table::num(launch, 3),
+                          Table::num(transfer, 3), Table::num(sync, 3),
+                          Table::num(total, 3),
+                          total < 1.0 ? "yes" : "no"});
+        }
+        std::cout << model.name << "\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 13: FLOP utilization estimated by the autotuner's analytical
+ * cost models vs. obtained through simulation, for every mesh shape of
+ * a 256-chip cluster (MeshSlice, FC layers of GPT-3 and Megatron).
+ * What matters is that the cost model ranks shapes correctly — in
+ * particular that it identifies the optimal shape (Sec 5.2).
+ */
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "tuner/autotuner.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+using namespace meshslice;
+
+int
+main()
+{
+    const ChipConfig cfg = tpuV4Config();
+    const int chips = 256;
+    const TrainingConfig train = TrainingConfig::weakScaling(chips);
+    const CostModel cost = CostModel::calibrated(cfg);
+    const LlmAutotuner tuner(cost);
+
+    std::cout << "Figure 13: cost-model vs simulated FLOP utilization "
+                 "across mesh shapes (MeshSlice, 256 chips)\n\n";
+
+    for (const TransformerConfig &model :
+         {gpt3Config(), megatronNlgConfig()}) {
+        Table table({"shape", "estimated", "simulated"});
+        double best_est = 0.0, best_sim = 0.0, worst_sim = 1e300;
+        double mirror_sim = 0.0; // the transposed twin of the optimum
+        std::string best_est_shape, best_sim_shape;
+        std::vector<std::pair<std::string, double>> sims;
+        for (auto [rows, cols] : meshShapesOf(chips)) {
+            AutotuneResult plan;
+            plan = tuner.planAtShape(Algorithm::kMeshSlice, model, train,
+                                     static_cast<int>(rows),
+                                     static_cast<int>(cols), true);
+            Flops flops = 0.0;
+            for (const GemmPlan &p : plan.allPlans())
+                flops += p.gemm.flops();
+            const double est_util =
+                flops / (plan.blockFcTime * cfg.peakFlops * chips);
+
+            // Simulate the same plan.
+            Cluster cluster(cfg, chips);
+            TorusMesh mesh(cluster, plan.rows, plan.cols);
+            GemmExecutor exec(mesh);
+            Time sim_time = 0.0;
+            for (const GemmPlan &p : plan.allPlans()) {
+                Gemm2DSpec spec =
+                    makeSpec(p.gemm, p.dataflow, plan.rows, plan.cols,
+                             p.sliceCount, cfg.bytesPerElement);
+                sim_time += exec.run(Algorithm::kMeshSlice, spec).time;
+            }
+            const double sim_util =
+                flops / (sim_time * cfg.peakFlops * chips);
+
+            const std::string shape = std::to_string(rows) + "x" +
+                                      std::to_string(cols);
+            table.addRow({shape, Table::pct(est_util),
+                          Table::pct(sim_util)});
+            if (est_util > best_est) {
+                best_est = est_util;
+                best_est_shape = shape;
+            }
+            if (sim_util > best_sim) {
+                best_sim = sim_util;
+                best_sim_shape = shape;
+            }
+            if (sim_util < worst_sim)
+                worst_sim = sim_util;
+            sims.emplace_back(shape, sim_util);
+        }
+        // Find the mirrored twin of the best shape (e.g. 8x32 vs 32x8),
+        // the paper's notion of a plausible-but-non-optimal choice.
+        {
+            const auto x = best_sim_shape.find('x');
+            const std::string mirrored =
+                best_sim_shape.substr(x + 1) + "x" +
+                best_sim_shape.substr(0, x);
+            for (const auto &[shape, util] : sims)
+                if (shape == mirrored)
+                    mirror_sim = util;
+        }
+        std::cout << model.name << "\n";
+        table.print(std::cout);
+        std::cout << "cost-model best shape: " << best_est_shape
+                  << ", simulated best shape: " << best_sim_shape << " ("
+                  << (best_est_shape == best_sim_shape
+                          ? "cost model identifies the optimum"
+                          : "MISMATCH")
+                  << ")\n";
+        std::cout << "optimal over mirrored shape ("
+                  << best_sim_shape << " vs its transpose): "
+                  << Table::num(mirror_sim > 0 ? best_sim / mirror_sim
+                                               : 0.0,
+                                2)
+                  << "x speedup (paper: up to 2.4x for GPT-3); over the "
+                     "worst shape: "
+                  << Table::num(best_sim / worst_sim, 2) << "x\n\n";
+    }
+    return 0;
+}

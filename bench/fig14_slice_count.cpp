@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 14: FLOP utilization estimated by the cost models vs obtained
+ * by simulation for different slice counts S on a 32x8 mesh (MeshSlice
+ * FC layers). The check is that the model's optimal S matches the
+ * simulator's optimal S (Sec 5.2).
+ */
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "tuner/autotuner.hpp"
+#include "util/table.hpp"
+
+using namespace meshslice;
+
+int
+main()
+{
+    const ChipConfig cfg = tpuV4Config();
+    const int rows = 32, cols = 8, chips = rows * cols;
+    const TrainingConfig train = TrainingConfig::weakScaling(chips);
+    const CostModel cost = CostModel::calibrated(cfg);
+    const LlmAutotuner tuner(cost);
+
+    std::cout << "Figure 14: cost-model vs simulated FLOP utilization "
+                 "across slice counts S (MeshSlice, 32x8 mesh)\n\n";
+
+    for (const TransformerConfig &model :
+         {gpt3Config(), megatronNlgConfig()}) {
+        Table table({"S", "estimated", "simulated"});
+        int best_est_s = 0, best_sim_s = 0;
+        double best_est = 0.0, best_sim = 0.0;
+        for (int s : {1, 2, 4, 8, 16, 32}) {
+            AutotuneResult plan = tuner.planAtShape(
+                Algorithm::kMeshSlice, model, train, rows, cols, true, s);
+            Flops flops = 0.0;
+            for (const GemmPlan &p : plan.allPlans())
+                flops += p.gemm.flops();
+            const double est_util =
+                flops / (plan.blockFcTime * cfg.peakFlops * chips);
+
+            Cluster cluster(cfg, chips);
+            TorusMesh mesh(cluster, rows, cols);
+            GemmExecutor exec(mesh);
+            Time sim_time = 0.0;
+            for (const GemmPlan &p : plan.allPlans()) {
+                Gemm2DSpec spec = makeSpec(p.gemm, p.dataflow, rows, cols,
+                                           s, cfg.bytesPerElement);
+                sim_time += exec.run(Algorithm::kMeshSlice, spec).time;
+            }
+            const double sim_util =
+                flops / (sim_time * cfg.peakFlops * chips);
+
+            table.addRow({std::to_string(s), Table::pct(est_util),
+                          Table::pct(sim_util)});
+            if (est_util > best_est) {
+                best_est = est_util;
+                best_est_s = s;
+            }
+            if (sim_util > best_sim) {
+                best_sim = sim_util;
+                best_sim_s = s;
+            }
+        }
+        std::cout << model.name << "\n";
+        table.print(std::cout);
+        std::cout << "cost-model optimal S = " << best_est_s
+                  << ", simulated optimal S = " << best_sim_s << " ("
+                  << (best_est_s == best_sim_s
+                          ? "cost model identifies the optimum"
+                          : "near-optimal")
+                  << ")\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 15: accuracy of the communication cost model — estimated vs
+ * "measured" (simulated) total communication time of one forward plus
+ * backward pass of each of the 8 FC layers (4 per model), running
+ * MeshSlice on the constrained 4x4 configuration of Sec 5.3. The paper
+ * reports 5.1% average error.
+ */
+#include <cmath>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "tuner/autotuner.hpp"
+#include "util/table.hpp"
+
+using namespace meshslice;
+
+int
+main()
+{
+    ChipConfig cfg = tpuV4Config();
+    const int rows = 4, cols = 4, chips = 16;
+    const TrainingConfig train = TrainingConfig::weakScaling(chips);
+
+    const CostModel cost = CostModel::calibrated(cfg);
+    const LlmAutotuner tuner(cost);
+
+    std::cout << "Figure 15: estimated vs measured FC-layer "
+                 "communication time (MeshSlice, 4x4)\n\n";
+
+    Table table({"FC layer", "estimated (ms)", "measured (ms)",
+                 "error"});
+    double err_sum = 0.0;
+    int err_n = 0;
+    for (const TransformerConfig &model :
+         {gpt3Config(), megatronNlgConfig()}) {
+        AutotuneResult plan = tuner.planAtShape(
+            Algorithm::kMeshSlice, model, train, rows, cols, true);
+        for (const FcLayerPlan &layer : plan.layers) {
+            Time est = 0.0, meas = 0.0;
+            Cluster cluster(cfg, chips);
+            TorusMesh mesh(cluster, rows, cols);
+            GemmExecutor exec(mesh);
+            for (const GemmPlan &p : layer.passes) {
+                Gemm2DSpec spec =
+                    makeSpec(p.gemm, p.dataflow, rows, cols,
+                             p.sliceCount, cfg.bytesPerElement);
+                // Estimated communication: per-iteration collectives.
+                const FlowSide h = horizontalFlow(spec);
+                const FlowSide v = verticalFlow(spec);
+                const Bytes n_chips = spec.chips();
+                est += spec.sliceCount *
+                       (cost.collectiveTime(spec.cols,
+                                            h.matrixBytes /
+                                                (n_chips *
+                                                 spec.sliceCount)) +
+                        cost.collectiveTime(spec.rows,
+                                            v.matrixBytes /
+                                                (n_chips *
+                                                 spec.sliceCount)));
+                // Measured: the simulator's accumulated comm totals.
+                GemmRunResult res = exec.run(Algorithm::kMeshSlice, spec);
+                meas += res.horizontal.total + res.vertical.total;
+            }
+            const double err = std::fabs(est - meas) / meas;
+            err_sum += err;
+            ++err_n;
+            const char *names[4] = {"qkv", "proj", "ffn1", "ffn2"};
+            table.addRow({model.name + " " + names[layer.fcLayer],
+                          Table::num(est * 1e3, 3),
+                          Table::num(meas * 1e3, 3), Table::pct(err)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nAverage communication-time error: "
+              << Table::pct(err_sum / err_n) << " (paper: 5.1%)\n";
+    std::cout << "Note: the simulator's ring collectives are exactly "
+                 "linear in the calibrated\nparameters, so the "
+                 "communication model is exact here; the paper's 5.1% is "
+                 "real-\nhardware measurement noise. The non-trivial "
+                 "model error in this repository is\nin the pipeline "
+                 "*time* estimate below (and in Fig 13/14), where "
+                 "overlap, HBM\ncontention and pipeline fill effects "
+                 "are approximated.\n";
+
+    // Second validation: whole-GeMM pipeline time estimate vs
+    // simulation (overlap-capable mode), where prologue/steady/epilogue
+    // approximations produce genuine error.
+    ChipConfig ov = tpuV4Config();
+    const CostModel ov_cost = CostModel::calibrated(ov);
+    const LlmAutotuner ov_tuner(ov_cost);
+    std::cout << "\nPipeline time estimate vs simulation (overlap "
+                 "mode, 4x4):\n";
+    Table table2({"FC layer", "estimated (ms)", "simulated (ms)",
+                  "error"});
+    double err2_sum = 0.0;
+    int err2_n = 0;
+    for (const TransformerConfig &model :
+         {gpt3Config(), megatronNlgConfig()}) {
+        AutotuneResult plan = ov_tuner.planAtShape(
+            Algorithm::kMeshSlice, model, train, rows, cols, true);
+        for (const FcLayerPlan &layer : plan.layers) {
+            Time est = 0.0, meas = 0.0;
+            Cluster cluster(ov, chips);
+            TorusMesh mesh(cluster, rows, cols);
+            GemmExecutor exec(mesh);
+            for (const GemmPlan &p : layer.passes) {
+                Gemm2DSpec spec =
+                    makeSpec(p.gemm, p.dataflow, rows, cols,
+                             p.sliceCount, ov.bytesPerElement);
+                est += ov_cost.estimateGemmTime(Algorithm::kMeshSlice,
+                                                spec);
+                meas += exec.run(Algorithm::kMeshSlice, spec).time;
+            }
+            const double err = std::fabs(est - meas) / meas;
+            err2_sum += err;
+            ++err2_n;
+            const char *names[4] = {"qkv", "proj", "ffn1", "ffn2"};
+            table2.addRow({model.name + " " + names[layer.fcLayer],
+                           Table::num(est * 1e3, 3),
+                           Table::num(meas * 1e3, 3), Table::pct(err)});
+        }
+    }
+    table2.print(std::cout);
+    std::cout << "\nAverage pipeline-time error: "
+              << Table::pct(err2_sum / err2_n) << "\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Example: MeshSlice for inference (Sec 6 future work).
+ *
+ * Decode-phase inference GeMMs have a tiny token dimension (M = the
+ * decoding batch), so they are memory/latency-bound rather than
+ * compute-bound — the regime where the paper predicts MeshSlice "may
+ * need to be modified". This study sweeps the decode batch for a GPT-3
+ * FFN layer on a 16-chip mesh and shows what the autotuner does: at
+ * small M the tuned slice count collapses toward 1 (launch/sync
+ * overheads dominate, nothing to overlap), and the MeshSlice-over-
+ * Collective gain vanishes; at training-sized M the usual overlap win
+ * returns.
+ */
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "tuner/cost_model.hpp"
+
+using namespace meshslice;
+
+int
+main()
+{
+    const ChipConfig cfg = tpuV4Config();
+    const CostModel cost = CostModel::calibrated(cfg);
+    const int rows = 4, cols = 4;
+
+    std::printf("Inference-regime study: GPT-3 FFN1 (K=12288, N=49152) "
+                "on a 4x4 mesh\n\n");
+    std::printf("%8s %8s %16s %16s %10s\n", "M", "tuned S",
+                "MeshSlice util", "Collective util", "speedup");
+
+    for (std::int64_t m : {64L, 256L, 1024L, 8192L, 65536L}) {
+        Gemm2DSpec spec;
+        spec.m = m;
+        spec.k = 12288;
+        spec.n = 49152;
+        spec.dataflow = Dataflow::kOS;
+        spec.rows = rows;
+        spec.cols = cols;
+        auto [s, est] = cost.tuneSliceCount(Algorithm::kMeshSlice, spec);
+        (void)est;
+        spec.sliceCount = s;
+        GemmRunResult ms =
+            simulateOneGemm(cfg, Algorithm::kMeshSlice, spec);
+        GemmRunResult coll =
+            simulateOneGemm(cfg, Algorithm::kCollective, spec);
+        std::printf("%8lld %8d %15.1f%% %15.1f%% %9.2fx\n",
+                    static_cast<long long>(m), s,
+                    ms.utilization(cfg, spec.chips()) * 100.0,
+                    coll.utilization(cfg, spec.chips()) * 100.0,
+                    coll.time / ms.time);
+    }
+    std::printf("\nAt decode batch sizes the GeMMs are HBM-bound and "
+                "there is little compute to hide communication behind: "
+                "the tuned S stays small and the MeshSlice-over-"
+                "Collective speedup collapses toward 1x, matching "
+                "Sec 6's observation that inference needs different "
+                "tuning (MeshSlice degrades gracefully rather than "
+                "losing).\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Example: autotune MeshSlice for LLM training.
+ *
+ * Runs the two-phase MeshSlice LLM autotuner (Sec 3.2) for GPT-3 and
+ * Megatron-NLG on a 256-chip cluster and prints the chosen mesh shape,
+ * per-layer dataflows and slice counts, then validates the chosen
+ * configuration in the cluster simulator.
+ *
+ * Usage: llm_autotune [chips]   (default 256)
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.hpp"
+#include "tuner/autotuner.hpp"
+
+using namespace meshslice;
+
+int
+main(int argc, char **argv)
+{
+    const int chips = argc > 1 ? std::atoi(argv[1]) : 256;
+    const ChipConfig cfg = tpuV4Config();
+    const TrainingConfig train = TrainingConfig::weakScaling(chips);
+
+    std::printf("Calibrating the communication cost model against the "
+                "simulator...\n");
+    const CostModel cost = CostModel::calibrated(cfg);
+    std::printf("  bw = %.1f GB/s, t_sync = %.2f us, t_launch = %.2f us\n",
+                cost.params().bw / 1e9, cost.params().tSync * 1e6,
+                cost.params().tLaunch * 1e6);
+
+    const LlmAutotuner tuner(cost);
+    for (const TransformerConfig &model :
+         {gpt3Config(), megatronNlgConfig()}) {
+        std::printf("\n=== %s on %d chips (batch %lld, seq %lld) ===\n",
+                    model.name.c_str(), chips,
+                    static_cast<long long>(train.batch),
+                    static_cast<long long>(train.seqLen));
+        AutotuneResult plan = tuner.tune(model, train, chips);
+        std::printf("chosen mesh shape: %dx%d\n", plan.rows, plan.cols);
+        std::printf("%-6s %-7s %-10s %-4s %-4s %12s\n", "layer", "stn",
+                    "pass", "df", "S", "est (ms)");
+        const char *names[4] = {"qkv", "proj", "ffn1", "ffn2"};
+        for (const FcLayerPlan &layer : plan.layers)
+            for (const GemmPlan &p : layer.passes)
+                std::printf("%-6s %-7s %-10s %-4s %-4d %12.3f\n",
+                            names[layer.fcLayer],
+                            stationaryName(layer.stationary),
+                            p.gemm.name.c_str(),
+                            dataflowName(p.dataflow), p.sliceCount,
+                            p.estTime * 1e3);
+        std::printf("estimated FC time per block: %.2f ms\n",
+                    plan.blockFcTime * 1e3);
+
+        // Validate in the simulator.
+        FcSimResult sim = simulateFcBlock(cfg, model, train, chips,
+                                          Algorithm::kMeshSlice);
+        std::printf("simulated FC time per block: %.2f ms "
+                    "(utilization %.1f%%)\n",
+                    sim.fcTime * 1e3, sim.utilization * 100.0);
+        const Time e2e = endToEndBlockTime(cfg, model, train, chips, sim);
+        std::printf("end-to-end per block (with non-FC estimate): "
+                    "%.2f ms -> %.2f s per training step (%lld blocks)\n",
+                    e2e * 1e3, e2e * model.layers,
+                    static_cast<long long>(model.layers));
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Example: train(ish) a transformer block with 2D tensor parallelism.
+ *
+ * Runs one forward + backward pass of a small transformer block on a
+ * 2x4 mesh, with every FC GeMM executed by the functional MeshSlice
+ * algorithm (S-way sliced, Table-1 dataflows), verifies activations
+ * and weight gradients against the dense reference, and applies one
+ * SGD step to show the full training loop closes.
+ */
+#include <cstdio>
+
+#include "model/block_dist.hpp"
+
+using namespace meshslice;
+
+int
+main()
+{
+    BlockDims dims;
+    dims.batch = 4;
+    dims.seq = 16;
+    dims.heads = 4;
+    dims.headDim = 16; // hidden = 64
+    dims.ffn = 128;
+
+    const DistBlockConfig cfg{MeshShape{2, 4}, 2, 2};
+    std::printf("Transformer block: %lld tokens, hidden %lld, ffn %lld, "
+                "on a %dx%d mesh (MeshSlice S=%d, B=%d)\n",
+                static_cast<long long>(dims.tokens()),
+                static_cast<long long>(dims.hidden()),
+                static_cast<long long>(dims.ffn), cfg.mesh.rows,
+                cfg.mesh.cols, cfg.sliceCount, cfg.block);
+
+    BlockParams params = BlockParams::random(dims, 123);
+    Matrix x = Matrix::random(dims.tokens(), dims.hidden(), 7);
+    Matrix dy = Matrix::random(dims.tokens(), dims.hidden(), 8);
+
+    // Reference (dense, single chip).
+    RefBlockCache ref_cache;
+    Matrix y_ref = refBlockForward(dims, x, params, &ref_cache);
+    BlockGrads ref = refBlockBackward(dims, params, ref_cache, dy);
+
+    // Distributed (2D TP with MeshSlice GeMMs).
+    DistBlockCache cache;
+    DistMatrix x_dist = DistMatrix::scatter(x, cfg.mesh);
+    Matrix y = distBlockForward(dims, cfg, x_dist, params, &cache)
+                   .gather();
+    BlockGrads got = distBlockBackward(dims, cfg, params, cache,
+                                       DistMatrix::scatter(dy, cfg.mesh));
+
+    std::printf("forward  max |y - y_ref|    = %.2e\n",
+                y.maxAbsDiff(y_ref));
+    std::printf("backward max |dWq - ref|    = %.2e\n",
+                got.dwq.maxAbsDiff(ref.dwq));
+    std::printf("backward max |dW2 - ref|    = %.2e\n",
+                got.dw2.maxAbsDiff(ref.dw2));
+    std::printf("backward max |dX - ref|     = %.2e\n",
+                got.dx.maxAbsDiff(ref.dx));
+
+    // One SGD step with the distributed gradients; the loss
+    // L = sum(y .* dy) must decrease.
+    auto loss_of = [&](const BlockParams &p) {
+        Matrix out = refBlockForward(dims, x, p, nullptr);
+        double l = 0.0;
+        for (std::int64_t r = 0; r < out.rows(); ++r)
+            for (std::int64_t c = 0; c < out.cols(); ++c)
+                l += static_cast<double>(out.at(r, c)) * dy.at(r, c);
+        return l;
+    };
+    const double before = loss_of(params);
+    const float lr = 1e-2f;
+    auto step = [lr](Matrix &w, const Matrix &g) {
+        for (std::int64_t r = 0; r < w.rows(); ++r)
+            for (std::int64_t c = 0; c < w.cols(); ++c)
+                w.at(r, c) -= lr * g.at(r, c);
+    };
+    step(params.wq, got.dwq);
+    step(params.wk, got.dwk);
+    step(params.wv, got.dwv);
+    step(params.wo, got.dwo);
+    step(params.w1, got.dw1);
+    step(params.w2, got.dw2);
+    const double after = loss_of(params);
+    std::printf("SGD step with distributed grads: loss %.4f -> %.4f "
+                "(%s)\n",
+                before, after, after < before ? "decreased" : "ERROR");
+    return after < before ? 0 : 1;
+}

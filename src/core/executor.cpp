@@ -1,0 +1,599 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/mesh_ops.hpp"
+#include "core/taskgraph.hpp"
+#include "sim/join.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+int
+optimalPacketCount(const ChipConfig &cfg, int hops, Bytes payload)
+{
+    if (hops <= 1 || payload <= 0)
+        return 1;
+    // Minimize (hops + D - 1) * (t_sync + payload / (D * bw)) over D.
+    const double bw = cfg.iciLinkBandwidth / cfg.logicalMeshContention;
+    const double ideal =
+        std::sqrt(static_cast<double>(hops - 1) *
+                  static_cast<double>(payload) / (bw * cfg.syncLatency));
+    return std::clamp(static_cast<int>(std::lround(ideal)), 1, 64);
+}
+
+namespace {
+
+/** Accumulate one op's stats into the right direction of the result. */
+CommDone
+statsSink(GemmRunResult *result, Dir dir, std::function<void()> done)
+{
+    return [result, dir, done = std::move(done)](const CommStats &stats) {
+        if (dir == Dir::kHorizontal)
+            result->horizontal += stats;
+        else
+            result->vertical += stats;
+        done();
+    };
+}
+
+/** One side of a sliced schedule. */
+struct Side
+{
+    Dir dir;
+    CollKind op;
+    Bytes shardPerIter; ///< AG/RdS per-chip shard bytes per iteration
+    Bytes payloadPerIter; ///< SUMMA per-ring payload bytes per iteration
+    int ringSize;
+};
+
+std::vector<Side>
+sidesOf(const Gemm2DSpec &spec)
+{
+    const FlowSide h = horizontalFlow(spec);
+    const FlowSide v = verticalFlow(spec);
+    const Bytes chips = spec.chips();
+    const std::int64_t s = spec.sliceCount;
+    return {
+        Side{Dir::kHorizontal, h.op, h.matrixBytes / (chips * s),
+             h.matrixBytes / (spec.rows * s), spec.cols},
+        Side{Dir::kVertical, v.op, v.matrixBytes / (chips * s),
+             v.matrixBytes / (spec.cols * s), spec.rows},
+    };
+}
+
+/**
+ * Build the software-pipelined sliced schedule shared by MeshSlice and
+ * Collective (S=1).
+ */
+void
+buildSliced(TaskGraph &graph, TorusMesh &mesh, const Gemm2DSpec &spec,
+            GemmRunResult *state)
+{
+    const ChipConfig &cfg = mesh.cluster().config();
+    const bool overlap = cfg.allowCollectiveOverlap;
+    const int s_count = spec.sliceCount;
+    const GemmWork work = localSliceWork(spec);
+    const auto sides = sidesOf(spec);
+
+    auto comm_task = [&](const Side &side, int iter) {
+        (void)iter;
+        return [&mesh, side, state](std::function<void()> done) {
+            meshCollective(mesh, side.dir, side.op, side.shardPerIter,
+                           statsSink(state, side.dir, std::move(done)));
+        };
+    };
+    auto gemm_task = [&mesh, work](std::function<void()> done) {
+        meshGemm(mesh, work, std::move(done));
+    };
+
+    if (!overlap) {
+        // Real-TPUv4 mode: strict program order, no comm/compute overlap.
+        int prev = -1;
+        auto chain = [&](TaskGraph::TaskFn fn) {
+            prev = graph.addTask(std::move(fn),
+                                 prev < 0 ? std::vector<int>{}
+                                          : std::vector<int>{prev});
+        };
+        for (int s = 0; s < s_count; ++s) {
+            for (const Side &side : sides)
+                if (side.op == CollKind::kAllGather)
+                    chain(comm_task(side, s));
+            chain(gemm_task);
+            for (const Side &side : sides)
+                if (side.op == CollKind::kReduceScatter)
+                    chain(comm_task(side, s));
+        }
+        return;
+    }
+
+    // Pipelined schedule: per-direction comm chains; compute(s) waits
+    // for its input comms and the previous compute; output comms follow
+    // their compute, chained per direction.
+    int prev_pre[2] = {-1, -1};
+    int prev_post[2] = {-1, -1};
+    int prev_comp = -1;
+    for (int s = 0; s < s_count; ++s) {
+        std::vector<int> comp_deps;
+        if (prev_comp >= 0)
+            comp_deps.push_back(prev_comp);
+        for (size_t i = 0; i < sides.size(); ++i) {
+            if (sides[i].op != CollKind::kAllGather)
+                continue;
+            std::vector<int> deps;
+            if (prev_pre[i] >= 0)
+                deps.push_back(prev_pre[i]);
+            prev_pre[i] = graph.addTask(comm_task(sides[i], s), deps);
+            comp_deps.push_back(prev_pre[i]);
+        }
+        const int comp = graph.addTask(gemm_task, comp_deps);
+        prev_comp = comp;
+        for (size_t i = 0; i < sides.size(); ++i) {
+            if (sides[i].op != CollKind::kReduceScatter)
+                continue;
+            std::vector<int> deps{comp};
+            if (prev_post[i] >= 0)
+                deps.push_back(prev_post[i]);
+            prev_post[i] = graph.addTask(comm_task(sides[i], s), deps);
+        }
+    }
+}
+
+/**
+ * SUMMA: the matrices are split into P x P shards (P a common multiple
+ * of Pr and Pc, Sec 2.3.3), giving P communication iterations of
+ * pipelined bcast/reduce per direction — the O(P^2) synchronization
+ * cost. Loop unrolling (Sec 4.2) merges the *computation* into the
+ * autotuned S groups but leaves the fine-grain communication in place.
+ */
+void
+buildSumma(TaskGraph &graph, TorusMesh &mesh, const Gemm2DSpec &spec,
+           GemmRunResult *state)
+{
+    const ChipConfig &cfg = mesh.cluster().config();
+    const bool overlap = cfg.allowCollectiveOverlap;
+    const int p_iter =
+        static_cast<int>(std::lcm(spec.rows, spec.cols));
+    const int s_count = std::min(spec.sliceCount, p_iter);
+    Gemm2DSpec comp_spec = spec;
+    comp_spec.sliceCount = s_count;
+    const GemmWork work = localSliceWork(comp_spec);
+
+    // Per-direction, per-communication-iteration payload of one ring.
+    const FlowSide h = horizontalFlow(spec);
+    const FlowSide v = verticalFlow(spec);
+    struct SummaSide
+    {
+        Dir dir;
+        bool isReduce;
+        Bytes payload;
+        int ringSize;
+    };
+    const SummaSide sides[2] = {
+        {Dir::kHorizontal, h.op == CollKind::kReduceScatter,
+         h.matrixBytes / (static_cast<Bytes>(spec.rows) * p_iter),
+         spec.cols},
+        {Dir::kVertical, v.op == CollKind::kReduceScatter,
+         v.matrixBytes / (static_cast<Bytes>(spec.cols) * p_iter),
+         spec.rows},
+    };
+
+    auto comm_task = [&mesh, state](const SummaSide &side, int iter) {
+        return [&mesh, state, side, iter](std::function<void()> done) {
+            const ChipConfig &c = mesh.cluster().config();
+            const int hops = c.bidirectionalIci
+                                 ? std::max(1, side.ringSize / 2)
+                                 : side.ringSize - 1;
+            const int packets =
+                optimalPacketCount(c, hops, side.payload);
+            meshBroadcastReduce(mesh, side.dir, side.isReduce, iter,
+                                side.payload, packets,
+                                statsSink(state, side.dir,
+                                          std::move(done)));
+        };
+    };
+    auto gemm_task = [&mesh, work](std::function<void()> done) {
+        meshGemm(mesh, work, std::move(done));
+    };
+
+    // Comm iteration range feeding compute group g: [lo(g), hi(g)).
+    auto group_hi = [p_iter, s_count](int g) {
+        return (g + 1) * p_iter / s_count;
+    };
+
+    if (!overlap) {
+        int prev = -1;
+        auto chain = [&](TaskGraph::TaskFn fn) {
+            prev = graph.addTask(std::move(fn),
+                                 prev < 0 ? std::vector<int>{}
+                                          : std::vector<int>{prev});
+        };
+        int it_pre = 0;
+        int it_post = 0;
+        for (int g = 0; g < s_count; ++g) {
+            for (; it_pre < group_hi(g); ++it_pre)
+                for (const SummaSide &side : sides)
+                    if (!side.isReduce)
+                        chain(comm_task(side, it_pre));
+            chain(gemm_task);
+            for (; it_post < group_hi(g); ++it_post)
+                for (const SummaSide &side : sides)
+                    if (side.isReduce)
+                        chain(comm_task(side, it_post));
+        }
+        return;
+    }
+
+    // Pipelined: per-direction comm chains at p_iter granularity;
+    // compute group g waits for all its input comm iterations; reduce
+    // iteration it waits for the compute group that produced it.
+    int prev_comm[2] = {-1, -1};
+    std::vector<int> pre_last(static_cast<size_t>(p_iter), -1);
+    // Pre-communication chains (both directions advance independently).
+    for (int it = 0; it < p_iter; ++it) {
+        int last = -1;
+        for (int i = 0; i < 2; ++i) {
+            if (sides[i].isReduce)
+                continue;
+            std::vector<int> deps;
+            if (prev_comm[i] >= 0)
+                deps.push_back(prev_comm[i]);
+            prev_comm[i] = graph.addTask(comm_task(sides[i], it), deps);
+            last = prev_comm[i];
+        }
+        pre_last[static_cast<size_t>(it)] = last;
+    }
+    int prev_comp = -1;
+    std::vector<int> comp_of_group(static_cast<size_t>(s_count), -1);
+    for (int g = 0; g < s_count; ++g) {
+        std::vector<int> deps;
+        if (prev_comp >= 0)
+            deps.push_back(prev_comp);
+        // Depend on every pre-comm iteration of the group's range (the
+        // chains make the last of each direction sufficient, but both
+        // directions' last iterations matter).
+        const int hi = group_hi(g);
+        for (int it = (g == 0 ? 0 : group_hi(g - 1)); it < hi; ++it)
+            if (pre_last[static_cast<size_t>(it)] >= 0)
+                deps.push_back(pre_last[static_cast<size_t>(it)]);
+        prev_comp = graph.addTask(gemm_task, deps);
+        comp_of_group[static_cast<size_t>(g)] = prev_comp;
+    }
+    // Post (reduce) chains.
+    int prev_post[2] = {-1, -1};
+    for (int it = 0; it < p_iter; ++it) {
+        const int g = std::min(s_count - 1, it * s_count / p_iter);
+        for (int i = 0; i < 2; ++i) {
+            if (!sides[i].isReduce)
+                continue;
+            std::vector<int> deps{comp_of_group[static_cast<size_t>(g)]};
+            if (prev_post[i] >= 0)
+                deps.push_back(prev_post[i]);
+            prev_post[i] = graph.addTask(comm_task(sides[i], it), deps);
+        }
+    }
+}
+
+/** Wang: overlap the heavier direction via SendRecv rotations. */
+void
+buildWang(TaskGraph &graph, TorusMesh &mesh, const Gemm2DSpec &spec,
+          GemmRunResult *state)
+{
+    const ChipConfig &cfg = mesh.cluster().config();
+    const int s_count = spec.sliceCount;
+    const GemmWork work = localSliceWork(spec);
+    const auto sides = sidesOf(spec);
+
+    // Per-link traffic of each direction decides which one to overlap.
+    auto link_traffic = [](const Side &side) {
+        return static_cast<double>(side.shardPerIter) *
+               static_cast<double>(side.ringSize - 1);
+    };
+    const size_t ov = link_traffic(sides[0]) >= link_traffic(sides[1]) ? 0
+                                                                       : 1;
+    const Side &ov_side = sides[ov];
+    const Side &bl_side = sides[1 - ov];
+
+    // Per-iteration rotation bytes: the whole (P-1)/P fraction of the
+    // overlapped matrix split over S SendRecvs. With bidirectional ICI
+    // the rotation is split over both directions.
+    const Bytes iter_bytes = ov_side.shardPerIter * (ov_side.ringSize - 1);
+    const bool bidir = cfg.bidirectionalIci && ov_side.ringSize > 2;
+
+    auto shift_task = [&mesh, ov_side, iter_bytes, bidir, state](
+                          std::function<void()> done) {
+        if (bidir) {
+            auto *merged = new CommStats();
+            CommDone sink = statsSink(state, ov_side.dir, std::move(done));
+            Join *join = Join::create(2, [merged, sink] {
+                CommStats stats = *merged;
+                delete merged;
+                sink(stats);
+            });
+            auto half_done = [merged, join](const CommStats &stats) {
+                merged->mergeParallel(stats);
+                join->signal();
+            };
+            meshShift(mesh, ov_side.dir, iter_bytes / 2, true, half_done);
+            meshShift(mesh, ov_side.dir, iter_bytes - iter_bytes / 2, false,
+                      half_done);
+        } else {
+            meshShift(mesh, ov_side.dir, iter_bytes, true,
+                      statsSink(state, ov_side.dir, std::move(done)));
+        }
+    };
+    auto gemm_task = [&mesh, work](std::function<void()> done) {
+        meshGemm(mesh, work, std::move(done));
+    };
+    // Blocking side: one full (unsliced) collective.
+    auto blocking_task = [&mesh, bl_side, s_count, state](
+                             std::function<void()> done) {
+        meshCollective(mesh, bl_side.dir, bl_side.op,
+                       bl_side.shardPerIter * s_count,
+                       statsSink(state, bl_side.dir, std::move(done)));
+    };
+
+    const bool ov_is_ag = ov_side.op == CollKind::kAllGather;
+    const bool bl_is_ag = bl_side.op == CollKind::kAllGather;
+    const bool overlap = cfg.allowSendRecvOverlap;
+
+    int prologue = -1;
+    if (bl_is_ag)
+        prologue = graph.addTask(blocking_task);
+
+    auto with_prologue = [prologue](std::vector<int> deps) {
+        if (prologue >= 0)
+            deps.push_back(prologue);
+        return deps;
+    };
+
+    int prev_shift = -1;
+    int prev_comp = -1;
+    for (int s = 0; s < s_count; ++s) {
+        if (ov_is_ag) {
+            // shift feeds compute
+            std::vector<int> sdeps;
+            if (prev_shift >= 0)
+                sdeps.push_back(prev_shift);
+            // XLA-artifact mode: the shift additionally waits for the
+            // previous compute, serializing the pipeline (Sec 5.3.1).
+            if (!overlap && prev_comp >= 0)
+                sdeps.push_back(prev_comp);
+            prev_shift = graph.addTask(shift_task, with_prologue(sdeps));
+            std::vector<int> cdeps{prev_shift};
+            if (prev_comp >= 0)
+                cdeps.push_back(prev_comp);
+            prev_comp = graph.addTask(gemm_task, cdeps);
+        } else {
+            // compute feeds shift (RdS decomposition)
+            std::vector<int> cdeps;
+            if (prev_comp >= 0)
+                cdeps.push_back(prev_comp);
+            prev_comp = graph.addTask(gemm_task, with_prologue(cdeps));
+            std::vector<int> sdeps{prev_comp};
+            if (prev_shift >= 0)
+                sdeps.push_back(prev_shift);
+            prev_shift = graph.addTask(shift_task, sdeps);
+            if (!overlap)
+                prev_comp = prev_shift; // next compute waits the shift
+        }
+    }
+    if (!bl_is_ag) {
+        // Blocking ReduceScatter epilogue after the last compute.
+        graph.addTask(blocking_task, {prev_comp});
+    }
+}
+
+/** Cannon: square mesh, skew prologue, P systolic iterations. */
+void
+buildCannon(TaskGraph &graph, TorusMesh &mesh, const Gemm2DSpec &spec,
+            GemmRunResult *state)
+{
+    if (spec.rows != spec.cols)
+        panic("Cannon requires a square mesh, got %dx%d", spec.rows,
+              spec.cols);
+    const int p = spec.rows;
+    const Bytes e = spec.bytesPerElement;
+    const Bytes chips = spec.chips();
+    const Bytes shard_a = spec.m * spec.k * e / chips;
+    const Bytes shard_b = spec.k * spec.n * e / chips;
+    const GemmWork work{spec.m / p, spec.k / p, spec.n / p};
+
+    auto shift_task = [&mesh, state](Dir dir, Bytes bytes) {
+        return [&mesh, state, dir, bytes](std::function<void()> done) {
+            meshShift(mesh, dir, bytes, true,
+                      statsSink(state, dir, std::move(done)));
+        };
+    };
+    auto gemm_task = [&mesh, work](std::function<void()> done) {
+        meshGemm(mesh, work, std::move(done));
+    };
+
+    // Skew: row i shifts A by i hops, column j shifts B by j hops. With
+    // wraparound the worst chip moves floor(P/2) hops; modelled as that
+    // many sequential full-shard rotations in each direction.
+    int prev_h = -1;
+    int prev_v = -1;
+    for (int h = 0; h < p / 2; ++h) {
+        prev_h = graph.addTask(shift_task(Dir::kHorizontal, shard_a),
+                               prev_h < 0 ? std::vector<int>{}
+                                          : std::vector<int>{prev_h});
+        prev_v = graph.addTask(shift_task(Dir::kVertical, shard_b),
+                               prev_v < 0 ? std::vector<int>{}
+                                          : std::vector<int>{prev_v});
+    }
+
+    int prev_comp = -1;
+    for (int s = 0; s < p; ++s) {
+        std::vector<int> cdeps;
+        if (prev_comp >= 0)
+            cdeps.push_back(prev_comp);
+        if (prev_h >= 0)
+            cdeps.push_back(prev_h);
+        if (prev_v >= 0)
+            cdeps.push_back(prev_v);
+        prev_comp = graph.addTask(gemm_task, cdeps);
+        if (s + 1 < p) {
+            prev_h = graph.addTask(shift_task(Dir::kHorizontal, shard_a),
+                                   prev_h < 0 ? std::vector<int>{}
+                                              : std::vector<int>{prev_h});
+            prev_v = graph.addTask(shift_task(Dir::kVertical, shard_b),
+                                   prev_v < 0 ? std::vector<int>{}
+                                              : std::vector<int>{prev_v});
+        }
+    }
+}
+
+} // namespace
+
+void
+buildGemmSchedule(TaskGraph &graph, TorusMesh &mesh, Algorithm algo,
+                  const Gemm2DSpec &spec, GemmRunResult *accum)
+{
+    if (spec.rows != mesh.rows() || spec.cols != mesh.cols())
+        panic("buildGemmSchedule: spec mesh %dx%d != topology %dx%d",
+              spec.rows, spec.cols, mesh.rows(), mesh.cols());
+    accum->flops += spec.totalFlops();
+    Gemm2DSpec eff = spec;
+    switch (algo) {
+      case Algorithm::kMeshSlice:
+        buildSliced(graph, mesh, eff, accum);
+        break;
+      case Algorithm::kCollective:
+        eff.sliceCount = 1;
+        buildSliced(graph, mesh, eff, accum);
+        break;
+      case Algorithm::kSumma:
+        buildSumma(graph, mesh, eff, accum);
+        break;
+      case Algorithm::kWang:
+        buildWang(graph, mesh, eff, accum);
+        break;
+      case Algorithm::kCannon:
+        buildCannon(graph, mesh, eff, accum);
+        break;
+      default:
+        panic("buildGemmSchedule: %s is not a 2D algorithm",
+              algorithmName(algo));
+    }
+}
+
+GemmRunResult
+GemmExecutor::run(Algorithm algo, const Gemm2DSpec &spec)
+{
+    Cluster &cluster = mesh_.cluster();
+    GemmRunResult result;
+    bool finished = false;
+
+    TaskGraph graph(cluster.sim());
+    buildGemmSchedule(graph, mesh_, algo, spec, &result);
+
+    const Time begin = cluster.sim().now();
+    graph.start([&finished] { finished = true; });
+    cluster.sim().run();
+    if (!finished)
+        panic("GemmExecutor: schedule did not drain");
+    result.time = cluster.sim().now() - begin;
+    return result;
+}
+
+GemmRunResult
+runGemm1D(RingNetwork &net, const Gemm1DSpec &spec)
+{
+    Cluster &cluster = net.cluster();
+    const ChipConfig &cfg = cluster.config();
+    const int chips = spec.chips;
+    if (chips != cluster.numChips())
+        panic("runGemm1D: spec chips %d != cluster %d", chips,
+              cluster.numChips());
+
+    GemmRunResult result;
+    bool finished = false;
+    result.flops = spec.totalFlops();
+    // The 1D baselines also overlap via SendRecv rotations, so the
+    // XLA-artifact mode (Sec 5.3.1) serializes them too.
+    const bool overlap = cfg.allowSendRecvOverlap;
+
+    const int s_count = spec.sliceCount;
+    // Slice the larger free dimension of the local GeMM.
+    GemmWork work = spec.localWork();
+    if (work.m >= work.n)
+        work.m = std::max<std::int64_t>(1, work.m / s_count);
+    else
+        work.n = std::max<std::int64_t>(1, work.n / s_count);
+
+    const Bytes ring_bytes =
+        spec.commBytes / chips * (chips - 1); // per link, whole op
+    const Bytes iter_bytes = ring_bytes / s_count;
+    const bool bidir = cfg.bidirectionalIci && chips > 2;
+    const Ring &ring = net.ring();
+
+    auto shift_task = [&cluster, &ring, iter_bytes, bidir, &result](
+                          std::function<void()> done) {
+        CommDone sink =
+            statsSink(&result, Dir::kHorizontal, std::move(done));
+        if (bidir) {
+            auto *merged = new CommStats();
+            Join *join = Join::create(2, [merged, sink] {
+                CommStats stats = *merged;
+                delete merged;
+                sink(stats);
+            });
+            auto half_done = [merged, join](const CommStats &stats) {
+                merged->mergeParallel(stats);
+                join->signal();
+            };
+            ringShift(cluster, ring, iter_bytes / 2, true,
+                      kLaneHorizontalComm, half_done);
+            ringShift(cluster, ring, iter_bytes - iter_bytes / 2, false,
+                      kLaneHorizontalComm, half_done);
+        } else {
+            ringShift(cluster, ring, iter_bytes, true, kLaneHorizontalComm,
+                      sink);
+        }
+    };
+    auto gemm_task = [&net, work](std::function<void()> done) {
+        ringNetGemm(net, work, std::move(done));
+    };
+
+    TaskGraph graph(cluster.sim());
+    int prev_shift = -1;
+    int prev_comp = -1;
+    for (int s = 0; s < s_count; ++s) {
+        if (!spec.commIsReduce) {
+            std::vector<int> sdeps;
+            if (prev_shift >= 0)
+                sdeps.push_back(prev_shift);
+            if (!overlap && prev_comp >= 0)
+                sdeps.push_back(prev_comp);
+            prev_shift = graph.addTask(shift_task, sdeps);
+            std::vector<int> cdeps{prev_shift};
+            if (prev_comp >= 0)
+                cdeps.push_back(prev_comp);
+            prev_comp = graph.addTask(gemm_task, cdeps);
+        } else {
+            std::vector<int> cdeps;
+            if (prev_comp >= 0)
+                cdeps.push_back(prev_comp);
+            prev_comp = graph.addTask(gemm_task, cdeps);
+            std::vector<int> sdeps{prev_comp};
+            if (prev_shift >= 0)
+                sdeps.push_back(prev_shift);
+            prev_shift = graph.addTask(shift_task, sdeps);
+            if (!overlap)
+                prev_comp = prev_shift; // next compute waits the shift
+        }
+    }
+
+    const Time begin = cluster.sim().now();
+    graph.start([&finished] { finished = true; });
+    cluster.sim().run();
+    if (!finished)
+        panic("runGemm1D: schedule did not drain");
+    result.time = cluster.sim().now() - begin;
+    return result;
+}
+
+} // namespace meshslice

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Timing executors for the distributed GeMM algorithms (Sec 4.2/4.3).
+ *
+ * Each algorithm is expressed as a task graph of mesh-wide operations
+ * (collectives, shifts, local GeMMs) with the dependency structure of
+ * its software pipeline; the fluid cluster simulator then produces the
+ * wall-clock time and the launch/transfer/sync breakdown (Fig 10):
+ *
+ *  - MeshSlice: S-way sliced partial AG/RdS in both directions,
+ *    comm(s) chained per direction, compute(s) after its comms.
+ *  - Collective: MeshSlice with S = 1 (no overlap possible).
+ *  - Wang: the heavier direction's collective decomposed into S
+ *    SendRecv rotations overlapped with computes; the other direction
+ *    is a blocking collective prologue/epilogue.
+ *  - SUMMA: S unrolled iterations of pipelined bcast/reduce.
+ *  - Cannon: square mesh only; skew prologue then P systolic SendRecv
+ *    iterations.
+ *  - 1DTP / FSDP: a ring with Wang-style overlapped shifts.
+ *
+ * When `ChipConfig::allowCollectiveOverlap` is false (the real-TPUv4
+ * mode of Sec 5.3), AG/RdS/bcast/reduce-based schedules serialize
+ * communication and computation; SendRecv-based overlap stays enabled,
+ * matching the hardware capability the paper describes.
+ */
+#ifndef MESHSLICE_CORE_EXECUTOR_HPP_
+#define MESHSLICE_CORE_EXECUTOR_HPP_
+
+#include "core/spec.hpp"
+#include "core/taskgraph.hpp"
+#include "net/topology.hpp"
+
+namespace meshslice {
+
+/**
+ * Runs 2D distributed GeMM algorithms on a torus mesh, one at a time.
+ * The underlying cluster's simulated clock advances monotonically
+ * across runs; results report per-run durations.
+ */
+class GemmExecutor
+{
+  public:
+    explicit GemmExecutor(TorusMesh &mesh) : mesh_(mesh) {}
+
+    /**
+     * Simulate @p algo executing @p spec (blocking until the simulated
+     * schedule drains). @p algo must be a 2D algorithm; `kCollective`
+     * ignores `spec.sliceCount`, Cannon requires a square mesh and uses
+     * `mesh rows` iterations.
+     */
+    GemmRunResult run(Algorithm algo, const Gemm2DSpec &spec);
+
+  private:
+    TorusMesh &mesh_;
+};
+
+/**
+ * Append @p algo's software-pipelined schedule for @p spec to an
+ * existing task graph on @p mesh (which may be one layer of a 3D
+ * cluster), accumulating communication stats and FLOPs into @p accum.
+ * Used to compose multi-mesh schedules (e.g. MeshSlice+DP, Sec 7).
+ */
+void buildGemmSchedule(TaskGraph &graph, TorusMesh &mesh, Algorithm algo,
+                       const Gemm2DSpec &spec, GemmRunResult *accum);
+
+/** Simulate a 1D baseline (`kOneDTP` semantics == `kFsdp`: the spec's
+ *  comm matrix and local work differ, the schedule is the same). */
+GemmRunResult runGemm1D(RingNetwork &net, const Gemm1DSpec &spec);
+
+/**
+ * The SUMMA packet count minimizing the pipelined broadcast time of
+ * @p payload bytes over @p hops hops (closed-form, clamped to [1,64]).
+ */
+int optimalPacketCount(const ChipConfig &cfg, int hops, Bytes payload);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_CORE_EXECUTOR_HPP_

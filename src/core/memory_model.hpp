@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Per-chip memory footprint of the distributed GeMM algorithms.
+ *
+ * TP's motivation is memory (Sec 2.1: "TP requires the least memory
+ * footprint"), and slicing changes the peak: Collective 2D GeMM must
+ * materialize the fully gathered input panels, while MeshSlice only
+ * buffers 1/S of them per iteration (double-buffered for the software
+ * pipeline). The autotuner uses this model to reject configurations
+ * that exceed the chip's HBM capacity.
+ */
+#ifndef MESHSLICE_CORE_MEMORY_MODEL_HPP_
+#define MESHSLICE_CORE_MEMORY_MODEL_HPP_
+
+#include "core/spec.hpp"
+
+namespace meshslice {
+
+/** Breakdown of one chip's memory use during a distributed GeMM. */
+struct MemoryFootprint
+{
+    /** Resident shards of all three matrices (A, B, C). */
+    Bytes residentShards = 0;
+    /** Gathered-panel / staging buffers (double-buffered). */
+    Bytes gatherBuffers = 0;
+    /** Partial-result staging (LS/RS reduce sources). */
+    Bytes partialBuffers = 0;
+
+    Bytes
+    total() const
+    {
+        return residentShards + gatherBuffers + partialBuffers;
+    }
+};
+
+/** Peak per-chip memory of @p algo executing @p spec. */
+MemoryFootprint gemmMemoryFootprint(Algorithm algo,
+                                    const Gemm2DSpec &spec);
+
+/** Peak per-chip memory of a 1D baseline. */
+MemoryFootprint gemmMemoryFootprint1D(const Gemm1DSpec &spec);
+
+/** True if @p algo on @p spec fits the chip's HBM. */
+bool fitsInMemory(const ChipConfig &cfg, Algorithm algo,
+                  const Gemm2DSpec &spec);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_CORE_MEMORY_MODEL_HPP_

@@ -1,0 +1,166 @@
+#include "core/spec.hpp"
+
+#include <numeric>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace meshslice {
+
+const char *
+dataflowName(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::kOS:
+        return "OS";
+      case Dataflow::kLS:
+        return "LS";
+      case Dataflow::kRS:
+        return "RS";
+    }
+    return "?";
+}
+
+const char *
+algorithmName(Algorithm algo)
+{
+    switch (algo) {
+      case Algorithm::kMeshSlice:
+        return "MeshSlice";
+      case Algorithm::kCollective:
+        return "Collective";
+      case Algorithm::kWang:
+        return "Wang";
+      case Algorithm::kSumma:
+        return "SUMMA";
+      case Algorithm::kCannon:
+        return "Cannon";
+      case Algorithm::kOneDTP:
+        return "1DTP";
+      case Algorithm::kFsdp:
+        return "FSDP";
+    }
+    return "?";
+}
+
+std::vector<Algorithm>
+all2DAlgorithms()
+{
+    return {Algorithm::kMeshSlice, Algorithm::kCollective, Algorithm::kWang,
+            Algorithm::kSumma, Algorithm::kCannon};
+}
+
+std::vector<Algorithm>
+allAlgorithms()
+{
+    return {Algorithm::kMeshSlice, Algorithm::kCollective, Algorithm::kWang,
+            Algorithm::kSumma, Algorithm::kCannon, Algorithm::kOneDTP,
+            Algorithm::kFsdp};
+}
+
+std::string
+Gemm2DSpec::str() const
+{
+    return strprintf("%s[M=%lld,K=%lld,N=%lld]@%dx%d,S=%d",
+                     dataflowName(dataflow), static_cast<long long>(m),
+                     static_cast<long long>(k), static_cast<long long>(n),
+                     rows, cols, sliceCount);
+}
+
+FlowSide
+horizontalFlow(const Gemm2DSpec &spec)
+{
+    const Bytes e = spec.bytesPerElement;
+    switch (spec.dataflow) {
+      case Dataflow::kOS:
+      case Dataflow::kRS:
+        return FlowSide{spec.m * spec.k * e, CollKind::kAllGather};
+      case Dataflow::kLS:
+        return FlowSide{spec.m * spec.n * e, CollKind::kReduceScatter};
+    }
+    panic("horizontalFlow: bad dataflow");
+}
+
+FlowSide
+verticalFlow(const Gemm2DSpec &spec)
+{
+    const Bytes e = spec.bytesPerElement;
+    switch (spec.dataflow) {
+      case Dataflow::kOS:
+      case Dataflow::kLS:
+        return FlowSide{spec.k * spec.n * e, CollKind::kAllGather};
+      case Dataflow::kRS:
+        return FlowSide{spec.m * spec.n * e, CollKind::kReduceScatter};
+    }
+    panic("verticalFlow: bad dataflow");
+}
+
+Bytes
+stationaryShardBytes(const Gemm2DSpec &spec)
+{
+    const Bytes e = spec.bytesPerElement;
+    const Bytes chips = spec.rows * static_cast<Bytes>(spec.cols);
+    switch (spec.dataflow) {
+      case Dataflow::kOS:
+        return spec.m * spec.n * e / chips;
+      case Dataflow::kLS:
+        return spec.m * spec.k * e / chips;
+      case Dataflow::kRS:
+        return spec.k * spec.n * e / chips;
+    }
+    panic("stationaryShardBytes: bad dataflow");
+}
+
+GemmWork
+localSliceWork(const Gemm2DSpec &spec)
+{
+    const std::int64_t s = spec.sliceCount;
+    switch (spec.dataflow) {
+      case Dataflow::kOS:
+        return GemmWork{spec.m / spec.rows, spec.k / s, spec.n / spec.cols};
+      case Dataflow::kLS:
+        return GemmWork{spec.m / spec.rows, spec.k / spec.cols,
+                        spec.n / s};
+      case Dataflow::kRS:
+        return GemmWork{spec.m / s, spec.k / spec.rows, spec.n / spec.cols};
+    }
+    panic("localSliceWork: bad dataflow");
+}
+
+std::int64_t
+slicedDim(const Gemm2DSpec &spec)
+{
+    switch (spec.dataflow) {
+      case Dataflow::kOS:
+        return spec.k;
+      case Dataflow::kLS:
+        return spec.n;
+      case Dataflow::kRS:
+        return spec.m;
+    }
+    panic("slicedDim: bad dataflow");
+}
+
+std::vector<int>
+validSliceCounts(const ChipConfig &cfg, const Gemm2DSpec &spec, int max_s)
+{
+    const std::int64_t dim = slicedDim(spec);
+    // The sliced matrix shards have extent dim/rows (resp. dim/cols) in
+    // the sliced dimension; S * B must divide both per-chip extents.
+    const std::int64_t per_row = dim / spec.rows;
+    const std::int64_t per_col = dim / spec.cols;
+    const std::int64_t g = std::gcd(per_row, per_col) / cfg.memBlockCols;
+    std::vector<int> out;
+    if (g <= 0)
+        return {1};
+    for (std::int64_t d : divisorsOf(g)) {
+        if (d > max_s)
+            break;
+        out.push_back(static_cast<int>(d));
+    }
+    if (out.empty())
+        out.push_back(1);
+    return out;
+}
+
+} // namespace meshslice

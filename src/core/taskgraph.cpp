@@ -1,0 +1,68 @@
+#include "core/taskgraph.hpp"
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+int
+TaskGraph::addTask(TaskFn fn, std::vector<int> deps)
+{
+    if (started_)
+        panic("TaskGraph: cannot add tasks after start");
+    const int id = static_cast<int>(tasks_.size());
+    Task task;
+    task.fn = std::move(fn);
+    for (int dep : deps) {
+        if (dep < 0 || dep >= id)
+            panic("TaskGraph: bad dependency %d for task %d", dep, id);
+        tasks_[static_cast<size_t>(dep)].dependents.push_back(id);
+        ++task.blockers;
+    }
+    tasks_.push_back(std::move(task));
+    return id;
+}
+
+void
+TaskGraph::start(std::function<void()> all_done)
+{
+    if (started_)
+        panic("TaskGraph: started twice");
+    started_ = true;
+    allDone_ = std::move(all_done);
+    remaining_ = static_cast<int>(tasks_.size());
+    if (remaining_ == 0) {
+        sim_.scheduleAfter(0.0, allDone_);
+        return;
+    }
+    for (size_t id = 0; id < tasks_.size(); ++id)
+        if (tasks_[id].blockers == 0)
+            launchTask(static_cast<int>(id));
+}
+
+void
+TaskGraph::launchTask(int id)
+{
+    Task &task = tasks_[static_cast<size_t>(id)];
+    if (task.launched)
+        return; // a synchronously-completing dependency already did it
+    task.launched = true;
+    task.fn([this, id] { completeTask(id); });
+}
+
+void
+TaskGraph::completeTask(int id)
+{
+    Task &task = tasks_[static_cast<size_t>(id)];
+    if (task.completed)
+        panic("TaskGraph: task %d completed twice", id);
+    task.completed = true;
+    for (int dep : task.dependents) {
+        Task &next = tasks_[static_cast<size_t>(dep)];
+        if (--next.blockers == 0)
+            launchTask(dep);
+    }
+    if (--remaining_ == 0)
+        allDone_();
+}
+
+} // namespace meshslice

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A tiny dependency graph of asynchronous simulation tasks.
+ *
+ * Timing executors describe a software-pipelined schedule as tasks
+ * ("all-rows partial AllGather of slice s", "all-chips partial GeMM of
+ * slice s") with dependencies; the graph starts every task as soon as
+ * its dependencies complete, which is exactly how overlap emerges in
+ * MeshSlice's pipelines (Fig 4).
+ */
+#ifndef MESHSLICE_CORE_TASKGRAPH_HPP_
+#define MESHSLICE_CORE_TASKGRAPH_HPP_
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace meshslice {
+
+/**
+ * Build with `addTask`, then `start`. Tasks receive a completion
+ * callback they must invoke exactly once (possibly asynchronously).
+ * The graph object must outlive the simulation run.
+ */
+class TaskGraph
+{
+  public:
+    /** A task body: do work, then call `done()`. */
+    using TaskFn = std::function<void(std::function<void()> done)>;
+
+    explicit TaskGraph(Simulator &sim) : sim_(sim) {}
+
+    /**
+     * Add a task depending on previously added tasks.
+     * @return the task id, usable as a dependency of later tasks.
+     */
+    int addTask(TaskFn fn, std::vector<int> deps = {});
+
+    /** Begin execution; @p all_done fires when every task completed. */
+    void start(std::function<void()> all_done);
+
+  private:
+    struct Task
+    {
+        TaskFn fn;
+        std::vector<int> dependents;
+        int blockers = 0;
+        bool launched = false;
+        bool completed = false;
+    };
+
+    void launchTask(int id);
+    void completeTask(int id);
+
+    Simulator &sim_;
+    std::vector<Task> tasks_;
+    std::function<void()> allDone_;
+    int remaining_ = 0;
+    bool started_ = false;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_CORE_TASKGRAPH_HPP_

@@ -1,0 +1,68 @@
+#include "gemm/dist_matrix.hpp"
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+DistMatrix::DistMatrix(MeshShape mesh, std::int64_t rows, std::int64_t cols)
+    : mesh_(mesh), rows_(rows), cols_(cols)
+{
+    if (mesh.rows <= 0 || mesh.cols <= 0)
+        panic("DistMatrix: bad mesh %dx%d", mesh.rows, mesh.cols);
+    if (rows % mesh.rows != 0 || cols % mesh.cols != 0)
+        panic("DistMatrix: %lldx%lld not divisible by mesh %dx%d",
+              static_cast<long long>(rows), static_cast<long long>(cols),
+              mesh.rows, mesh.cols);
+    shards_.reserve(static_cast<size_t>(mesh.chips()));
+    for (int i = 0; i < mesh.chips(); ++i)
+        shards_.emplace_back(rows / mesh.rows, cols / mesh.cols);
+}
+
+DistMatrix
+DistMatrix::scatter(const Matrix &full, MeshShape mesh)
+{
+    DistMatrix out(mesh, full.rows(), full.cols());
+    const std::int64_t sr = out.shardRows();
+    const std::int64_t sc = out.shardCols();
+    for (int i = 0; i < mesh.rows; ++i)
+        for (int j = 0; j < mesh.cols; ++j) {
+            Matrix &shard = out.shardAt(i, j);
+            for (std::int64_t r = 0; r < sr; ++r)
+                for (std::int64_t c = 0; c < sc; ++c)
+                    shard.at(r, c) = full.at(i * sr + r, j * sc + c);
+        }
+    return out;
+}
+
+Matrix
+DistMatrix::gather() const
+{
+    Matrix full(rows_, cols_);
+    const std::int64_t sr = shardRows();
+    const std::int64_t sc = shardCols();
+    for (int i = 0; i < mesh_.rows; ++i)
+        for (int j = 0; j < mesh_.cols; ++j) {
+            const Matrix &shard = shardAt(i, j);
+            for (std::int64_t r = 0; r < sr; ++r)
+                for (std::int64_t c = 0; c < sc; ++c)
+                    full.at(i * sr + r, j * sc + c) = shard.at(r, c);
+        }
+    return full;
+}
+
+Matrix &
+DistMatrix::shardAt(int r, int c)
+{
+    if (r < 0 || r >= mesh_.rows || c < 0 || c >= mesh_.cols)
+        panic("DistMatrix::shardAt(%d,%d) out of mesh %dx%d", r, c,
+              mesh_.rows, mesh_.cols);
+    return shards_[static_cast<size_t>(r * mesh_.cols + c)];
+}
+
+const Matrix &
+DistMatrix::shardAt(int r, int c) const
+{
+    return const_cast<DistMatrix *>(this)->shardAt(r, c);
+}
+
+} // namespace meshslice

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A matrix sharded over a 2D mesh of chips (Sec 2.3.1): the matrix is
+ * partitioned in both dimensions and shard (i, j) lives on chip (i, j).
+ * This is the functional counterpart of the timing simulator's shards —
+ * it holds real data so algorithm implementations can be verified
+ * against a dense reference GeMM.
+ */
+#ifndef MESHSLICE_GEMM_DIST_MATRIX_HPP_
+#define MESHSLICE_GEMM_DIST_MATRIX_HPP_
+
+#include <vector>
+
+#include "gemm/matrix.hpp"
+
+namespace meshslice {
+
+/** Shape of a chip mesh. */
+struct MeshShape
+{
+    int rows = 1;
+    int cols = 1;
+
+    int chips() const { return rows * cols; }
+    bool operator==(const MeshShape &o) const = default;
+};
+
+/** A (rows x cols) matrix split into mesh.rows x mesh.cols shards. */
+class DistMatrix
+{
+  public:
+    DistMatrix() = default;
+
+    /** Zero-initialized distributed matrix of global shape. */
+    DistMatrix(MeshShape mesh, std::int64_t rows, std::int64_t cols);
+
+    /** Shard a dense matrix (dimensions must divide evenly). */
+    static DistMatrix scatter(const Matrix &full, MeshShape mesh);
+
+    /** Reassemble the dense matrix from the shards. */
+    Matrix gather() const;
+
+    MeshShape mesh() const { return mesh_; }
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+    std::int64_t shardRows() const { return rows_ / mesh_.rows; }
+    std::int64_t shardCols() const { return cols_ / mesh_.cols; }
+
+    Matrix &shardAt(int r, int c);
+    const Matrix &shardAt(int r, int c) const;
+
+  private:
+    MeshShape mesh_;
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::vector<Matrix> shards_;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_GEMM_DIST_MATRIX_HPP_

@@ -1,0 +1,543 @@
+#include "gemm/functional_gemm.hpp"
+
+#include <numeric>
+
+#include "gemm/ring_collectives.hpp"
+#include "gemm/slicing.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+void
+checkSameMesh(const DistMatrix &a, const DistMatrix &b, const char *what)
+{
+    if (!(a.mesh() == b.mesh()))
+        panic("%s: operands on different meshes", what);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// MeshSlice (Fig 5)
+// --------------------------------------------------------------------
+
+DistMatrix
+funcMeshSliceOS(const DistMatrix &a, const DistMatrix &b, int s_count,
+                int block)
+{
+    checkSameMesh(a, b, "funcMeshSliceOS");
+    const MeshShape mesh = a.mesh();
+    if (a.cols() != b.rows())
+        panic("funcMeshSliceOS: K mismatch");
+    DistMatrix c(mesh, a.rows(), b.cols());
+
+    for (int s = 0; s < s_count; ++s) {
+        // A' per row: AG_col of the s-th column sub-shards.
+        std::vector<Matrix> a_prime(static_cast<size_t>(mesh.rows));
+        for (int i = 0; i < mesh.rows; ++i) {
+            std::vector<Matrix> parts;
+            parts.reserve(static_cast<size_t>(mesh.cols));
+            for (int j = 0; j < mesh.cols; ++j)
+                parts.push_back(
+                    sliceCols(a.shardAt(i, j), s_count, s, block));
+            a_prime[static_cast<size_t>(i)] = Matrix::hcat(parts);
+        }
+        // B' per column: AG_row of the s-th row sub-shards.
+        std::vector<Matrix> b_prime(static_cast<size_t>(mesh.cols));
+        for (int j = 0; j < mesh.cols; ++j) {
+            std::vector<Matrix> parts;
+            parts.reserve(static_cast<size_t>(mesh.rows));
+            for (int i = 0; i < mesh.rows; ++i)
+                parts.push_back(
+                    sliceRows(b.shardAt(i, j), s_count, s, block));
+            b_prime[static_cast<size_t>(j)] = Matrix::vcat(parts);
+        }
+        // Partial GeMM accumulated into the stationary C.
+        for (int i = 0; i < mesh.rows; ++i)
+            for (int j = 0; j < mesh.cols; ++j)
+                Matrix::gemmAcc(a_prime[static_cast<size_t>(i)],
+                                b_prime[static_cast<size_t>(j)],
+                                c.shardAt(i, j));
+    }
+    return c;
+}
+
+DistMatrix
+funcMeshSliceLS(const DistMatrix &a, const DistMatrix &b, int s_count,
+                int block)
+{
+    checkSameMesh(a, b, "funcMeshSliceLS");
+    const MeshShape mesh = a.mesh();
+    if (a.cols() != b.cols())
+        panic("funcMeshSliceLS: K mismatch (A is MxK, B is NxK)");
+    const std::int64_t n = b.rows();
+    DistMatrix c(mesh, a.rows(), n);
+    const std::int64_t c_sub_cols = n / (mesh.cols * s_count);
+
+    for (int s = 0; s < s_count; ++s) {
+        // B' per column: AG_row of the s-th row sub-shards of B.
+        std::vector<Matrix> b_prime(static_cast<size_t>(mesh.cols));
+        for (int j = 0; j < mesh.cols; ++j) {
+            std::vector<Matrix> parts;
+            for (int i = 0; i < mesh.rows; ++i)
+                parts.push_back(
+                    sliceRows(b.shardAt(i, j), s_count, s, block));
+            b_prime[static_cast<size_t>(j)] = Matrix::vcat(parts);
+        }
+        for (int i = 0; i < mesh.rows; ++i) {
+            // C' = A_ij * (B'_j)^T summed across the row (the reduce
+            // part of RdS_col).
+            Matrix csum(a.shardRows(), n / s_count);
+            for (int j = 0; j < mesh.cols; ++j) {
+                Matrix bt =
+                    b_prime[static_cast<size_t>(j)].transpose();
+                Matrix::gemmAcc(a.shardAt(i, j), bt, csum);
+            }
+            // Scatter: chip j keeps its contiguous run of the sliced
+            // column list, un-sliced back into its C shard.
+            for (int j = 0; j < mesh.cols; ++j) {
+                Matrix sub = csum.colBlock(j * c_sub_cols, c_sub_cols);
+                unsliceColsInto(c.shardAt(i, j), sub, s_count, s, block);
+            }
+        }
+    }
+    return c;
+}
+
+DistMatrix
+funcMeshSliceRS(const DistMatrix &a, const DistMatrix &b, int s_count,
+                int block)
+{
+    checkSameMesh(a, b, "funcMeshSliceRS");
+    const MeshShape mesh = a.mesh();
+    if (a.rows() != b.rows())
+        panic("funcMeshSliceRS: K mismatch (A is KxM, B is KxN)");
+    const std::int64_t m = a.cols();
+    DistMatrix c(mesh, m, b.cols());
+    const std::int64_t c_sub_rows = m / (mesh.rows * s_count);
+
+    for (int s = 0; s < s_count; ++s) {
+        // A' per row: AG_col of the s-th column sub-shards of A.
+        std::vector<Matrix> a_prime(static_cast<size_t>(mesh.rows));
+        for (int i = 0; i < mesh.rows; ++i) {
+            std::vector<Matrix> parts;
+            for (int j = 0; j < mesh.cols; ++j)
+                parts.push_back(
+                    sliceCols(a.shardAt(i, j), s_count, s, block));
+            a_prime[static_cast<size_t>(i)] = Matrix::hcat(parts);
+        }
+        for (int j = 0; j < mesh.cols; ++j) {
+            // C' = (A'_i)^T * B_ij summed down the column.
+            Matrix csum(m / s_count, b.shardCols());
+            for (int i = 0; i < mesh.rows; ++i) {
+                Matrix at = a_prime[static_cast<size_t>(i)].transpose();
+                Matrix::gemmAcc(at, b.shardAt(i, j), csum);
+            }
+            for (int i = 0; i < mesh.rows; ++i) {
+                Matrix sub = csum.rowBlock(i * c_sub_rows, c_sub_rows);
+                unsliceRowsInto(c.shardAt(i, j), sub, s_count, s, block);
+            }
+        }
+    }
+    return c;
+}
+
+// --------------------------------------------------------------------
+// Collective 2D GeMM (Fig 2b)
+// --------------------------------------------------------------------
+
+DistMatrix
+funcCollectiveOS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcCollectiveOS");
+    const MeshShape mesh = a.mesh();
+    DistMatrix c(mesh, a.rows(), b.cols());
+    for (int i = 0; i < mesh.rows; ++i) {
+        std::vector<Matrix> arow;
+        for (int j = 0; j < mesh.cols; ++j)
+            arow.push_back(a.shardAt(i, j));
+        Matrix a_full = Matrix::hcat(arow); // A_i* = AG_col(A_ij)
+        for (int j = 0; j < mesh.cols; ++j) {
+            std::vector<Matrix> bcol;
+            for (int i2 = 0; i2 < mesh.rows; ++i2)
+                bcol.push_back(b.shardAt(i2, j));
+            Matrix b_full = Matrix::vcat(bcol); // B_*j = AG_row(B_ij)
+            Matrix::gemmAcc(a_full, b_full, c.shardAt(i, j));
+        }
+    }
+    return c;
+}
+
+DistMatrix
+funcCollectiveLS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcCollectiveLS");
+    const MeshShape mesh = a.mesh();
+    const std::int64_t n = b.rows();
+    DistMatrix c(mesh, a.rows(), n);
+    const std::int64_t nc = n / mesh.cols;
+    for (int i = 0; i < mesh.rows; ++i) {
+        Matrix csum(a.shardRows(), n);
+        for (int j = 0; j < mesh.cols; ++j) {
+            std::vector<Matrix> bcol;
+            for (int i2 = 0; i2 < mesh.rows; ++i2)
+                bcol.push_back(b.shardAt(i2, j));
+            Matrix b_full = Matrix::vcat(bcol); // N x K/Pc
+            Matrix bt = b_full.transpose();
+            Matrix::gemmAcc(a.shardAt(i, j), bt, csum);
+        }
+        // RdS_col: chip (i, j) keeps its N/Pc columns.
+        for (int j = 0; j < mesh.cols; ++j)
+            c.shardAt(i, j) = csum.colBlock(j * nc, nc);
+    }
+    return c;
+}
+
+DistMatrix
+funcCollectiveRS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcCollectiveRS");
+    const MeshShape mesh = a.mesh();
+    const std::int64_t m = a.cols();
+    DistMatrix c(mesh, m, b.cols());
+    const std::int64_t mr = m / mesh.rows;
+    for (int j = 0; j < mesh.cols; ++j) {
+        Matrix csum(m, b.shardCols());
+        for (int i = 0; i < mesh.rows; ++i) {
+            std::vector<Matrix> arow;
+            for (int j2 = 0; j2 < mesh.cols; ++j2)
+                arow.push_back(a.shardAt(i, j2));
+            Matrix a_full = Matrix::hcat(arow); // K/Pr x M
+            Matrix at = a_full.transpose();
+            Matrix::gemmAcc(at, b.shardAt(i, j), csum);
+        }
+        // RdS_row: chip (i, j) keeps its M/Pr rows.
+        for (int i = 0; i < mesh.rows; ++i)
+            c.shardAt(i, j) = csum.rowBlock(i * mr, mr);
+    }
+    return c;
+}
+
+// --------------------------------------------------------------------
+// SUMMA (Fig 2a): P = lcm(Pr, Pc) panel iterations.
+// --------------------------------------------------------------------
+
+DistMatrix
+funcSummaOS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcSummaOS");
+    const MeshShape mesh = a.mesh();
+    const int p_iter = std::lcm(mesh.rows, mesh.cols);
+    const std::int64_t k = a.cols();
+    if (k % p_iter != 0)
+        panic("funcSummaOS: K %% lcm(Pr,Pc) != 0");
+    const std::int64_t kp = k / p_iter;
+    DistMatrix c(mesh, a.rows(), b.cols());
+    for (int p = 0; p < p_iter; ++p) {
+        const int owner_col = p * mesh.cols / p_iter;
+        const std::int64_t a_off = p * kp - owner_col * a.shardCols();
+        const int owner_row = p * mesh.rows / p_iter;
+        const std::int64_t b_off = p * kp - owner_row * b.shardRows();
+        for (int i = 0; i < mesh.rows; ++i) {
+            // bcast_col(A_ip): owner column's panel shared by the row.
+            Matrix a_panel = a.shardAt(i, owner_col).colBlock(a_off, kp);
+            for (int j = 0; j < mesh.cols; ++j) {
+                Matrix b_panel =
+                    b.shardAt(owner_row, j).rowBlock(b_off, kp);
+                Matrix::gemmAcc(a_panel, b_panel, c.shardAt(i, j));
+            }
+        }
+    }
+    return c;
+}
+
+DistMatrix
+funcSummaLS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcSummaLS");
+    const MeshShape mesh = a.mesh();
+    const int p_iter = std::lcm(mesh.rows, mesh.cols);
+    const std::int64_t n = b.rows();
+    if (n % p_iter != 0)
+        panic("funcSummaLS: N %% lcm(Pr,Pc) != 0");
+    const std::int64_t np = n / p_iter;
+    DistMatrix c(mesh, a.rows(), n);
+    for (int p = 0; p < p_iter; ++p) {
+        const int owner_row = p * mesh.rows / p_iter;
+        const std::int64_t b_off = p * np - owner_row * b.shardRows();
+        const int owner_col = p * mesh.cols / p_iter;
+        const std::int64_t c_off = p * np - owner_col * c.shardCols();
+        for (int i = 0; i < mesh.rows; ++i) {
+            Matrix csum(a.shardRows(), np);
+            for (int j = 0; j < mesh.cols; ++j) {
+                // bcast_row(B_pj): owner row's panel down the column.
+                Matrix b_panel =
+                    b.shardAt(owner_row, j).rowBlock(b_off, np);
+                Matrix bt = b_panel.transpose();
+                Matrix::gemmAcc(a.shardAt(i, j), bt, csum);
+            }
+            // reduce_col(C', C_ip): into the owner column's C panel.
+            Matrix &dst = c.shardAt(i, owner_col);
+            for (std::int64_t r = 0; r < csum.rows(); ++r)
+                for (std::int64_t cc = 0; cc < np; ++cc)
+                    dst.at(r, c_off + cc) += csum.at(r, cc);
+        }
+    }
+    return c;
+}
+
+DistMatrix
+funcSummaRS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcSummaRS");
+    const MeshShape mesh = a.mesh();
+    const int p_iter = std::lcm(mesh.rows, mesh.cols);
+    const std::int64_t m = a.cols();
+    if (m % p_iter != 0)
+        panic("funcSummaRS: M %% lcm(Pr,Pc) != 0");
+    const std::int64_t mp = m / p_iter;
+    DistMatrix c(mesh, m, b.cols());
+    for (int p = 0; p < p_iter; ++p) {
+        const int owner_col = p * mesh.cols / p_iter;
+        const std::int64_t a_off = p * mp - owner_col * a.shardCols();
+        const int owner_row = p * mesh.rows / p_iter;
+        const std::int64_t c_off = p * mp - owner_row * c.shardRows();
+        for (int j = 0; j < mesh.cols; ++j) {
+            Matrix csum(mp, b.shardCols());
+            for (int i = 0; i < mesh.rows; ++i) {
+                // bcast_col(A_ip): owner column's panel along the row.
+                Matrix a_panel =
+                    a.shardAt(i, owner_col).colBlock(a_off, mp);
+                Matrix at = a_panel.transpose();
+                Matrix::gemmAcc(at, b.shardAt(i, j), csum);
+            }
+            // reduce_row(C', C_pj): into the owner row's C panel.
+            Matrix &dst = c.shardAt(owner_row, j);
+            for (std::int64_t r = 0; r < mp; ++r)
+                for (std::int64_t cc = 0; cc < csum.cols(); ++cc)
+                    dst.at(c_off + r, cc) += csum.at(r, cc);
+        }
+    }
+    return c;
+}
+
+// --------------------------------------------------------------------
+// Cannon (square mesh) and Wang
+// --------------------------------------------------------------------
+
+DistMatrix
+funcCannon(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcCannon");
+    const MeshShape mesh = a.mesh();
+    if (mesh.rows != mesh.cols)
+        panic("funcCannon: requires a square mesh, got %dx%d", mesh.rows,
+              mesh.cols);
+    const int p = mesh.rows;
+    DistMatrix c(mesh, a.rows(), b.cols());
+
+    // Skew: A row i rotated left by i, B column j rotated up by j.
+    std::vector<Matrix> awork(static_cast<size_t>(p * p));
+    std::vector<Matrix> bwork(static_cast<size_t>(p * p));
+    for (int i = 0; i < p; ++i)
+        for (int j = 0; j < p; ++j) {
+            awork[static_cast<size_t>(i * p + j)] =
+                a.shardAt(i, (j + i) % p);
+            bwork[static_cast<size_t>(i * p + j)] =
+                b.shardAt((i + j) % p, j);
+        }
+
+    for (int t = 0; t < p; ++t) {
+        for (int i = 0; i < p; ++i)
+            for (int j = 0; j < p; ++j)
+                Matrix::gemmAcc(awork[static_cast<size_t>(i * p + j)],
+                                bwork[static_cast<size_t>(i * p + j)],
+                                c.shardAt(i, j));
+        if (t + 1 == p)
+            break;
+        // Rotate A left, B up (the systolic SendRecv step).
+        std::vector<Matrix> anext(awork.size()), bnext(bwork.size());
+        for (int i = 0; i < p; ++i)
+            for (int j = 0; j < p; ++j) {
+                anext[static_cast<size_t>(i * p + j)] =
+                    awork[static_cast<size_t>(i * p + (j + 1) % p)];
+                bnext[static_cast<size_t>(i * p + j)] =
+                    bwork[static_cast<size_t>(((i + 1) % p) * p + j)];
+            }
+        awork = std::move(anext);
+        bwork = std::move(bnext);
+    }
+    return c;
+}
+
+DistMatrix
+func25DGemm(const DistMatrix &a, const DistMatrix &b, int depth)
+{
+    checkSameMesh(a, b, "func25DGemm");
+    const MeshShape mesh = a.mesh();
+    if (mesh.rows != mesh.cols)
+        panic("func25DGemm: requires a square base mesh, got %dx%d",
+              mesh.rows, mesh.cols);
+    const int p = mesh.rows;
+    if (depth <= 0 || p % depth != 0)
+        panic("func25DGemm: depth %d must divide the base dimension %d",
+              depth, p);
+    const int iterations = p / depth;
+    DistMatrix c(mesh, a.rows(), b.cols());
+
+    // Each depth layer holds a replica of the (skewed) shards and
+    // performs `iterations` Cannon steps from its own rotation offset;
+    // the final per-layer partials are reduced over depth (here: the
+    // accumulation into the shared C shards).
+    for (int l = 0; l < depth; ++l) {
+        const int offset = l * iterations;
+        for (int t = 0; t < iterations; ++t) {
+            const int shift = offset + t;
+            for (int i = 0; i < p; ++i) {
+                for (int j = 0; j < p; ++j) {
+                    // Cannon alignment after `shift` rotations: chip
+                    // (i, j) multiplies A(i, i+j+shift) by
+                    // B(i+j+shift, j).
+                    const int kidx = (i + j + shift) % p;
+                    Matrix::gemmAcc(a.shardAt(i, kidx),
+                                    b.shardAt(kidx, j), c.shardAt(i, j));
+                }
+            }
+        }
+    }
+    return c;
+}
+
+DistMatrix
+funcWangOS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcWangOS");
+    const MeshShape mesh = a.mesh();
+    DistMatrix c(mesh, a.rows(), b.cols());
+    const std::int64_t kc = a.shardCols();
+
+    // Blocking direction: full AG_row of B per column.
+    std::vector<Matrix> b_full(static_cast<size_t>(mesh.cols));
+    for (int j = 0; j < mesh.cols; ++j) {
+        std::vector<Matrix> parts;
+        for (int i = 0; i < mesh.rows; ++i)
+            parts.push_back(b.shardAt(i, j));
+        b_full[static_cast<size_t>(j)] = Matrix::vcat(parts);
+    }
+    // Overlapped direction: A rotates through the row ring; each step
+    // multiplies the currently-held shard with the matching K rows.
+    for (int t = 0; t < mesh.cols; ++t) {
+        for (int i = 0; i < mesh.rows; ++i)
+            for (int j = 0; j < mesh.cols; ++j) {
+                const int src = (j + t) % mesh.cols;
+                Matrix b_rows = b_full[static_cast<size_t>(j)].rowBlock(
+                    src * kc, kc);
+                Matrix::gemmAcc(a.shardAt(i, src), b_rows,
+                                c.shardAt(i, j));
+            }
+    }
+    return c;
+}
+
+DistMatrix
+funcWangLS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcWangLS");
+    const MeshShape mesh = a.mesh();
+    const std::int64_t n = b.rows();
+    DistMatrix c(mesh, a.rows(), n);
+    for (int i = 0; i < mesh.rows; ++i) {
+        // Blocking direction: full AG_row of B per column (as in the
+        // timed executor's non-overlapped collective).
+        // Overlapped direction: the per-row ReduceScatter of the
+        // partial C', run through the step-accurate ring RdS.
+        std::vector<Matrix> partials;
+        for (int j = 0; j < mesh.cols; ++j) {
+            std::vector<Matrix> bcol;
+            for (int i2 = 0; i2 < mesh.rows; ++i2)
+                bcol.push_back(b.shardAt(i2, j));
+            Matrix b_full = Matrix::vcat(bcol); // N x K/Pc
+            Matrix bt = b_full.transpose();
+            // C' arranged as Pc stacked column-chunks so the ring RdS
+            // (which scatters row blocks) applies: transpose chunks.
+            Matrix cp = Matrix::gemm(a.shardAt(i, j), bt); // M/Pr x N
+            partials.push_back(cp.transpose()); // N x M/Pr
+        }
+        std::vector<Matrix> reduced =
+            ringReduceScatterFunctional(partials);
+        for (int j = 0; j < mesh.cols; ++j)
+            c.shardAt(i, j) =
+                reduced[static_cast<size_t>(j)].transpose();
+    }
+    return c;
+}
+
+DistMatrix
+funcWangRS(const DistMatrix &a, const DistMatrix &b)
+{
+    checkSameMesh(a, b, "funcWangRS");
+    const MeshShape mesh = a.mesh();
+    const std::int64_t m = a.cols();
+    DistMatrix c(mesh, m, b.cols());
+    for (int j = 0; j < mesh.cols; ++j) {
+        std::vector<Matrix> partials;
+        for (int i = 0; i < mesh.rows; ++i) {
+            std::vector<Matrix> arow;
+            for (int j2 = 0; j2 < mesh.cols; ++j2)
+                arow.push_back(a.shardAt(i, j2));
+            Matrix a_full = Matrix::hcat(arow); // K/Pr x M
+            Matrix at = a_full.transpose();
+            partials.push_back(
+                Matrix::gemm(at, b.shardAt(i, j))); // M x N/Pc
+        }
+        std::vector<Matrix> reduced =
+            ringReduceScatterFunctional(partials);
+        for (int i = 0; i < mesh.rows; ++i)
+            c.shardAt(i, j) = reduced[static_cast<size_t>(i)];
+    }
+    return c;
+}
+
+// --------------------------------------------------------------------
+// 1D baselines
+// --------------------------------------------------------------------
+
+std::vector<Matrix>
+func1DTP(const Matrix &x, const Matrix &w, int chips)
+{
+    if (x.rows() % chips != 0 || w.cols() % chips != 0)
+        panic("func1DTP: dimensions not divisible by %d chips", chips);
+    // X sharded by rows; AG makes it whole; W sharded by columns.
+    std::vector<Matrix> x_shards;
+    for (int c = 0; c < chips; ++c)
+        x_shards.push_back(
+            x.rowBlock(c * (x.rows() / chips), x.rows() / chips));
+    Matrix x_full = Matrix::vcat(x_shards); // the AllGather
+    std::vector<Matrix> y_shards;
+    const std::int64_t nc = w.cols() / chips;
+    for (int c = 0; c < chips; ++c)
+        y_shards.push_back(Matrix::gemm(x_full, w.colBlock(c * nc, nc)));
+    return y_shards;
+}
+
+std::vector<Matrix>
+funcFsdp(const Matrix &x, const Matrix &w, int chips)
+{
+    if (x.rows() % chips != 0 || w.rows() % chips != 0)
+        panic("funcFsdp: dimensions not divisible by %d chips", chips);
+    // W sharded by rows; AG makes it whole; X stays data-sharded.
+    std::vector<Matrix> w_shards;
+    for (int c = 0; c < chips; ++c)
+        w_shards.push_back(
+            w.rowBlock(c * (w.rows() / chips), w.rows() / chips));
+    Matrix w_full = Matrix::vcat(w_shards); // the AllGather
+    std::vector<Matrix> y_shards;
+    const std::int64_t mr = x.rows() / chips;
+    for (int c = 0; c < chips; ++c)
+        y_shards.push_back(Matrix::gemm(x.rowBlock(c * mr, mr), w_full));
+    return y_shards;
+}
+
+} // namespace meshslice

@@ -1,0 +1,182 @@
+#include "gemm/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows * cols), 0.0f)
+{
+    if (rows < 0 || cols < 0)
+        panic("Matrix: negative dimensions %lld x %lld",
+              static_cast<long long>(rows), static_cast<long long>(cols));
+}
+
+Matrix
+Matrix::random(std::int64_t rows, std::int64_t cols, std::uint64_t seed)
+{
+    Matrix m(rows, cols);
+    // SplitMix64: deterministic across platforms.
+    std::uint64_t state = seed;
+    for (auto &v : m.data_) {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        v = static_cast<float>(static_cast<double>(z >> 11) /
+                                   9007199254740992.0 * 2.0 -
+                               1.0);
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::int64_t n)
+{
+    Matrix m(n, n);
+    for (std::int64_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0f;
+    return m;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix t(cols_, rows_);
+    for (std::int64_t r = 0; r < rows_; ++r)
+        for (std::int64_t c = 0; c < cols_; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+Matrix
+Matrix::rowBlock(std::int64_t start, std::int64_t count) const
+{
+    if (start < 0 || start + count > rows_)
+        panic("Matrix::rowBlock out of range");
+    Matrix b(count, cols_);
+    std::copy_n(data_.begin() + static_cast<size_t>(start * cols_),
+                static_cast<size_t>(count * cols_), b.data_.begin());
+    return b;
+}
+
+Matrix
+Matrix::colBlock(std::int64_t start, std::int64_t count) const
+{
+    if (start < 0 || start + count > cols_)
+        panic("Matrix::colBlock out of range");
+    Matrix b(rows_, count);
+    for (std::int64_t r = 0; r < rows_; ++r)
+        std::copy_n(data_.begin() +
+                        static_cast<size_t>(r * cols_ + start),
+                    static_cast<size_t>(count),
+                    b.data_.begin() + static_cast<size_t>(r * count));
+    return b;
+}
+
+Matrix
+Matrix::hcat(const std::vector<Matrix> &parts)
+{
+    if (parts.empty())
+        panic("Matrix::hcat: no parts");
+    std::int64_t cols = 0;
+    for (const Matrix &p : parts) {
+        if (p.rows() != parts.front().rows())
+            panic("Matrix::hcat: row mismatch");
+        cols += p.cols();
+    }
+    Matrix out(parts.front().rows(), cols);
+    std::int64_t offset = 0;
+    for (const Matrix &p : parts) {
+        for (std::int64_t r = 0; r < p.rows(); ++r)
+            std::copy_n(p.data_.begin() +
+                            static_cast<size_t>(r * p.cols()),
+                        static_cast<size_t>(p.cols()),
+                        out.data_.begin() +
+                            static_cast<size_t>(r * cols + offset));
+        offset += p.cols();
+    }
+    return out;
+}
+
+Matrix
+Matrix::vcat(const std::vector<Matrix> &parts)
+{
+    if (parts.empty())
+        panic("Matrix::vcat: no parts");
+    std::int64_t rows = 0;
+    for (const Matrix &p : parts) {
+        if (p.cols() != parts.front().cols())
+            panic("Matrix::vcat: column mismatch");
+        rows += p.rows();
+    }
+    Matrix out(rows, parts.front().cols());
+    auto it = out.data_.begin();
+    for (const Matrix &p : parts)
+        it = std::copy(p.data_.begin(), p.data_.end(), it);
+    return out;
+}
+
+void
+Matrix::add(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("Matrix::add: shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("Matrix::maxAbsDiff: shape mismatch (%lldx%lld vs %lldx%lld)",
+              static_cast<long long>(rows_), static_cast<long long>(cols_),
+              static_cast<long long>(other.rows_),
+              static_cast<long long>(other.cols_));
+    double worst = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(
+            worst, static_cast<double>(std::fabs(data_[i] - other.data_[i])));
+    return worst;
+}
+
+bool
+Matrix::allClose(const Matrix &other, double tol) const
+{
+    return maxAbsDiff(other) <= tol;
+}
+
+void
+Matrix::gemmAcc(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols())
+        panic("Matrix::gemmAcc: shape mismatch");
+    const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t p = 0; p < k; ++p) {
+            const float av = a.at(i, p);
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.data() + p * n;
+            float *crow = c.data() + i * n;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+Matrix
+Matrix::gemm(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    gemmAcc(a, b, c);
+    return c;
+}
+
+} // namespace meshslice

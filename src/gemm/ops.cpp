@@ -1,0 +1,183 @@
+#include "gemm/ops.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+constexpr double kGeluC = 0.7978845608028654; // sqrt(2/pi)
+
+double
+geluScalar(double x)
+{
+    return 0.5 * x * (1.0 + std::tanh(kGeluC * (x + 0.044715 * x * x * x)));
+}
+
+double
+geluGradScalar(double x)
+{
+    const double u = kGeluC * (x + 0.044715 * x * x * x);
+    const double t = std::tanh(u);
+    const double du = kGeluC * (1.0 + 3.0 * 0.044715 * x * x);
+    return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du;
+}
+
+} // namespace
+
+Matrix
+geluForward(const Matrix &x)
+{
+    Matrix y(x.rows(), x.cols());
+    for (std::int64_t r = 0; r < x.rows(); ++r)
+        for (std::int64_t c = 0; c < x.cols(); ++c)
+            y.at(r, c) = static_cast<float>(geluScalar(x.at(r, c)));
+    return y;
+}
+
+Matrix
+geluBackward(const Matrix &x, const Matrix &dy)
+{
+    if (x.rows() != dy.rows() || x.cols() != dy.cols())
+        panic("geluBackward: shape mismatch");
+    Matrix dx(x.rows(), x.cols());
+    for (std::int64_t r = 0; r < x.rows(); ++r)
+        for (std::int64_t c = 0; c < x.cols(); ++c)
+            dx.at(r, c) = static_cast<float>(geluGradScalar(x.at(r, c)) *
+                                             dy.at(r, c));
+    return dx;
+}
+
+Matrix
+softmaxRows(const Matrix &x)
+{
+    Matrix p(x.rows(), x.cols());
+    for (std::int64_t r = 0; r < x.rows(); ++r) {
+        float max = x.at(r, 0);
+        for (std::int64_t c = 1; c < x.cols(); ++c)
+            max = std::max(max, x.at(r, c));
+        double denom = 0.0;
+        for (std::int64_t c = 0; c < x.cols(); ++c)
+            denom += std::exp(static_cast<double>(x.at(r, c) - max));
+        for (std::int64_t c = 0; c < x.cols(); ++c)
+            p.at(r, c) = static_cast<float>(
+                std::exp(static_cast<double>(x.at(r, c) - max)) / denom);
+    }
+    return p;
+}
+
+Matrix
+softmaxRowsBackward(const Matrix &p, const Matrix &dp)
+{
+    if (p.rows() != dp.rows() || p.cols() != dp.cols())
+        panic("softmaxRowsBackward: shape mismatch");
+    Matrix dx(p.rows(), p.cols());
+    for (std::int64_t r = 0; r < p.rows(); ++r) {
+        double dot = 0.0;
+        for (std::int64_t c = 0; c < p.cols(); ++c)
+            dot += static_cast<double>(p.at(r, c)) * dp.at(r, c);
+        for (std::int64_t c = 0; c < p.cols(); ++c)
+            dx.at(r, c) = static_cast<float>(
+                p.at(r, c) * (dp.at(r, c) - dot));
+    }
+    return dx;
+}
+
+RowStats
+rowStatsFromSums(const std::vector<double> &sum,
+                 const std::vector<double> &sum_sq,
+                 std::int64_t total_cols, double eps)
+{
+    RowStats stats;
+    stats.mean.resize(sum.size());
+    stats.invStd.resize(sum.size());
+    const double n = static_cast<double>(total_cols);
+    for (size_t r = 0; r < sum.size(); ++r) {
+        const double mean = sum[r] / n;
+        const double var = sum_sq[r] / n - mean * mean;
+        stats.mean[r] = static_cast<float>(mean);
+        stats.invStd[r] =
+            static_cast<float>(1.0 / std::sqrt(std::max(var, 0.0) + eps));
+    }
+    return stats;
+}
+
+void
+accumulateRowSums(const Matrix &x, std::vector<double> &sum,
+                  std::vector<double> &sum_sq)
+{
+    sum.resize(static_cast<size_t>(x.rows()), 0.0);
+    sum_sq.resize(static_cast<size_t>(x.rows()), 0.0);
+    for (std::int64_t r = 0; r < x.rows(); ++r) {
+        for (std::int64_t c = 0; c < x.cols(); ++c) {
+            const double v = x.at(r, c);
+            sum[static_cast<size_t>(r)] += v;
+            sum_sq[static_cast<size_t>(r)] += v * v;
+        }
+    }
+}
+
+Matrix
+layerNormApply(const Matrix &x, const RowStats &stats)
+{
+    Matrix y(x.rows(), x.cols());
+    for (std::int64_t r = 0; r < x.rows(); ++r)
+        for (std::int64_t c = 0; c < x.cols(); ++c)
+            y.at(r, c) = (x.at(r, c) - stats.mean[static_cast<size_t>(r)]) *
+                         stats.invStd[static_cast<size_t>(r)];
+    return y;
+}
+
+Matrix
+layerNormBackward(const Matrix &x, const RowStats &stats, const Matrix &dy,
+                  const std::vector<double> &r1,
+                  const std::vector<double> &r2, std::int64_t total_cols)
+{
+    Matrix dx(x.rows(), x.cols());
+    const double n = static_cast<double>(total_cols);
+    for (std::int64_t r = 0; r < x.rows(); ++r) {
+        const double mean = stats.mean[static_cast<size_t>(r)];
+        const double inv = stats.invStd[static_cast<size_t>(r)];
+        for (std::int64_t c = 0; c < x.cols(); ++c) {
+            const double xhat = (x.at(r, c) - mean) * inv;
+            dx.at(r, c) = static_cast<float>(
+                inv * (dy.at(r, c) - r1[static_cast<size_t>(r)] / n -
+                       xhat * r2[static_cast<size_t>(r)] / n));
+        }
+    }
+    return dx;
+}
+
+Matrix
+layerNormForward(const Matrix &x, RowStats *stats_out)
+{
+    std::vector<double> sum, sum_sq;
+    accumulateRowSums(x, sum, sum_sq);
+    RowStats stats = rowStatsFromSums(sum, sum_sq, x.cols());
+    Matrix y = layerNormApply(x, stats);
+    if (stats_out)
+        *stats_out = std::move(stats);
+    return y;
+}
+
+Matrix
+layerNormBackwardFull(const Matrix &x, const RowStats &stats,
+                      const Matrix &dy)
+{
+    std::vector<double> r1(static_cast<size_t>(x.rows()), 0.0);
+    std::vector<double> r2(static_cast<size_t>(x.rows()), 0.0);
+    for (std::int64_t r = 0; r < x.rows(); ++r) {
+        const double mean = stats.mean[static_cast<size_t>(r)];
+        const double inv = stats.invStd[static_cast<size_t>(r)];
+        for (std::int64_t c = 0; c < x.cols(); ++c) {
+            const double xhat = (x.at(r, c) - mean) * inv;
+            r1[static_cast<size_t>(r)] += dy.at(r, c);
+            r2[static_cast<size_t>(r)] += dy.at(r, c) * xhat;
+        }
+    }
+    return layerNormBackward(x, stats, dy, r1, r2, x.cols());
+}
+
+} // namespace meshslice

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Element-wise and row-wise neural-network kernels on dense matrices:
+ * GeLU, row softmax, layer normalization (non-affine) — forward and
+ * backward. These are the "other layers" of the transformer block
+ * (Sec 4.4) that run chip-locally under 2D TP; the distributed block
+ * (model/dist_block) applies them per shard.
+ */
+#ifndef MESHSLICE_GEMM_OPS_HPP_
+#define MESHSLICE_GEMM_OPS_HPP_
+
+#include "gemm/matrix.hpp"
+
+namespace meshslice {
+
+/** tanh-approximation GeLU, element-wise. */
+Matrix geluForward(const Matrix &x);
+
+/** dL/dx of GeLU given input x and upstream gradient dy. */
+Matrix geluBackward(const Matrix &x, const Matrix &dy);
+
+/** Row-wise softmax. */
+Matrix softmaxRows(const Matrix &x);
+
+/**
+ * Backward of row softmax: given the forward output p and upstream
+ * gradient dp, returns dx = p .* (dp - rowsum(p .* dp)).
+ */
+Matrix softmaxRowsBackward(const Matrix &p, const Matrix &dp);
+
+/** Per-row mean and 1/sqrt(var + eps) over the given column count. */
+struct RowStats
+{
+    std::vector<float> mean;
+    std::vector<float> invStd;
+};
+
+/**
+ * Row statistics of x, optionally computed from externally accumulated
+ * partial sums (for sharded rows): sum and sum-of-squares per row over
+ * @p total_cols columns.
+ */
+RowStats rowStatsFromSums(const std::vector<double> &sum,
+                          const std::vector<double> &sum_sq,
+                          std::int64_t total_cols, double eps = 1e-5);
+
+/** Partial per-row (sum, sum_sq) of a shard, for cross-shard stats. */
+void accumulateRowSums(const Matrix &x, std::vector<double> &sum,
+                       std::vector<double> &sum_sq);
+
+/** Normalize x row-wise with the given stats: (x - mean) * invStd. */
+Matrix layerNormApply(const Matrix &x, const RowStats &stats);
+
+/**
+ * Backward of non-affine layer norm over sharded rows. Given the
+ * input shard x, its row stats (over the *full* row), the upstream
+ * gradient shard dy, and the full-row reductions
+ *   r1[i] = sum_j dy[i,j]  and  r2[i] = sum_j dy[i,j] * xhat[i,j],
+ * returns dx = invStd * (dy - r1/N - xhat .* r2/N).
+ */
+Matrix layerNormBackward(const Matrix &x, const RowStats &stats,
+                         const Matrix &dy, const std::vector<double> &r1,
+                         const std::vector<double> &r2,
+                         std::int64_t total_cols);
+
+/** Convenience: full (unsharded) layer norm forward. */
+Matrix layerNormForward(const Matrix &x, RowStats *stats_out = nullptr);
+
+/** Convenience: full (unsharded) layer norm backward. */
+Matrix layerNormBackwardFull(const Matrix &x, const RowStats &stats,
+                             const Matrix &dy);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_GEMM_OPS_HPP_

@@ -1,0 +1,198 @@
+#include "gemm/ring_collectives.hpp"
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+void
+checkUniform(const std::vector<Matrix> &mats, const char *what)
+{
+    if (mats.empty())
+        panic("%s: empty participant list", what);
+    for (const Matrix &m : mats)
+        if (m.rows() != mats.front().rows() ||
+            m.cols() != mats.front().cols())
+            panic("%s: participants have mismatched shapes", what);
+}
+
+} // namespace
+
+std::vector<Matrix>
+ringAllGatherFunctional(const std::vector<Matrix> &shards)
+{
+    checkUniform(shards, "ringAllGatherFunctional");
+    const int p = static_cast<int>(shards.size());
+
+    // slots[i][j] = shard j as currently known by chip i.
+    std::vector<std::vector<Matrix>> slots(
+        static_cast<size_t>(p), std::vector<Matrix>(static_cast<size_t>(p)));
+    for (int i = 0; i < p; ++i)
+        slots[static_cast<size_t>(i)][static_cast<size_t>(i)] = shards[i];
+
+    // P-1 synchronized steps; in step t chip i forwards the shard it
+    // received t steps ago (its own at t=0) to its +1 neighbour.
+    for (int t = 0; t < p - 1; ++t) {
+        std::vector<std::pair<int, Matrix>> in_flight(
+            static_cast<size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            const int idx = (i - t + p) % p;
+            in_flight[static_cast<size_t>((i + 1) % p)] = {
+                idx, slots[static_cast<size_t>(i)][static_cast<size_t>(idx)]};
+        }
+        for (int i = 0; i < p; ++i) {
+            auto &[idx, shard] = in_flight[static_cast<size_t>(i)];
+            slots[static_cast<size_t>(i)][static_cast<size_t>(idx)] =
+                std::move(shard);
+        }
+    }
+
+    std::vector<Matrix> out;
+    out.reserve(static_cast<size_t>(p));
+    for (int i = 0; i < p; ++i)
+        out.push_back(Matrix::vcat(slots[static_cast<size_t>(i)]));
+    return out;
+}
+
+std::vector<Matrix>
+ringReduceScatterFunctional(const std::vector<Matrix> &partials)
+{
+    checkUniform(partials, "ringReduceScatterFunctional");
+    const int p = static_cast<int>(partials.size());
+    if (partials.front().rows() % p != 0)
+        panic("ringReduceScatterFunctional: rows %% P != 0");
+    const std::int64_t block = partials.front().rows() / p;
+
+    // chunks[i][c] = chip i's running partial sum of block c.
+    std::vector<std::vector<Matrix>> chunks(static_cast<size_t>(p));
+    for (int i = 0; i < p; ++i)
+        for (int c = 0; c < p; ++c)
+            chunks[static_cast<size_t>(i)].push_back(
+                partials[static_cast<size_t>(i)].rowBlock(c * block,
+                                                          block));
+
+    // P-1 steps: chip i sends its running sum of chunk (i - t) and the
+    // receiver accumulates it into its own copy.
+    for (int t = 0; t < p - 1; ++t) {
+        std::vector<std::pair<int, Matrix>> in_flight(
+            static_cast<size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            const int idx = (i - t + p) % p;
+            in_flight[static_cast<size_t>((i + 1) % p)] = {
+                idx,
+                chunks[static_cast<size_t>(i)][static_cast<size_t>(idx)]};
+        }
+        for (int i = 0; i < p; ++i) {
+            auto &[idx, chunk] = in_flight[static_cast<size_t>(i)];
+            chunks[static_cast<size_t>(i)][static_cast<size_t>(idx)].add(
+                chunk);
+        }
+    }
+
+    // After the loop, chip i holds the fully reduced chunk (i+1) % P;
+    // relabel so result[c] is chunk c.
+    std::vector<Matrix> out(static_cast<size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        const int c = (i + 1) % p;
+        out[static_cast<size_t>(c)] =
+            std::move(chunks[static_cast<size_t>(i)][static_cast<size_t>(c)]);
+    }
+    return out;
+}
+
+std::vector<Matrix>
+ringBroadcastFunctional(const std::vector<Matrix> &payloads, int root,
+                        int packets)
+{
+    const int p = static_cast<int>(payloads.size());
+    if (root < 0 || root >= p)
+        panic("ringBroadcastFunctional: bad root %d", root);
+    const Matrix &payload = payloads[static_cast<size_t>(root)];
+    if (packets <= 0 || payload.rows() % packets != 0)
+        panic("ringBroadcastFunctional: packets must divide rows");
+    const std::int64_t panel = payload.rows() / packets;
+
+    // received[i][q] = packet q at chip i (hop distance i from root).
+    std::vector<std::vector<Matrix>> received(
+        static_cast<size_t>(p),
+        std::vector<Matrix>(static_cast<size_t>(packets)));
+    for (int q = 0; q < packets; ++q)
+        received[static_cast<size_t>(root)][static_cast<size_t>(q)] =
+            payload.rowBlock(q * panel, panel);
+
+    // Pipeline stages: packet q crosses hop h at stage q + h.
+    const int stages = (p - 1) + packets - 1;
+    for (int stage = 0; stage <= stages; ++stage) {
+        // Walk hops from the far end so a packet moves one hop/stage.
+        for (int h = std::min(p - 2, stage); h >= 0; --h) {
+            const int q = stage - h;
+            if (q < 0 || q >= packets)
+                continue;
+            const int src = (root + h) % p;
+            const int dst = (root + h + 1) % p;
+            received[static_cast<size_t>(dst)][static_cast<size_t>(q)] =
+                received[static_cast<size_t>(src)][static_cast<size_t>(q)];
+        }
+    }
+
+    std::vector<Matrix> out;
+    out.reserve(static_cast<size_t>(p));
+    for (int i = 0; i < p; ++i)
+        out.push_back(Matrix::vcat(received[static_cast<size_t>(i)]));
+    return out;
+}
+
+Matrix
+ringReduceFunctional(const std::vector<Matrix> &partials, int root,
+                     int packets)
+{
+    checkUniform(partials, "ringReduceFunctional");
+    const int p = static_cast<int>(partials.size());
+    if (root < 0 || root >= p)
+        panic("ringReduceFunctional: bad root %d", root);
+    if (packets <= 0 || partials.front().rows() % packets != 0)
+        panic("ringReduceFunctional: packets must divide rows");
+    const std::int64_t panel = partials.front().rows() / packets;
+
+    // Accumulate panel-wise down the chain (root+P-1) -> ... -> root,
+    // mirroring the pipelined reduce's hop structure.
+    Matrix result(partials.front().rows(), partials.front().cols());
+    for (int q = 0; q < packets; ++q) {
+        Matrix acc = partials[static_cast<size_t>((root + p - 1) % p)]
+                         .rowBlock(q * panel, panel);
+        for (int h = p - 2; h >= 0; --h) {
+            Matrix local = partials[static_cast<size_t>((root + h) % p)]
+                               .rowBlock(q * panel, panel);
+            acc.add(local);
+        }
+        for (std::int64_t r = 0; r < panel; ++r)
+            for (std::int64_t c = 0; c < acc.cols(); ++c)
+                result.at(q * panel + r, c) = acc.at(r, c);
+    }
+    return result;
+}
+
+std::vector<Matrix>
+ringAllReduceFunctional(const std::vector<Matrix> &partials)
+{
+    // The classic composition used for DP gradients: ReduceScatter
+    // produces per-chip reduced blocks, AllGather recombines them.
+    std::vector<Matrix> reduced = ringReduceScatterFunctional(partials);
+    return ringAllGatherFunctional(reduced);
+}
+
+std::vector<Matrix>
+ringShiftFunctional(const std::vector<Matrix> &shards, bool forward)
+{
+    checkUniform(shards, "ringShiftFunctional");
+    const int p = static_cast<int>(shards.size());
+    std::vector<Matrix> out(static_cast<size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        const int src = forward ? (i + 1) % p : (i - 1 + p) % p;
+        out[static_cast<size_t>(i)] = shards[static_cast<size_t>(src)];
+    }
+    return out;
+}
+
+} // namespace meshslice

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Step-accurate *functional* ring collectives.
+ *
+ * The timing simulator models AG/RdS/bcast/reduce as sequences of
+ * neighbour transfers (Fig 3); this module implements the very same
+ * step structure on real data — P-1 synchronized steps in which every
+ * chip passes one block to its ring neighbour — so tests can verify
+ * that the schedules the timing layer charges for actually implement
+ * the collective semantics (and with the exact per-step block sizes
+ * the timing layer assumes).
+ */
+#ifndef MESHSLICE_GEMM_RING_COLLECTIVES_HPP_
+#define MESHSLICE_GEMM_RING_COLLECTIVES_HPP_
+
+#include <vector>
+
+#include "gemm/matrix.hpp"
+
+namespace meshslice {
+
+/**
+ * Ring AllGather via P-1 neighbour shifts: chip i contributes
+ * `shards[i]`; returns per-chip results, each the row-concatenation
+ * shards[0] .. shards[P-1].
+ */
+std::vector<Matrix> ringAllGatherFunctional(
+    const std::vector<Matrix> &shards);
+
+/**
+ * Ring ReduceScatter via P-1 neighbour shifts with accumulation:
+ * chip i contributes `partials[i]` (all the same shape, logically P
+ * stacked blocks of rows); returns per-chip reduced blocks: result[i]
+ * = sum over j of block i of partials[j].
+ */
+std::vector<Matrix> ringReduceScatterFunctional(
+    const std::vector<Matrix> &partials);
+
+/**
+ * Pipelined ring broadcast from `root`: the payload is cut into
+ * `packets` row-panels streamed hop by hop (the SUMMA primitive).
+ * Returns per-chip copies (all equal to the root's payload).
+ */
+std::vector<Matrix> ringBroadcastFunctional(
+    const std::vector<Matrix> &payloads, int root, int packets);
+
+/**
+ * Pipelined ring reduce to `root`: each chip contributes a same-shape
+ * partial; the root ends with the element-wise sum. Returns the
+ * root's result.
+ */
+Matrix ringReduceFunctional(const std::vector<Matrix> &partials, int root,
+                            int packets);
+
+/**
+ * AllReduce = ReduceScatter + AllGather (the DP gradient primitive):
+ * every chip contributes a same-shape partial and receives the full
+ * element-wise sum.
+ */
+std::vector<Matrix> ringAllReduceFunctional(
+    const std::vector<Matrix> &partials);
+
+/** One rotation: result[i] = shards[(i + 1) % P] (forward receive). */
+std::vector<Matrix> ringShiftFunctional(const std::vector<Matrix> &shards,
+                                        bool forward);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_GEMM_RING_COLLECTIVES_HPP_

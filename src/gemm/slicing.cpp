@@ -1,0 +1,90 @@
+#include "gemm/slicing.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+void
+checkArgs(std::int64_t extent, int s_count, int s, int block,
+          const char *what)
+{
+    if (s_count <= 0 || block <= 0)
+        panic("%s: S and block must be positive", what);
+    if (s < 0 || s >= s_count)
+        panic("%s: sub-shard index %d out of [0, %d)", what, s, s_count);
+    if (extent % (static_cast<std::int64_t>(s_count) * block) != 0)
+        panic("%s: extent %lld not divisible by S*B = %d*%d", what,
+              static_cast<long long>(extent), s_count, block);
+}
+
+} // namespace
+
+Matrix
+sliceCols(const Matrix &x, int s_count, int s, int block)
+{
+    checkArgs(x.cols(), s_count, s, block, "sliceCols");
+    const std::int64_t groups = x.cols() / (s_count * block);
+    Matrix out(x.rows(), x.cols() / s_count);
+    for (std::int64_t g = 0; g < groups; ++g) {
+        const std::int64_t src = (g * s_count + s) * block;
+        const std::int64_t dst = g * block;
+        for (std::int64_t r = 0; r < x.rows(); ++r)
+            for (std::int64_t b = 0; b < block; ++b)
+                out.at(r, dst + b) = x.at(r, src + b);
+    }
+    return out;
+}
+
+Matrix
+sliceRows(const Matrix &x, int s_count, int s, int block)
+{
+    checkArgs(x.rows(), s_count, s, block, "sliceRows");
+    const std::int64_t groups = x.rows() / (s_count * block);
+    Matrix out(x.rows() / s_count, x.cols());
+    for (std::int64_t g = 0; g < groups; ++g) {
+        const std::int64_t src = (g * s_count + s) * block;
+        const std::int64_t dst = g * block;
+        for (std::int64_t b = 0; b < block; ++b)
+            for (std::int64_t c = 0; c < x.cols(); ++c)
+                out.at(dst + b, c) = x.at(src + b, c);
+    }
+    return out;
+}
+
+void
+unsliceColsInto(Matrix &x, const Matrix &sub, int s_count, int s, int block)
+{
+    checkArgs(x.cols(), s_count, s, block, "unsliceColsInto");
+    if (sub.rows() != x.rows() || sub.cols() != x.cols() / s_count)
+        panic("unsliceColsInto: sub-shard shape mismatch");
+    const std::int64_t groups = x.cols() / (s_count * block);
+    for (std::int64_t g = 0; g < groups; ++g) {
+        const std::int64_t dst = (g * s_count + s) * block;
+        const std::int64_t src = g * block;
+        for (std::int64_t r = 0; r < x.rows(); ++r)
+            for (std::int64_t b = 0; b < block; ++b)
+                x.at(r, dst + b) = sub.at(r, src + b);
+    }
+}
+
+void
+unsliceRowsInto(Matrix &x, const Matrix &sub, int s_count, int s, int block)
+{
+    checkArgs(x.rows(), s_count, s, block, "unsliceRowsInto");
+    if (sub.cols() != x.cols() || sub.rows() != x.rows() / s_count)
+        panic("unsliceRowsInto: sub-shard shape mismatch");
+    const std::int64_t groups = x.rows() / (s_count * block);
+    for (std::int64_t g = 0; g < groups; ++g) {
+        const std::int64_t dst = (g * s_count + s) * block;
+        const std::int64_t src = g * block;
+        for (std::int64_t b = 0; b < block; ++b)
+            for (std::int64_t c = 0; c < x.cols(); ++c)
+                x.at(dst + b, c) = sub.at(src + b, c);
+    }
+}
+
+} // namespace meshslice

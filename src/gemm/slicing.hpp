@@ -1,0 +1,37 @@
+/**
+ * @file
+ * MeshSlice's blocked slicing operators (paper Sec 3.1.2, Algorithm 2).
+ *
+ * `sliceCols(X, S, s, B)` reshapes X's columns into blocks of B
+ * contiguous columns and collects every S-th block starting at block s
+ * — the memory-friendly version of "every S-th column vector". The
+ * `unslice*Into` operators are the exact inverses, used to scatter
+ * ReduceScatter results back into an output shard.
+ */
+#ifndef MESHSLICE_GEMM_SLICING_HPP_
+#define MESHSLICE_GEMM_SLICING_HPP_
+
+#include "gemm/matrix.hpp"
+
+namespace meshslice {
+
+/**
+ * The s-th of S column sub-shards of @p x with block size @p block.
+ * Requires S * block to divide x.cols(). Result: x.rows() x x.cols()/S.
+ */
+Matrix sliceCols(const Matrix &x, int s_count, int s, int block);
+
+/** Row-dimension analogue of `sliceCols`. */
+Matrix sliceRows(const Matrix &x, int s_count, int s, int block);
+
+/** Scatter @p sub (a sliceCols result) back into @p x. */
+void unsliceColsInto(Matrix &x, const Matrix &sub, int s_count, int s,
+                     int block);
+
+/** Scatter @p sub (a sliceRows result) back into @p x. */
+void unsliceRowsInto(Matrix &x, const Matrix &sub, int s_count, int s,
+                     int block);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_GEMM_SLICING_HPP_

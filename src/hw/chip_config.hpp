@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-chip hardware parameters of the simulated ML accelerator.
+ *
+ * Defaults model Google's TPUv4 as described in the paper (Sec 4.1,
+ * Fig 8): two cores with 128x128 systolic arrays and 64 MB scratchpads
+ * sharing an HBM with a NIC; four ICI links per chip forming a 2D torus.
+ * The paper quotes 272 TFLOPS peak per chip (Sec 5.1.1) and memory access
+ * in 128x8 blocks, which fixes the slicing block size B = 8 (Sec 3.1.2).
+ */
+#ifndef MESHSLICE_HW_CHIP_CONFIG_HPP_
+#define MESHSLICE_HW_CHIP_CONFIG_HPP_
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace meshslice {
+
+/** Static description of one accelerator chip and its ICI interface. */
+struct ChipConfig
+{
+    /** Peak matrix-unit throughput (both cores combined), FLOP/s. */
+    Rate peakFlops = TFLOPS(272.0);
+
+    /** HBM bandwidth shared by the cores and the NIC. */
+    Rate hbmBandwidth = GBps(1200.0);
+
+    /** Bandwidth of one ICI link direction. */
+    Rate iciLinkBandwidth = GBps(45.0);
+
+    /** Per-hop synchronization latency of a collective step. */
+    Time syncLatency = us(5.0);
+
+    /** Host-side launch overhead of one communication operation. */
+    Time launchOverhead = us(20.0);
+
+    /** Systolic array dimension (tiles are multiples of this). */
+    std::int64_t systolicDim = 128;
+
+    /**
+     * Memory block width: TPUs access memory in (sublane x lane) =
+     * (8 x 128) chunks, so contiguous slicing uses B = 8 columns.
+     */
+    std::int64_t memBlockCols = 8;
+
+    /** Scratchpad capacity per core, bytes. */
+    Bytes scratchpadBytes = MiB(64.0);
+
+    /** HBM capacity per chip (TPUv4: 32 GiB). */
+    Bytes hbmCapacity = GiB(32.0);
+
+    /** Element size (bf16 = 2 bytes). */
+    int bytesPerElement = 2;
+
+    /**
+     * True if collectives may use both directions of each ICI link
+     * (splitting the payload into two opposing rings). Google Cloud's
+     * 4x4 slices only expose uni-directional inter-node bandwidth
+     * (Sec 5.3.1), which the Table 3 bench models by clearing this.
+     */
+    bool bidirectionalIci = true;
+
+    /**
+     * Contention factor of a *logical* mesh (Sec 6): on GPU clusters a
+     * 2D mesh is overlaid on a shared network, so ring transfers see
+     * only 1/factor of the physical link bandwidth. 1.0 = physical
+     * torus (TPU). The cost-model calibration measures the effective
+     * bandwidth, so the autotuner adapts automatically.
+     */
+    double logicalMeshContention = 1.0;
+
+    /**
+     * True if SendRecv-based schedules (Wang, Cannon) may overlap with
+     * computation. On the paper's real cluster, XLA introduced
+     * dependencies that serialized most of Wang's SendRecvs
+     * (Sec 5.3.1); clearing this reproduces that compiler artifact.
+     */
+    bool allowSendRecvOverlap = true;
+
+    /**
+     * True if AG/RdS collectives may overlap with computation. Real
+     * TPUv4 clusters currently cannot (Sec 5.3); the simulator's default
+     * future-hardware mode can.
+     */
+    bool allowCollectiveOverlap = true;
+};
+
+/** The TPUv4-like configuration used throughout the evaluation. */
+inline ChipConfig
+tpuV4Config()
+{
+    return ChipConfig{};
+}
+
+} // namespace meshslice
+
+#endif // MESHSLICE_HW_CHIP_CONFIG_HPP_

@@ -1,0 +1,61 @@
+#include "hw/cluster.hpp"
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+Cluster::Cluster(const ChipConfig &cfg, int num_chips)
+    : cfg_(cfg), net_(sim_)
+{
+    if (num_chips <= 0)
+        panic("Cluster: need at least one chip");
+    chips_.reserve(static_cast<size_t>(num_chips));
+    for (int c = 0; c < num_chips; ++c) {
+        ChipResources res;
+        res.core = net_.addResource(strprintf("chip%d.core", c),
+                                    cfg_.peakFlops);
+        res.hbm = net_.addResource(strprintf("chip%d.hbm", c),
+                                   cfg_.hbmBandwidth);
+        chips_.push_back(res);
+    }
+}
+
+ResourceId
+Cluster::addLink(const std::string &name)
+{
+    return net_.addResource(name, cfg_.iciLinkBandwidth /
+                                      cfg_.logicalMeshContention);
+}
+
+void
+Cluster::runGemm(int chip, const GemmWork &work, std::function<void()> done)
+{
+    if (work.empty()) {
+        sim_.scheduleAfter(0.0, std::move(done));
+        return;
+    }
+    const Flops flops = gemmFlops(work);
+    issuedFlops_ += flops;
+
+    // Core demand: padding inefficiency consumes extra core-cycles per
+    // useful FLOP, so the solo rate is peak * efficiency.
+    const double core_demand = 1.0 / gemmPadEfficiency(cfg_, work);
+    // HBM demand: bytes per useful FLOP of the tiled schedule.
+    const double hbm_demand =
+        static_cast<double>(gemmHbmTraffic(cfg_, work)) / flops;
+
+    const Time begin = sim_.now();
+    const bool tracing = trace_.enabled();
+    auto cb = [this, chip, begin, tracing, done = std::move(done)] {
+        if (tracing)
+            trace_.record("gemm", "compute", chip, kLaneCompute, begin,
+                          sim_.now());
+        done();
+    };
+    net_.startFlow(flops,
+                   {Demand{coreOf(chip), core_demand},
+                    Demand{hbmOf(chip), hbm_demand}},
+                   std::move(cb));
+}
+
+} // namespace meshslice

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A simulated cluster of accelerator chips.
+ *
+ * Each chip contributes two shared resources to the fluid network: its
+ * compute core (capacity = peak FLOP/s) and its HBM (capacity = memory
+ * bandwidth). The NIC has no throughput limit of its own — per the
+ * paper's TPU model (Fig 8) it drives four independent ICI links and
+ * contends with the cores only through the shared HBM, which is exactly
+ * how transfers are modelled here: a link flow demands the link plus the
+ * source and destination HBMs.
+ */
+#ifndef MESHSLICE_HW_CLUSTER_HPP_
+#define MESHSLICE_HW_CLUSTER_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hw/chip_config.hpp"
+#include "hw/compute_model.hpp"
+#include "sim/fluid.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace meshslice {
+
+/** Trace lanes within one chip. */
+enum TraceLane : int
+{
+    kLaneCompute = 0,
+    kLaneHorizontalComm = 1,
+    kLaneVerticalComm = 2,
+};
+
+/**
+ * Owns the simulator, the fluid network and the per-chip resources.
+ * Topologies (torus/ring) add link resources on top via `addLink`.
+ */
+class Cluster
+{
+  public:
+    Cluster(const ChipConfig &cfg, int num_chips);
+
+    int numChips() const { return static_cast<int>(chips_.size()); }
+    const ChipConfig &config() const { return cfg_; }
+
+    Simulator &sim() { return sim_; }
+    FluidNetwork &net() { return net_; }
+    TraceRecorder &trace() { return trace_; }
+
+    ResourceId coreOf(int chip) const { return chips_.at(chip).core; }
+    ResourceId hbmOf(int chip) const { return chips_.at(chip).hbm; }
+
+    /** Register a directed link resource (used by topology builders). */
+    ResourceId addLink(const std::string &name);
+
+    /**
+     * Run a local GeMM on @p chip: a flow on the chip's core (demand
+     * scaled by the shape's padding inefficiency) and HBM (demand =
+     * bytes/FLOP of the tiled schedule). Calls @p done on completion.
+     */
+    void runGemm(int chip, const GemmWork &work, std::function<void()> done);
+
+    /** Total FLOPs issued through runGemm so far (for utilization). */
+    Flops issuedFlops() const { return issuedFlops_; }
+
+  private:
+    struct ChipResources
+    {
+        ResourceId core;
+        ResourceId hbm;
+    };
+
+    ChipConfig cfg_;
+    Simulator sim_;
+    FluidNetwork net_;
+    TraceRecorder trace_;
+    std::vector<ChipResources> chips_;
+    Flops issuedFlops_ = 0.0;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_HW_CLUSTER_HPP_

@@ -1,0 +1,111 @@
+#include "hw/compute_model.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace meshslice {
+
+Flops
+gemmFlops(const GemmWork &work)
+{
+    if (work.empty())
+        return 0.0;
+    return 2.0 * static_cast<double>(work.m) * static_cast<double>(work.k) *
+           static_cast<double>(work.n);
+}
+
+double
+gemmPadEfficiency(const ChipConfig &cfg, const GemmWork &work)
+{
+    if (work.empty())
+        return 1.0;
+    const double t = static_cast<double>(cfg.systolicDim);
+    auto dim_eff = [t](std::int64_t d) {
+        double dd = static_cast<double>(d);
+        return dd / (t * static_cast<double>(ceilDiv(d, (std::int64_t)t)));
+    };
+    return dim_eff(work.m) * dim_eff(work.k) * dim_eff(work.n);
+}
+
+namespace {
+
+/**
+ * Pick the output tile edge T (multiple of the systolic dim, at most
+ * 1024) and the K-panel depth so that a double-buffered pair of input
+ * panels fits in the scratchpad.
+ */
+struct Tiling
+{
+    std::int64_t tileEdge;
+    std::int64_t kPanel;
+};
+
+Tiling
+chooseTiling(const ChipConfig &cfg, const GemmWork &work)
+{
+    const std::int64_t unit = cfg.systolicDim;
+    const std::int64_t e = cfg.bytesPerElement;
+    const Bytes half = cfg.scratchpadBytes / 2; // double buffering
+
+    std::int64_t best_t = unit;
+    std::int64_t best_kp = std::min<std::int64_t>(work.k, unit);
+    for (std::int64_t t = 8 * unit; t >= unit; t -= unit) {
+        // Largest k-panel fitting two t-wide panels in half the pad.
+        std::int64_t kp = half / (2 * t * e);
+        kp = std::min(kp, work.k);
+        kp = std::max<std::int64_t>(kp, 1);
+        if (2 * t * kp * e <= half) {
+            best_t = t;
+            best_kp = kp;
+            break;
+        }
+    }
+    return Tiling{best_t, best_kp};
+}
+
+} // namespace
+
+Bytes
+gemmHbmTraffic(const ChipConfig &cfg, const GemmWork &work)
+{
+    if (work.empty())
+        return 0;
+    const Tiling tiling = chooseTiling(cfg, work);
+    const std::int64_t e = cfg.bytesPerElement;
+    const std::int64_t tiles_m = ceilDiv(work.m, tiling.tileEdge);
+    const std::int64_t tiles_n = ceilDiv(work.n, tiling.tileEdge);
+    const std::int64_t k_chunks = ceilDiv(work.k, tiling.kPanel);
+
+    // Each output tile streams an A panel and a B panel per K chunk.
+    Bytes input_bytes = (work.m * work.k * tiles_n // A panels
+                         + work.k * work.n * tiles_m) // B panels
+                        * e;
+    // The accumulator tile is read+written once per K chunk beyond the
+    // first write (we count a conservative read+write per chunk).
+    Bytes output_bytes = 2 * work.m * work.n * e * k_chunks;
+    return input_bytes + output_bytes;
+}
+
+Time
+gemmIdealTime(const ChipConfig &cfg, const GemmWork &work)
+{
+    if (work.empty())
+        return 0.0;
+    const double eff = gemmPadEfficiency(cfg, work);
+    const Time compute = gemmFlops(work) / (cfg.peakFlops * eff);
+    const Time memory =
+        static_cast<double>(gemmHbmTraffic(cfg, work)) / cfg.hbmBandwidth;
+    return std::max(compute, memory);
+}
+
+Rate
+gemmEffectiveFlops(const ChipConfig &cfg, const GemmWork &work)
+{
+    if (work.empty())
+        panic("gemmEffectiveFlops: empty GeMM");
+    return gemmFlops(work) / gemmIdealTime(cfg, work);
+}
+
+} // namespace meshslice

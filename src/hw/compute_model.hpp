@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tiled-GeMM compute model of one accelerator chip.
+ *
+ * Mirrors the paper's simulated TPU core (Sec 4.1): a GeMM request is
+ * broken into output tiles; each tile's input panels are prefetched from
+ * HBM into the scratchpad (software-pipelined with the multiplications).
+ * The model produces (a) the FLOP count, (b) the systolic-array efficiency
+ * lost to padding partial tiles — which is what makes fine-grain partial
+ * GeMMs slower, as observed in Sec 5.3.1 — and (c) the HBM traffic implied
+ * by the tiling, which drives NIC<->core memory contention in the fluid
+ * network.
+ */
+#ifndef MESHSLICE_HW_COMPUTE_MODEL_HPP_
+#define MESHSLICE_HW_COMPUTE_MODEL_HPP_
+
+#include <cstdint>
+
+#include "hw/chip_config.hpp"
+#include "util/units.hpp"
+
+namespace meshslice {
+
+/** Dimensions of one local (per-chip) GeMM: C[m,n] += A[m,k] * B[k,n]. */
+struct GemmWork
+{
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    std::int64_t n = 0;
+
+    bool empty() const { return m <= 0 || k <= 0 || n <= 0; }
+};
+
+/** FLOPs of a (multiply-add counted as 2) GeMM. */
+Flops gemmFlops(const GemmWork &work);
+
+/**
+ * Fraction of systolic-array throughput retained after padding every
+ * dimension to the array size. In (0, 1].
+ */
+double gemmPadEfficiency(const ChipConfig &cfg, const GemmWork &work);
+
+/**
+ * HBM bytes moved by the tiled GeMM (input panel streaming plus output
+ * accumulate read+write), given the scratchpad-constrained tile choice.
+ */
+Bytes gemmHbmTraffic(const ChipConfig &cfg, const GemmWork &work);
+
+/**
+ * Execution time of the GeMM on an otherwise idle chip: the larger of the
+ * padded compute time and the HBM streaming time (the prefetch pipeline
+ * overlaps the two).
+ */
+Time gemmIdealTime(const ChipConfig &cfg, const GemmWork &work);
+
+/**
+ * Effective sustained FLOP/s for this shape on an idle chip
+ * (gemmFlops / gemmIdealTime).
+ */
+Rate gemmEffectiveFlops(const ChipConfig &cfg, const GemmWork &work);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_HW_COMPUTE_MODEL_HPP_

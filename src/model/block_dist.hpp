@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A transformer block trained with 2D tensor parallelism: every FC
+ * GeMM (QKV, output projection, both FFN layers — forward and both
+ * backward computations) runs through the *functional MeshSlice*
+ * algorithm with the Table-1 Y-stationary dataflows, while attention,
+ * GeLU, residuals and layer norms run chip-locally on the shards,
+ * exactly as the paper prescribes (batch sharded over mesh rows,
+ * heads over mesh columns; Sec 3.2.1 "Sharding").
+ *
+ * Layer-norm statistics require a per-token reduction across the
+ * hidden dimension, which is sharded over the mesh columns; the
+ * implementation performs that small cross-row-ring reduction
+ * explicitly (the one place a non-FC operator communicates).
+ *
+ * The numerical outputs (activations and all weight gradients) must
+ * match the dense reference block bit-for-bit-ish — verified in
+ * tests/test_block_dist.cpp.
+ */
+#ifndef MESHSLICE_MODEL_BLOCK_DIST_HPP_
+#define MESHSLICE_MODEL_BLOCK_DIST_HPP_
+
+#include <vector>
+
+#include "gemm/dist_matrix.hpp"
+#include "gemm/ops.hpp"
+#include "model/block_ref.hpp"
+
+namespace meshslice {
+
+/** How the distributed block runs its MeshSlice GeMMs. */
+struct DistBlockConfig
+{
+    MeshShape mesh{1, 1};
+    int sliceCount = 1; ///< MeshSlice S for every FC GeMM
+    int block = 1;      ///< blocked-slicing B
+};
+
+/** Per-chip forward state kept for the backward pass. */
+struct DistBlockCache
+{
+    DistMatrix x, ln1, q, k, v, ctx, attnOut, h, ln2, f1, g;
+    std::vector<Matrix> probs;     ///< per chip, attention softmax rows
+    std::vector<RowStats> stats1;  ///< per mesh row
+    std::vector<RowStats> stats2;  ///< per mesh row
+};
+
+/**
+ * Distributed forward pass. @p x is sharded on cfg.mesh (batch over
+ * rows — mesh.rows must divide dims.batch; heads over columns —
+ * mesh.cols must divide dims.heads). Params are dense and scattered
+ * internally.
+ */
+DistMatrix distBlockForward(const BlockDims &dims,
+                            const DistBlockConfig &cfg, const DistMatrix &x,
+                            const BlockParams &params,
+                            DistBlockCache *cache);
+
+/**
+ * Distributed backward pass from the sharded upstream gradient @p dy;
+ * gradients are gathered to dense matrices for comparison against the
+ * reference.
+ */
+BlockGrads distBlockBackward(const BlockDims &dims,
+                             const DistBlockConfig &cfg,
+                             const BlockParams &params,
+                             const DistBlockCache &cache,
+                             const DistMatrix &dy);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_MODEL_BLOCK_DIST_HPP_

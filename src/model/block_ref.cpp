@@ -1,0 +1,191 @@
+#include "model/block_ref.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+BlockParams
+BlockParams::random(const BlockDims &dims, std::uint64_t seed)
+{
+    const std::int64_t h = dims.hidden();
+    // Scale down so activations stay O(1) through the GeMM chains.
+    auto scaled = [](Matrix m, double s) {
+        for (std::int64_t r = 0; r < m.rows(); ++r)
+            for (std::int64_t c = 0; c < m.cols(); ++c)
+                m.at(r, c) = static_cast<float>(m.at(r, c) * s);
+        return m;
+    };
+    const double ws = 1.0 / std::sqrt(static_cast<double>(h));
+    BlockParams p;
+    p.wq = scaled(Matrix::random(h, h, seed + 1), ws);
+    p.wk = scaled(Matrix::random(h, h, seed + 2), ws);
+    p.wv = scaled(Matrix::random(h, h, seed + 3), ws);
+    p.wo = scaled(Matrix::random(h, h, seed + 4), ws);
+    p.w1 = scaled(Matrix::random(h, dims.ffn, seed + 5), ws);
+    p.w2 = scaled(Matrix::random(dims.ffn, h, seed + 6),
+                  1.0 / std::sqrt(static_cast<double>(dims.ffn)));
+    return p;
+}
+
+namespace {
+
+/** View of one (sequence, head) tile of a (tokens x hidden) matrix. */
+Matrix
+headTile(const Matrix &m, std::int64_t s, std::int64_t h,
+         std::int64_t seq_len, std::int64_t head_dim)
+{
+    Matrix tile(seq_len, head_dim);
+    for (std::int64_t r = 0; r < seq_len; ++r)
+        for (std::int64_t c = 0; c < head_dim; ++c)
+            tile.at(r, c) = m.at(s * seq_len + r, h * head_dim + c);
+    return tile;
+}
+
+void
+addHeadTile(Matrix &m, const Matrix &tile, std::int64_t s, std::int64_t h,
+            std::int64_t seq_len, std::int64_t head_dim)
+{
+    for (std::int64_t r = 0; r < seq_len; ++r)
+        for (std::int64_t c = 0; c < head_dim; ++c)
+            m.at(s * seq_len + r, h * head_dim + c) += tile.at(r, c);
+}
+
+} // namespace
+
+Matrix
+attentionForward(std::int64_t seqs, std::int64_t seq_len,
+                 std::int64_t heads, std::int64_t head_dim,
+                 const Matrix &q, const Matrix &k, const Matrix &v,
+                 Matrix *probs_out)
+{
+    const float scale =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(head_dim)));
+    Matrix ctx(seqs * seq_len, heads * head_dim);
+    Matrix probs(seqs * heads * seq_len, seq_len);
+    for (std::int64_t s = 0; s < seqs; ++s) {
+        for (std::int64_t h = 0; h < heads; ++h) {
+            Matrix qt = headTile(q, s, h, seq_len, head_dim);
+            Matrix kt = headTile(k, s, h, seq_len, head_dim);
+            Matrix vt = headTile(v, s, h, seq_len, head_dim);
+            Matrix scores = Matrix::gemm(qt, kt.transpose());
+            for (std::int64_t r = 0; r < seq_len; ++r)
+                for (std::int64_t c = 0; c < seq_len; ++c)
+                    scores.at(r, c) *= scale;
+            Matrix p = softmaxRows(scores);
+            Matrix out = Matrix::gemm(p, vt);
+            addHeadTile(ctx, out, s, h, seq_len, head_dim);
+            // Stash p row-block for backward.
+            const std::int64_t base = (s * heads + h) * seq_len;
+            for (std::int64_t r = 0; r < seq_len; ++r)
+                for (std::int64_t c = 0; c < seq_len; ++c)
+                    probs.at(base + r, c) = p.at(r, c);
+        }
+    }
+    if (probs_out)
+        *probs_out = std::move(probs);
+    return ctx;
+}
+
+void
+attentionBackward(std::int64_t seqs, std::int64_t seq_len,
+                  std::int64_t heads, std::int64_t head_dim,
+                  const Matrix &q, const Matrix &k, const Matrix &v,
+                  const Matrix &probs, const Matrix &dctx, Matrix *dq,
+                  Matrix *dk, Matrix *dv)
+{
+    const float scale =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(head_dim)));
+    *dq = Matrix(q.rows(), q.cols());
+    *dk = Matrix(k.rows(), k.cols());
+    *dv = Matrix(v.rows(), v.cols());
+    for (std::int64_t s = 0; s < seqs; ++s) {
+        for (std::int64_t h = 0; h < heads; ++h) {
+            Matrix qt = headTile(q, s, h, seq_len, head_dim);
+            Matrix kt = headTile(k, s, h, seq_len, head_dim);
+            Matrix vt = headTile(v, s, h, seq_len, head_dim);
+            Matrix dct = headTile(dctx, s, h, seq_len, head_dim);
+            Matrix p(seq_len, seq_len);
+            const std::int64_t base = (s * heads + h) * seq_len;
+            for (std::int64_t r = 0; r < seq_len; ++r)
+                for (std::int64_t c = 0; c < seq_len; ++c)
+                    p.at(r, c) = probs.at(base + r, c);
+
+            // dv = p^T dctx; dp = dctx v^T; dscores = softmax'(p, dp).
+            Matrix dvt = Matrix::gemm(p.transpose(), dct);
+            Matrix dp = Matrix::gemm(dct, vt.transpose());
+            Matrix ds = softmaxRowsBackward(p, dp);
+            for (std::int64_t r = 0; r < seq_len; ++r)
+                for (std::int64_t c = 0; c < seq_len; ++c)
+                    ds.at(r, c) *= scale;
+            Matrix dqt = Matrix::gemm(ds, kt);
+            Matrix dkt = Matrix::gemm(ds.transpose(), qt);
+            addHeadTile(*dq, dqt, s, h, seq_len, head_dim);
+            addHeadTile(*dk, dkt, s, h, seq_len, head_dim);
+            addHeadTile(*dv, dvt, s, h, seq_len, head_dim);
+        }
+    }
+}
+
+Matrix
+refBlockForward(const BlockDims &dims, const Matrix &x,
+                const BlockParams &params, RefBlockCache *cache)
+{
+    if (x.rows() != dims.tokens() || x.cols() != dims.hidden())
+        panic("refBlockForward: x must be tokens x hidden");
+    RefBlockCache local;
+    RefBlockCache &cc = cache ? *cache : local;
+    cc.x = x;
+    cc.ln1 = layerNormForward(x, &cc.stats1);
+    cc.q = Matrix::gemm(cc.ln1, params.wq);
+    cc.k = Matrix::gemm(cc.ln1, params.wk);
+    cc.v = Matrix::gemm(cc.ln1, params.wv);
+    cc.ctx = attentionForward(dims.batch, dims.seq, dims.heads,
+                              dims.headDim, cc.q, cc.k, cc.v, &cc.probs);
+    cc.attnOut = Matrix::gemm(cc.ctx, params.wo);
+    cc.h = x;
+    cc.h.add(cc.attnOut);
+    cc.ln2 = layerNormForward(cc.h, &cc.stats2);
+    cc.f1 = Matrix::gemm(cc.ln2, params.w1);
+    cc.g = geluForward(cc.f1);
+    Matrix y = cc.h;
+    y.add(Matrix::gemm(cc.g, params.w2));
+    return y;
+}
+
+BlockGrads
+refBlockBackward(const BlockDims &dims, const BlockParams &params,
+                 const RefBlockCache &cache, const Matrix &dy)
+{
+    BlockGrads grads;
+
+    // FFN: y = h + GeLU(ln2 W1) W2.
+    grads.dw2 = Matrix::gemm(cache.g.transpose(), dy);
+    Matrix dg = Matrix::gemm(dy, params.w2.transpose());
+    Matrix df1 = geluBackward(cache.f1, dg);
+    grads.dw1 = Matrix::gemm(cache.ln2.transpose(), df1);
+    Matrix dln2 = Matrix::gemm(df1, params.w1.transpose());
+    Matrix dh = dy;
+    dh.add(layerNormBackwardFull(cache.h, cache.stats2, dln2));
+
+    // Attention: h = x + MHA(ln1) Wo.
+    grads.dwo = Matrix::gemm(cache.ctx.transpose(), dh);
+    Matrix dctx = Matrix::gemm(dh, params.wo.transpose());
+    Matrix dq, dk, dv;
+    attentionBackward(dims.batch, dims.seq, dims.heads, dims.headDim,
+                      cache.q, cache.k, cache.v, cache.probs, dctx, &dq,
+                      &dk, &dv);
+    grads.dwq = Matrix::gemm(cache.ln1.transpose(), dq);
+    grads.dwk = Matrix::gemm(cache.ln1.transpose(), dk);
+    grads.dwv = Matrix::gemm(cache.ln1.transpose(), dv);
+    Matrix dln1 = Matrix::gemm(dq, params.wq.transpose());
+    dln1.add(Matrix::gemm(dk, params.wk.transpose()));
+    dln1.add(Matrix::gemm(dv, params.wv.transpose()));
+
+    grads.dx = dh;
+    grads.dx.add(layerNormBackwardFull(cache.x, cache.stats1, dln1));
+    return grads;
+}
+
+} // namespace meshslice

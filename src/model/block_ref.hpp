@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A dense (single-chip) reference transformer block: pre-LayerNorm
+ * multi-head self-attention plus a GeLU feed-forward network, with a
+ * full analytical backward pass. Serves as the ground truth for the
+ * distributed (MeshSlice-based) block in model/block_dist — the same
+ * role the paper's single-TPU runs play for its cluster results.
+ *
+ * Structure (non-affine layer norms, no dropout):
+ *   ln1 = LN(x); q,k,v = ln1 Wq|Wk|Wv; ctx = MHA(q,k,v)
+ *   h = x + ctx Wo
+ *   ln2 = LN(h); y = h + GeLU(ln2 W1) W2
+ */
+#ifndef MESHSLICE_MODEL_BLOCK_REF_HPP_
+#define MESHSLICE_MODEL_BLOCK_REF_HPP_
+
+#include "gemm/matrix.hpp"
+#include "gemm/ops.hpp"
+
+namespace meshslice {
+
+/** Shape of a (small, testable) transformer block instance. */
+struct BlockDims
+{
+    std::int64_t batch = 0;   ///< sequences
+    std::int64_t seq = 0;     ///< tokens per sequence
+    std::int64_t heads = 0;
+    std::int64_t headDim = 0;
+    std::int64_t ffn = 0;
+
+    std::int64_t tokens() const { return batch * seq; }
+    std::int64_t hidden() const { return heads * headDim; }
+};
+
+/** The block's six weight matrices. */
+struct BlockParams
+{
+    Matrix wq, wk, wv; ///< hidden x hidden
+    Matrix wo;         ///< hidden x hidden
+    Matrix w1;         ///< hidden x ffn
+    Matrix w2;         ///< ffn x hidden
+
+    static BlockParams random(const BlockDims &dims, std::uint64_t seed);
+};
+
+/** Gradients produced by the backward pass. */
+struct BlockGrads
+{
+    Matrix dwq, dwk, dwv, dwo, dw1, dw2;
+    Matrix dx;
+};
+
+/** Forward activations cached for the backward pass. */
+struct RefBlockCache
+{
+    Matrix x, ln1, q, k, v, probs, ctx, attnOut, h, ln2, f1, g;
+    RowStats stats1, stats2;
+};
+
+/**
+ * Multi-head attention on (tokens x hidden) q/k/v where tokens are
+ * sequence-major and hidden is head-major: per (sequence, head),
+ * softmax(q k^T / sqrt(d)) v. Returns the context and, if requested,
+ * the concatenated per-(seq, head) softmax outputs (batch*heads*S rows
+ * of S columns) for the backward pass.
+ */
+Matrix attentionForward(std::int64_t seqs, std::int64_t seq_len,
+                        std::int64_t heads, std::int64_t head_dim,
+                        const Matrix &q, const Matrix &k, const Matrix &v,
+                        Matrix *probs_out);
+
+/** Backward of `attentionForward`; fills dq/dk/dv. */
+void attentionBackward(std::int64_t seqs, std::int64_t seq_len,
+                       std::int64_t heads, std::int64_t head_dim,
+                       const Matrix &q, const Matrix &k, const Matrix &v,
+                       const Matrix &probs, const Matrix &dctx, Matrix *dq,
+                       Matrix *dk, Matrix *dv);
+
+/** Full block forward; caches everything needed for backward. */
+Matrix refBlockForward(const BlockDims &dims, const Matrix &x,
+                       const BlockParams &params, RefBlockCache *cache);
+
+/** Full block backward from the upstream gradient @p dy. */
+BlockGrads refBlockBackward(const BlockDims &dims,
+                            const BlockParams &params,
+                            const RefBlockCache &cache, const Matrix &dy);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_MODEL_BLOCK_REF_HPP_

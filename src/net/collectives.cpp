@@ -1,0 +1,402 @@
+#include "net/collectives.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/join.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+CommStats &
+CommStats::operator+=(const CommStats &other)
+{
+    launch += other.launch;
+    transfer += other.transfer;
+    sync += other.sync;
+    total += other.total;
+    syncCount += other.syncCount;
+    bytesPerLink += other.bytesPerLink;
+    return *this;
+}
+
+CommStats &
+CommStats::mergeParallel(const CommStats &other)
+{
+    launch = std::max(launch, other.launch);
+    transfer = std::max(transfer, other.transfer);
+    sync = std::max(sync, other.sync);
+    total = std::max(total, other.total);
+    syncCount = std::max(syncCount, other.syncCount);
+    bytesPerLink = std::max(bytesPerLink, other.bytesPerLink);
+    return *this;
+}
+
+int
+collectiveStepCount(const ChipConfig &cfg, int ring_size)
+{
+    if (ring_size <= 1)
+        return 0;
+    const int steps = ring_size - 1;
+    return cfg.bidirectionalIci ? (steps + 1) / 2 : steps;
+}
+
+namespace {
+
+/** Completes `done` immediately (next event batch) with empty stats. */
+void
+completeEmpty(Cluster &cluster, CommDone done)
+{
+    cluster.sim().scheduleAfter(0.0, [done = std::move(done)] {
+        done(CommStats{});
+    });
+}
+
+/**
+ * Shared machinery: runs a number of direction chains concurrently,
+ * each a sequence of synchronized steps, after a single launch delay;
+ * reports assembled stats and self-deletes.
+ */
+class RingOpBase
+{
+  public:
+    RingOpBase(Cluster &cluster, const Ring &ring, int lane,
+               const char *name, CommDone done)
+        : cluster_(cluster), ring_(ring), lane_(lane), name_(name),
+          done_(std::move(done)), begin_(cluster.sim().now())
+    {
+    }
+
+    virtual ~RingOpBase() = default;
+
+  protected:
+    /** Start @p chains concurrent step chains after the launch delay. */
+    void
+    launch(int chains)
+    {
+        activeChains_ = chains;
+        stats_.launch = cluster_.config().launchOverhead;
+        cluster_.sim().scheduleAfter(stats_.launch, [this] {
+            const int chains = activeChains_;
+            for (int chain = 0; chain < chains; ++chain)
+                startStep(chain, 0);
+        });
+    }
+
+    /** Subclass: begin step @p step of @p chain; call stepFlows(). */
+    virtual void startStep(int chain, int step) = 0;
+
+    /** Subclass: number of steps in @p chain. */
+    virtual int stepCount(int chain) const = 0;
+
+    /**
+     * Create the join for @p flow_count flows of (chain, step); when all
+     * signalled, wait the sync latency and move to the next step of the
+     * chain, or finish once every chain has drained.
+     */
+    Join *
+    stepJoin(int chain, int step, int flow_count)
+    {
+        if (flow_count <= 0) {
+            panic("RingOpBase: step with no flows");
+        }
+        return Join::create(flow_count, [this, chain, step] {
+            const Time sync = cluster_.config().syncLatency;
+            cluster_.sim().scheduleAfter(sync, [this, chain, step] {
+                if (step + 1 < stepCount(chain)) {
+                    startStep(chain, step + 1);
+                } else if (--activeChains_ == 0) {
+                    finish();
+                }
+            });
+        });
+    }
+
+    /** Transfer one block over `ring.fwd/bwd[pos]` with HBM demands. */
+    void
+    transfer(int pos, bool forward, Bytes bytes, double dst_hbm_demand,
+             Join *join)
+    {
+        const int size = ring_.size();
+        const int src = ring_.chips[static_cast<size_t>(pos)];
+        const int nxt = forward ? (pos + 1) % size : (pos - 1 + size) % size;
+        const int dst = ring_.chips[static_cast<size_t>(nxt)];
+        const ResourceId link =
+            forward ? ring_.fwd[static_cast<size_t>(pos)]
+                    : ring_.bwd[static_cast<size_t>(pos)];
+        cluster_.net().startFlow(
+            static_cast<double>(bytes),
+            {Demand{link, 1.0}, Demand{cluster_.hbmOf(src), 1.0},
+             Demand{cluster_.hbmOf(dst), dst_hbm_demand}},
+            [join] { join->signal(); });
+    }
+
+    void
+    finish()
+    {
+        stats_.total = cluster_.sim().now() - begin_;
+        stats_.sync = cluster_.config().syncLatency * stats_.syncCount;
+        stats_.transfer = stats_.total - stats_.launch - stats_.sync;
+        if (stats_.transfer < 0.0)
+            stats_.transfer = 0.0;
+        if (cluster_.trace().enabled()) {
+            for (int chip : ring_.chips)
+                cluster_.trace().record(name_, "comm", chip, lane_, begin_,
+                                        cluster_.sim().now());
+        }
+        CommDone done = std::move(done_);
+        CommStats stats = stats_;
+        delete this;
+        done(stats);
+    }
+
+    Cluster &cluster_;
+    const Ring ring_; // copy: caller's Ring may be a temporary
+    int lane_;
+    const char *name_;
+    CommDone done_;
+    Time begin_;
+    CommStats stats_;
+    int activeChains_ = 0;
+};
+
+/**
+ * AG / RdS: all chips transfer a full sub-shard per step. One chain
+ * (unidirectional) or two counter-rotating chains (bidirectional).
+ */
+class ShardCollectiveOp : public RingOpBase
+{
+  public:
+    ShardCollectiveOp(Cluster &cluster, const Ring &ring, Bytes shard,
+                      double dst_hbm_demand, int lane, const char *name,
+                      CommDone done)
+        : RingOpBase(cluster, ring, lane, name, std::move(done)),
+          shard_(shard), dstHbmDemand_(dst_hbm_demand)
+    {
+        const int total_steps = ring.size() - 1;
+        if (cluster.config().bidirectionalIci) {
+            stepsPerChain_[0] = (total_steps + 1) / 2;
+            stepsPerChain_[1] = total_steps / 2;
+        } else {
+            stepsPerChain_[0] = total_steps;
+            stepsPerChain_[1] = 0;
+        }
+        stats_.syncCount = stepsPerChain_[0];
+        stats_.bytesPerLink = shard_ * stepsPerChain_[0];
+        launch(stepsPerChain_[1] > 0 ? 2 : 1);
+    }
+
+  protected:
+    int
+    stepCount(int chain) const override
+    {
+        return stepsPerChain_[chain];
+    }
+
+    void
+    startStep(int chain, int step) override
+    {
+        const bool forward = (chain == 0);
+        Join *join = stepJoin(chain, step, ring_.size());
+        for (int pos = 0; pos < ring_.size(); ++pos)
+            transfer(pos, forward, shard_, dstHbmDemand_, join);
+    }
+
+  private:
+    Bytes shard_;
+    double dstHbmDemand_;
+    int stepsPerChain_[2] = {0, 0};
+};
+
+/**
+ * SUMMA bcast/reduce: D packets streamed over the hops of one or two
+ * chains rooted at `root_pos`, one pipeline stage per synchronized
+ * step. Stage t of a chain carries packet p over hop h = t - p. With
+ * bidirectional ICI the root streams all packets down both arcs of the
+ * ring (ceil/floor((P-1)/2) hops each), halving the chain depth.
+ */
+class PipelinedChainOp : public RingOpBase
+{
+  public:
+    PipelinedChainOp(Cluster &cluster, const Ring &ring, int root_pos,
+                     Bytes total_bytes, int packets, double dst_hbm_demand,
+                     int lane, const char *name, CommDone done)
+        : RingOpBase(cluster, ring, lane, name, std::move(done)),
+          rootPos_(root_pos), dstHbmDemand_(dst_hbm_demand)
+    {
+        packets_ = std::max(1, packets);
+        packetBytes_ = std::max<Bytes>(1, total_bytes / packets_);
+        const int total_hops = ring.size() - 1;
+        if (cluster.config().bidirectionalIci && total_hops > 1) {
+            hops_[0] = (total_hops + 1) / 2;
+            hops_[1] = total_hops / 2;
+        } else {
+            hops_[0] = total_hops;
+            hops_[1] = 0;
+        }
+        stats_.syncCount = hops_[0] + packets_ - 1;
+        stats_.bytesPerLink = packetBytes_ * packets_;
+        launch(hops_[1] > 0 ? 2 : 1);
+    }
+
+  protected:
+    int
+    stepCount(int chain) const override
+    {
+        return hops_[chain] + packets_ - 1;
+    }
+
+    void
+    startStep(int chain, int stage) override
+    {
+        const int hops = hops_[chain];
+        const bool forward = (chain == 0);
+        // Active packet-hops in this stage.
+        const int p_lo = std::max(0, stage - (hops - 1));
+        const int p_hi = std::min(packets_ - 1, stage);
+        const int count = p_hi - p_lo + 1;
+        Join *join = stepJoin(chain, stage, count);
+        const int size = ring_.size();
+        for (int p = p_lo; p <= p_hi; ++p) {
+            const int hop = stage - p;
+            const int pos = forward
+                                ? (rootPos_ + hop) % size
+                                : (rootPos_ - hop + 2 * size) % size;
+            transfer(pos, forward, packetBytes_, dstHbmDemand_, join);
+        }
+    }
+
+  private:
+    int rootPos_;
+    double dstHbmDemand_;
+    int packets_ = 1;
+    Bytes packetBytes_ = 0;
+    int hops_[2] = {0, 0};
+};
+
+/** One synchronized rotation of all chips' blocks. */
+class ShiftOp : public RingOpBase
+{
+  public:
+    ShiftOp(Cluster &cluster, const Ring &ring, Bytes block, bool forward,
+            int lane, CommDone done)
+        : RingOpBase(cluster, ring, lane, forward ? "shift+" : "shift-",
+                     std::move(done)),
+          block_(block), forward_(forward)
+    {
+        stats_.syncCount = 1;
+        stats_.bytesPerLink = block;
+        launch(1);
+    }
+
+  protected:
+    int
+    stepCount(int) const override
+    {
+        return 1;
+    }
+
+    void
+    startStep(int chain, int step) override
+    {
+        Join *join = stepJoin(chain, step, ring_.size());
+        for (int pos = 0; pos < ring_.size(); ++pos)
+            transfer(pos, forward_, block_, 1.0, join);
+    }
+
+  private:
+    Bytes block_;
+    bool forward_;
+};
+
+} // namespace
+
+void
+ringAllGather(Cluster &cluster, const Ring &ring, Bytes shard_bytes,
+              int lane, CommDone done)
+{
+    if (ring.size() <= 1 || shard_bytes <= 0) {
+        completeEmpty(cluster, std::move(done));
+        return;
+    }
+    new ShardCollectiveOp(cluster, ring, shard_bytes, 1.0, lane,
+                          "allgather", std::move(done));
+}
+
+void
+ringReduceScatter(Cluster &cluster, const Ring &ring, Bytes shard_bytes,
+                  int lane, CommDone done)
+{
+    if (ring.size() <= 1 || shard_bytes <= 0) {
+        completeEmpty(cluster, std::move(done));
+        return;
+    }
+    // Accumulation at the destination reads the partial sum back, hence
+    // the doubled destination-HBM demand.
+    new ShardCollectiveOp(cluster, ring, shard_bytes, 2.0, lane,
+                          "reducescatter", std::move(done));
+}
+
+void
+ringBroadcast(Cluster &cluster, const Ring &ring, int root_pos,
+              Bytes total_bytes, int packets, int lane, CommDone done)
+{
+    if (ring.size() <= 1 || total_bytes <= 0) {
+        completeEmpty(cluster, std::move(done));
+        return;
+    }
+    new PipelinedChainOp(cluster, ring, root_pos, total_bytes, packets,
+                         1.0, lane, "broadcast", std::move(done));
+}
+
+void
+ringReduce(Cluster &cluster, const Ring &ring, int root_pos,
+           Bytes total_bytes, int packets, int lane, CommDone done)
+{
+    if (ring.size() <= 1 || total_bytes <= 0) {
+        completeEmpty(cluster, std::move(done));
+        return;
+    }
+    new PipelinedChainOp(cluster, ring, root_pos, total_bytes, packets,
+                         2.0, lane, "reduce", std::move(done));
+}
+
+void
+ringAllReduce(Cluster &cluster, const Ring &ring, Bytes total_bytes,
+              int lane, CommDone done)
+{
+    if (ring.size() <= 1 || total_bytes <= 0) {
+        completeEmpty(cluster, std::move(done));
+        return;
+    }
+    const Bytes shard = total_bytes / ring.size();
+    // Ring copy keeps the AllGather phase valid even if the caller's
+    // Ring was a temporary.
+    Ring ring_copy = ring;
+    ringReduceScatter(
+        cluster, ring_copy, shard, lane,
+        [&cluster, ring_copy, shard, lane,
+         done = std::move(done)](const CommStats &rds) mutable {
+            ringAllGather(cluster, ring_copy, shard, lane,
+                          [rds, done = std::move(done)](
+                              const CommStats &ag) {
+                              CommStats both = rds;
+                              both += ag;
+                              done(both);
+                          });
+        });
+}
+
+void
+ringShift(Cluster &cluster, const Ring &ring, Bytes block_bytes,
+          bool forward, int lane, CommDone done)
+{
+    if (ring.size() <= 1 || block_bytes <= 0) {
+        completeEmpty(cluster, std::move(done));
+        return;
+    }
+    new ShiftOp(cluster, ring, block_bytes, forward, lane, std::move(done));
+}
+
+} // namespace meshslice

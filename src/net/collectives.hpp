@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Collective communication operations on ring channels.
+ *
+ * Implements the communication primitives of Sections 2.3 and 3.1:
+ *
+ *  - `ringAllGather` / `ringReduceScatter`: the efficient AG/RdS
+ *    collectives (Fig 3, right). P-1 synchronized steps; each step every
+ *    chip forwards one shard to its neighbour. With bidirectional ICI the
+ *    payload is split over two counter-rotating rings (ceil/floor of the
+ *    P-1 steps each), which is how TPU collectives use both directions.
+ *  - `ringBroadcast` / `ringReduce`: SUMMA's fine-grain primitives
+ *    (Fig 3, left). The payload is split into D packets streamed over the
+ *    P-1 hops of the ring in P+D-2 pipeline stages, with a
+ *    synchronization per stage — the source of SUMMA's O(P^2) overhead.
+ *  - `ringShift`: one SendRecv rotation step (Cannon / Wang building
+ *    block).
+ *
+ * Every operation reports a `CommStats` breakdown into launch, transfer
+ * and synchronization time — the decomposition plotted in Figure 10.
+ */
+#ifndef MESHSLICE_NET_COLLECTIVES_HPP_
+#define MESHSLICE_NET_COLLECTIVES_HPP_
+
+#include <functional>
+
+#include "hw/cluster.hpp"
+#include "net/topology.hpp"
+
+namespace meshslice {
+
+/** Cost breakdown of one (or an accumulation of) communication op(s). */
+struct CommStats
+{
+    Time launch = 0.0;   ///< host launch overhead
+    Time transfer = 0.0; ///< time spent moving bytes (incl. contention)
+    Time sync = 0.0;     ///< per-step synchronization latency
+    Time total = 0.0;    ///< wall-clock duration of the op(s)
+    int syncCount = 0;   ///< number of synchronizations
+    Bytes bytesPerLink = 0; ///< bytes pushed through the busiest link
+
+    CommStats &operator+=(const CommStats &other);
+    /** Merge a concurrent op: component-wise max of times. */
+    CommStats &mergeParallel(const CommStats &other);
+};
+
+using CommDone = std::function<void(const CommStats &)>;
+
+/**
+ * AllGather on @p ring: every chip contributes @p shard_bytes and ends
+ * with all P shards. Completion (with stats) via @p done.
+ * @p lane is the trace lane (kLaneHorizontalComm / kLaneVerticalComm).
+ */
+void ringAllGather(Cluster &cluster, const Ring &ring, Bytes shard_bytes,
+                   int lane, CommDone done);
+
+/**
+ * ReduceScatter on @p ring: every chip contributes a @p shard_bytes * P
+ * partial buffer and ends with one reduced shard of @p shard_bytes.
+ * Identical communication pattern (and cost) to AllGather, plus the
+ * accumulation's extra HBM read at each step's destination.
+ */
+void ringReduceScatter(Cluster &cluster, const Ring &ring,
+                       Bytes shard_bytes, int lane, CommDone done);
+
+/**
+ * SUMMA-style pipelined broadcast of @p total_bytes from ring position
+ * @p root_pos to all ring members, streamed as @p packets packets.
+ */
+void ringBroadcast(Cluster &cluster, const Ring &ring, int root_pos,
+                   Bytes total_bytes, int packets, int lane, CommDone done);
+
+/** SUMMA-style pipelined reduce (cost-symmetric to ringBroadcast). */
+void ringReduce(Cluster &cluster, const Ring &ring, int root_pos,
+                Bytes total_bytes, int packets, int lane, CommDone done);
+
+/**
+ * AllReduce on @p ring (the DP gradient primitive): every chip
+ * contributes a @p total_bytes partial buffer and receives the full
+ * sum. Implemented as ReduceScatter followed by AllGather of
+ * total_bytes / P shards; stats cover both phases.
+ */
+void ringAllReduce(Cluster &cluster, const Ring &ring, Bytes total_bytes,
+                   int lane, CommDone done);
+
+/**
+ * One synchronized SendRecv rotation: every chip sends @p block_bytes
+ * one hop (@p forward picks the direction).
+ */
+void ringShift(Cluster &cluster, const Ring &ring, Bytes block_bytes,
+               bool forward, int lane, CommDone done);
+
+/**
+ * Number of synchronized steps an AG/RdS performs on a P-ring under the
+ * given config (accounts for the bidirectional split). Exposed for the
+ * analytical cost model's calibration tests.
+ */
+int collectiveStepCount(const ChipConfig &cfg, int ring_size);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_NET_COLLECTIVES_HPP_

@@ -1,0 +1,54 @@
+#include "net/topology.hpp"
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+TorusMesh::TorusMesh(Cluster &cluster, int rows, int cols, int chip_base)
+    : cluster_(cluster), rows_(rows), cols_(cols), chipBase_(chip_base)
+{
+    if (rows <= 0 || cols <= 0)
+        panic("TorusMesh: invalid shape %dx%d", rows, cols);
+    if (chip_base < 0 || chip_base + rows * cols > cluster.numChips())
+        panic("TorusMesh: %dx%d at base %d exceeds %d chips", rows, cols,
+              chip_base, cluster.numChips());
+
+    rowRings_.resize(static_cast<size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+        Ring &ring = rowRings_[static_cast<size_t>(r)];
+        for (int c = 0; c < cols; ++c)
+            ring.chips.push_back(chipAt(r, c));
+        for (int c = 0; c < cols; ++c) {
+            ring.fwd.push_back(cluster.addLink(
+                strprintf("link.E.b%d.r%d.c%d", chip_base, r, c)));
+            ring.bwd.push_back(cluster.addLink(
+                strprintf("link.W.b%d.r%d.c%d", chip_base, r, c)));
+        }
+    }
+
+    colRings_.resize(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+        Ring &ring = colRings_[static_cast<size_t>(c)];
+        for (int r = 0; r < rows; ++r)
+            ring.chips.push_back(chipAt(r, c));
+        for (int r = 0; r < rows; ++r) {
+            ring.fwd.push_back(cluster.addLink(
+                strprintf("link.S.b%d.r%d.c%d", chip_base, r, c)));
+            ring.bwd.push_back(cluster.addLink(
+                strprintf("link.N.b%d.r%d.c%d", chip_base, r, c)));
+        }
+    }
+}
+
+RingNetwork::RingNetwork(Cluster &cluster) : cluster_(cluster)
+{
+    const int n = cluster.numChips();
+    for (int i = 0; i < n; ++i)
+        ring_.chips.push_back(i);
+    for (int i = 0; i < n; ++i) {
+        ring_.fwd.push_back(cluster.addLink(strprintf("link.CW.%d", i)));
+        ring_.bwd.push_back(cluster.addLink(strprintf("link.CCW.%d", i)));
+    }
+}
+
+} // namespace meshslice

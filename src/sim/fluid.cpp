@@ -1,0 +1,267 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+/// Relative tolerance for "resource is oversubscribed" checks.
+constexpr double kOverloadEps = 1e-9;
+
+} // namespace
+
+ResourceId
+FluidNetwork::addResource(std::string name, double capacity)
+{
+    if (capacity <= 0.0)
+        panic("FluidNetwork: resource '%s' needs positive capacity",
+              name.c_str());
+    Resource res;
+    res.name = std::move(name);
+    res.capacity = capacity;
+    res.lastUpdate = sim_.now();
+    resources_.push_back(std::move(res));
+    return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void
+FluidNetwork::setCapacity(ResourceId id, double capacity)
+{
+    if (capacity <= 0.0)
+        panic("FluidNetwork: capacity must be positive");
+    resources_.at(static_cast<size_t>(id)).capacity = capacity;
+    markDirty();
+}
+
+double
+FluidNetwork::capacity(ResourceId id) const
+{
+    return resources_.at(static_cast<size_t>(id)).capacity;
+}
+
+FlowId
+FluidNetwork::startFlow(double size, std::vector<Demand> demands,
+                        std::function<void()> on_complete)
+{
+    if (size < 0.0)
+        panic("FluidNetwork: negative flow size %g", size);
+    if (size == 0.0) {
+        // Zero-size work completes after the current event batch.
+        sim_.scheduleAfter(0.0, std::move(on_complete));
+        return 0;
+    }
+    if (demands.empty())
+        panic("FluidNetwork: flow needs at least one demand");
+    for (const auto &d : demands) {
+        if (d.resource < 0 ||
+            static_cast<size_t>(d.resource) >= resources_.size())
+            panic("FluidNetwork: bad resource id %d", d.resource);
+        if (d.perUnit <= 0.0)
+            panic("FluidNetwork: demand coefficients must be positive");
+    }
+
+    FlowId id = nextFlowId_++;
+    Flow flow;
+    flow.remaining = size;
+    flow.rate = 0.0;
+    flow.lastUpdate = sim_.now();
+    flow.demands = std::move(demands);
+    flow.onComplete = std::move(on_complete);
+    for (const auto &d : flow.demands)
+        resources_[static_cast<size_t>(d.resource)].activeFlows++;
+    flows_.emplace(id, std::move(flow));
+    markDirty();
+    return id;
+}
+
+ResourceStats
+FluidNetwork::resourceStats(ResourceId id) const
+{
+    const Resource &res = resources_.at(static_cast<size_t>(id));
+    ResourceStats stats;
+    stats.name = res.name;
+    stats.capacity = res.capacity;
+    double dt = sim_.now() - res.lastUpdate;
+    stats.totalConsumed = res.totalConsumed + res.load * dt;
+    stats.busyTime = res.busyTime + res.load / res.capacity * dt;
+    stats.activeFlows = res.activeFlows;
+    return stats;
+}
+
+double
+FluidNetwork::flowRate(FlowId id) const
+{
+    auto it = flows_.find(id);
+    return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void
+FluidNetwork::markDirty()
+{
+    if (dirty_)
+        return;
+    dirty_ = true;
+    sim_.scheduleAfter(0.0, [this] { recompute(); });
+}
+
+void
+FluidNetwork::advanceFlow(Flow &flow)
+{
+    double dt = sim_.now() - flow.lastUpdate;
+    if (dt > 0.0) {
+        flow.remaining -= flow.rate * dt;
+        if (flow.remaining < 0.0)
+            flow.remaining = 0.0;
+    }
+    flow.lastUpdate = sim_.now();
+}
+
+void
+FluidNetwork::advanceResourceAccounting()
+{
+    for (Resource &res : resources_) {
+        double dt = sim_.now() - res.lastUpdate;
+        if (dt > 0.0) {
+            res.totalConsumed += res.load * dt;
+            res.busyTime += res.load / res.capacity * dt;
+        }
+        res.lastUpdate = sim_.now();
+    }
+}
+
+void
+FluidNetwork::finishFlow(FlowId id)
+{
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return; // cancelled completion that raced with a reschedule
+    advanceResourceAccounting();
+    advanceFlow(it->second);
+    std::function<void()> cb = std::move(it->second.onComplete);
+    for (const auto &d : it->second.demands)
+        resources_[static_cast<size_t>(d.resource)].activeFlows--;
+    flows_.erase(it);
+    markDirty();
+    if (cb)
+        cb();
+}
+
+void
+FluidNetwork::recompute()
+{
+    dirty_ = false;
+    advanceResourceAccounting();
+
+    // Gather active flows into a dense working set.
+    std::vector<FlowId> ids;
+    ids.reserve(flows_.size());
+    for (auto &entry : flows_) {
+        advanceFlow(entry.second);
+        ids.push_back(entry.first);
+    }
+
+    // Solo rates: each flow limited by every resource's full capacity.
+    std::vector<double> rate(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const Flow &flow = flows_[ids[i]];
+        double r = 1e300;
+        for (const auto &d : flow.demands) {
+            double cap = resources_[static_cast<size_t>(d.resource)].capacity;
+            r = std::min(r, cap / d.perUnit);
+        }
+        rate[i] = r;
+    }
+
+    // Per-resource membership: (flow index, demand coefficient).
+    std::vector<std::vector<std::pair<size_t, double>>> members(
+        resources_.size());
+    for (size_t i = 0; i < ids.size(); ++i)
+        for (const auto &d : flows_[ids[i]].demands)
+            members[static_cast<size_t>(d.resource)].emplace_back(i,
+                                                                  d.perUnit);
+
+    // Saturate-and-waterfill: repeatedly pick the most oversubscribed
+    // resource and cut its heaviest consumers to an equal consumption
+    // level that exactly fills the capacity. Rates only decrease, so each
+    // resource needs processing at most once.
+    std::vector<bool> processed(resources_.size(), false);
+    for (;;) {
+        int worst = -1;
+        double worst_ratio = 1.0 + kOverloadEps;
+        for (size_t r = 0; r < resources_.size(); ++r) {
+            if (processed[r] || members[r].empty())
+                continue;
+            double load = 0.0;
+            for (const auto &[i, d] : members[r])
+                load += d * rate[i];
+            double ratio = load / resources_[r].capacity;
+            if (ratio > worst_ratio) {
+                worst_ratio = ratio;
+                worst = static_cast<int>(r);
+            }
+        }
+        if (worst < 0)
+            break;
+        processed[static_cast<size_t>(worst)] = true;
+
+        // Water-fill consumptions on `worst` to its capacity.
+        auto &flows_on_r = members[static_cast<size_t>(worst)];
+        std::vector<std::pair<double, size_t>> consumption; // (c_f, idx)
+        consumption.reserve(flows_on_r.size());
+        for (size_t k = 0; k < flows_on_r.size(); ++k)
+            consumption.emplace_back(
+                flows_on_r[k].second * rate[flows_on_r[k].first], k);
+        std::sort(consumption.begin(), consumption.end());
+
+        double cap = resources_[static_cast<size_t>(worst)].capacity;
+        double below = 0.0; // sum of consumptions kept as-is
+        size_t n = consumption.size();
+        double level = 0.0;
+        for (size_t k = 0; k < n; ++k) {
+            // Remaining flows all cut to `level`; is consumption[k] kept?
+            double candidate = (cap - below) / static_cast<double>(n - k);
+            if (consumption[k].first <= candidate) {
+                below += consumption[k].first;
+                level = candidate; // provisional, refined each iteration
+            } else {
+                level = candidate;
+                break;
+            }
+        }
+        for (const auto &[c, k] : consumption) {
+            if (c > level) {
+                size_t i = flows_on_r[k].first;
+                double d = flows_on_r[k].second;
+                rate[i] = std::min(rate[i], level / d);
+            }
+        }
+    }
+
+    // Apply rates, reschedule completions, refresh resource loads.
+    for (Resource &res : resources_)
+        res.load = 0.0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        Flow &flow = flows_[ids[i]];
+        if (rate[i] <= 0.0)
+            panic("FluidNetwork: flow starved (zero rate)");
+        bool changed =
+            std::abs(rate[i] - flow.rate) > 1e-12 * std::max(1.0, flow.rate);
+        flow.rate = rate[i];
+        for (const auto &d : flow.demands)
+            resources_[static_cast<size_t>(d.resource)].load +=
+                d.perUnit * flow.rate;
+        if (changed || !flow.completion.valid()) {
+            sim_.cancel(flow.completion);
+            FlowId id = ids[i];
+            flow.completion = sim_.schedule(
+                sim_.now() + flow.remaining / flow.rate,
+                [this, id] { finishFlow(id); });
+        }
+    }
+}
+
+} // namespace meshslice

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fluid (rate-shared) resource network.
+ *
+ * This is the contention substrate of the cluster simulator and stands in
+ * for the paper's packet-level SST + DRAMSim3 stack. Every shared piece of
+ * hardware (an ICI link direction, a chip's HBM, a compute core) is a
+ * `Resource` with a capacity in units/second. Work in flight (a shard
+ * transfer, a GeMM's memory stream, a GeMM's FLOPs) is a `Flow` with a
+ * size and a per-resource demand vector.
+ *
+ * Between events every flow progresses at a constant rate
+ *
+ *     rate(f) = min over its resources r of  alloc(f, r) / demand(f, r)
+ *
+ * where allocations are computed with a work-conserving saturate-and-
+ * waterfill pass: flows start at their solo rate (capacity-limited on each
+ * resource independently); while some resource is oversubscribed, the most
+ * oversubscribed one is picked and its flows are water-filled so the
+ * heaviest consumers are cut to an equal consumption level that exactly
+ * fills the capacity. This reproduces the first-order behaviour the paper
+ * relies on: NIC transfers capped by link bandwidth, compute streams using
+ * the *remaining* HBM bandwidth, and slowdowns when the sum oversubscribes
+ * HBM (the NIC<->core interference of Sec 4.1).
+ */
+#ifndef MESHSLICE_SIM_FLUID_HPP_
+#define MESHSLICE_SIM_FLUID_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace meshslice {
+
+using ResourceId = std::int32_t;
+using FlowId = std::int64_t;
+
+/** One resource requirement of a flow. */
+struct Demand
+{
+    ResourceId resource;
+    /** Resource units consumed per flow unit (e.g. bytes per FLOP). */
+    double perUnit;
+};
+
+/** Snapshot of a resource's accounting, for tests and reports. */
+struct ResourceStats
+{
+    std::string name;
+    double capacity = 0.0;
+    /** Total units consumed so far (integral of load over time). */
+    double totalConsumed = 0.0;
+    /** Integral of load/capacity over time (busy-seconds). */
+    double busyTime = 0.0;
+    int activeFlows = 0;
+};
+
+/**
+ * Rate-shared resources and flows on top of a `Simulator`.
+ *
+ * Rates are recomputed lazily: flow arrivals/departures mark the network
+ * dirty and a zero-delay event performs one recomputation per timestamp,
+ * so batches of simultaneous changes (all chips of a ring step) cost one
+ * global update.
+ */
+class FluidNetwork
+{
+  public:
+    explicit FluidNetwork(Simulator &sim) : sim_(sim) {}
+
+    /** Create a resource with @p capacity units/second. */
+    ResourceId addResource(std::string name, double capacity);
+
+    /** Change a resource's capacity (takes effect at next recompute). */
+    void setCapacity(ResourceId id, double capacity);
+
+    double capacity(ResourceId id) const;
+
+    /**
+     * Start a flow of @p size units with the given demand vector.
+     * @p on_complete fires when the flow finishes. Demands must be
+     * non-empty with positive coefficients.
+     * @return id usable with `isActive`.
+     */
+    FlowId startFlow(double size, std::vector<Demand> demands,
+                     std::function<void()> on_complete);
+
+    bool isActive(FlowId id) const { return flows_.count(id) > 0; }
+
+    size_t activeFlowCount() const { return flows_.size(); }
+
+    /** Accounting snapshot for @p id (updated through current time). */
+    ResourceStats resourceStats(ResourceId id) const;
+
+    /** Current rate of an active flow (units/s), 0 if finished. */
+    double flowRate(FlowId id) const;
+
+  private:
+    struct Resource
+    {
+        std::string name;
+        double capacity = 0.0;
+        double load = 0.0; // current total consumption rate
+        double totalConsumed = 0.0;
+        double busyTime = 0.0;
+        Time lastUpdate = 0.0;
+        int activeFlows = 0;
+    };
+
+    struct Flow
+    {
+        double remaining = 0.0;
+        double rate = 0.0;
+        Time lastUpdate = 0.0;
+        std::vector<Demand> demands;
+        std::function<void()> onComplete;
+        EventId completion;
+    };
+
+    void markDirty();
+    void recompute();
+    void advanceFlow(Flow &flow);
+    void advanceResourceAccounting();
+    void finishFlow(FlowId id);
+
+    Simulator &sim_;
+    std::vector<Resource> resources_;
+    std::unordered_map<FlowId, Flow> flows_;
+    FlowId nextFlowId_ = 1;
+    bool dirty_ = false;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_SIM_FLUID_HPP_

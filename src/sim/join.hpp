@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Countdown-latch helper for fan-in synchronization of simulated events.
+ *
+ * Collectives complete a ring step when all participating chips finish
+ * their transfer; `Join` counts the completions and fires a continuation.
+ * Instances are heap-allocated and self-deleting so they can outlive the
+ * scope that created them.
+ */
+#ifndef MESHSLICE_SIM_JOIN_HPP_
+#define MESHSLICE_SIM_JOIN_HPP_
+
+#include <functional>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+/**
+ * Fires a callback after being signalled an expected number of times,
+ * then deletes itself.
+ */
+class Join
+{
+  public:
+    /**
+     * @param expected number of `signal()` calls before firing; must be
+     *                 positive (use the callback directly for zero).
+     */
+    static Join *
+    create(int expected, std::function<void()> on_done)
+    {
+        if (expected <= 0)
+            panic("Join: expected count must be positive");
+        return new Join(expected, std::move(on_done));
+    }
+
+    /** Record one arrival; fires and self-destructs on the last one. */
+    void
+    signal()
+    {
+        if (--remaining_ == 0) {
+            auto cb = std::move(onDone_);
+            delete this;
+            cb();
+        } else if (remaining_ < 0) {
+            panic("Join: signalled more times than expected");
+        }
+    }
+
+  private:
+    Join(int expected, std::function<void()> on_done)
+        : remaining_(expected), onDone_(std::move(on_done))
+    {
+    }
+
+    int remaining_;
+    std::function<void()> onDone_;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_SIM_JOIN_HPP_

@@ -1,0 +1,63 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+EventId
+Simulator::schedule(Time when, Callback fn)
+{
+    if (when < now_) {
+        // Floating-point scheduling slop from rate arithmetic is clamped;
+        // anything visibly in the past is a logic error.
+        if (when < now_ - 1e-12)
+            panic("Simulator: scheduling into the past (%.12f < %.12f)",
+                  when, now_);
+        when = now_;
+    }
+    EventId id{when, nextSeq_++};
+    queue_.emplace(Key{id.when, id.seq}, std::move(fn));
+    return id;
+}
+
+EventId
+Simulator::scheduleAfter(Time delay, Callback fn)
+{
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+Simulator::cancel(const EventId &id)
+{
+    if (!id.valid())
+        return false;
+    return queue_.erase(Key{id.when, id.seq}) > 0;
+}
+
+Time
+Simulator::run()
+{
+    return runUntil(1e300);
+}
+
+Time
+Simulator::runUntil(Time deadline)
+{
+    while (!queue_.empty()) {
+        auto it = queue_.begin();
+        if (it->first.first > deadline) {
+            now_ = deadline;
+            return now_;
+        }
+        now_ = it->first.first;
+        Callback fn = std::move(it->second);
+        queue_.erase(it);
+        ++processed_;
+        fn();
+    }
+    return now_;
+}
+
+} // namespace meshslice

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The MeshSlice cluster simulator replaces the paper's SST-based setup.
+ * `Simulator` owns a time-ordered event queue; every other model (links,
+ * HBM, compute cores, collectives) schedules callbacks on it. Events that
+ * share a timestamp run in scheduling order, which makes runs fully
+ * deterministic.
+ */
+#ifndef MESHSLICE_SIM_SIMULATOR_HPP_
+#define MESHSLICE_SIM_SIMULATOR_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "util/units.hpp"
+
+namespace meshslice {
+
+/** Handle used to cancel a scheduled event. */
+struct EventId
+{
+    Time when = 0.0;
+    std::uint64_t seq = 0;
+
+    bool valid() const { return seq != 0; }
+};
+
+/**
+ * A deterministic discrete-event simulator.
+ *
+ * Not thread-safe; one instance per simulated cluster.
+ */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time (seconds). */
+    Time now() const { return now_; }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    EventId schedule(Time when, Callback fn);
+
+    /** Schedule @p fn @p delay seconds from now (delay >= 0). */
+    EventId scheduleAfter(Time delay, Callback fn);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was pending and got removed.
+     */
+    bool cancel(const EventId &id);
+
+    /** Run until the event queue drains. @return final time. */
+    Time run();
+
+    /** Run until @p deadline or until the queue drains. */
+    Time runUntil(Time deadline);
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+    /** Number of currently pending events. */
+    size_t pendingEvents() const { return queue_.size(); }
+
+  private:
+    using Key = std::pair<Time, std::uint64_t>;
+
+    Time now_ = 0.0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t processed_ = 0;
+    std::map<Key, Callback> queue_;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_SIM_SIMULATOR_HPP_

@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+void
+TraceRecorder::record(std::string name, std::string category, int pid,
+                      int tid, Time begin, Time end)
+{
+    if (!enabled_)
+        return;
+    spans_.push_back(Span{std::move(name), std::move(category), pid, tid,
+                          begin, end});
+}
+
+void
+TraceRecorder::writeJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("TraceRecorder: cannot open '%s' for writing", path.c_str());
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const Span &span : spans_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        // Times in microseconds, as the trace format expects.
+        os << "{\"name\":\"" << span.name << "\",\"cat\":\"" << span.category
+           << "\",\"ph\":\"X\",\"pid\":" << span.pid
+           << ",\"tid\":" << span.tid << ",\"ts\":" << span.begin * 1e6
+           << ",\"dur\":" << (span.end - span.begin) * 1e6 << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace meshslice

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto JSON) recording of simulated
+ * schedules. Produces the visual equivalent of the paper's Figure 4
+ * timelines: per-chip lanes for compute, inter-row and inter-column
+ * communication.
+ */
+#ifndef MESHSLICE_SIM_TRACE_HPP_
+#define MESHSLICE_SIM_TRACE_HPP_
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace meshslice {
+
+/**
+ * Collects duration events and serializes them as a Chrome trace.
+ *
+ * Recording is opt-in; a disabled recorder makes `record` a no-op so the
+ * hot path stays cheap.
+ */
+class TraceRecorder
+{
+  public:
+    /** One completed span on a (pid, tid) lane. */
+    struct Span
+    {
+        std::string name;
+        std::string category;
+        int pid; // chip id
+        int tid; // lane within chip (0=compute, 1=row comm, 2=col comm)
+        Time begin;
+        Time end;
+    };
+
+    void enable(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Record a completed span (no-op while disabled). */
+    void record(std::string name, std::string category, int pid, int tid,
+                Time begin, Time end);
+
+    /** Serialize all spans as Chrome trace JSON into @p path. */
+    void writeJson(const std::string &path) const;
+
+    void clear() { spans_.clear(); }
+    size_t spanCount() const { return spans_.size(); }
+    const std::vector<Span> &spans() const { return spans_; }
+
+  private:
+    bool enabled_ = false;
+    std::vector<Span> spans_;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_SIM_TRACE_HPP_

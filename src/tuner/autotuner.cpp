@@ -1,0 +1,249 @@
+#include "tuner/autotuner.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace meshslice {
+
+const char *
+stationaryName(Stationary st)
+{
+    switch (st) {
+      case Stationary::kY:
+        return "Y-stn";
+      case Stationary::kX:
+        return "X-stn";
+      case Stationary::kW:
+        return "W-stn";
+    }
+    return "?";
+}
+
+std::vector<GemmPlan>
+AutotuneResult::allPlans() const
+{
+    std::vector<GemmPlan> out;
+    for (const FcLayerPlan &layer : layers)
+        out.insert(out.end(), layer.passes.begin(), layer.passes.end());
+    return out;
+}
+
+Stationary
+chooseStationary(std::int64_t m, std::int64_t k, std::int64_t n)
+{
+    const std::int64_t y = m * n; // output
+    const std::int64_t x = m * k; // input
+    const std::int64_t w = k * n; // weight
+    if (y >= x && y >= w)
+        return Stationary::kY; // ties go to the transpose-free default
+    if (x >= w)
+        return Stationary::kX;
+    return Stationary::kW;
+}
+
+std::vector<GemmPlan>
+dataflowsForLayer(Stationary st, const FcGemm &fwd)
+{
+    const std::int64_t m = fwd.m;   // tokens
+    const std::int64_t kin = fwd.k; // input features
+    const std::int64_t nout = fwd.n;
+
+    auto plan = [&fwd](const char *suffix, Pass pass, Dataflow df,
+                       std::int64_t pm, std::int64_t pk, std::int64_t pn) {
+        GemmPlan p;
+        p.gemm = fwd;
+        p.gemm.name =
+            fwd.name.substr(0, fwd.name.find('.')) + "." + suffix;
+        p.gemm.pass = pass;
+        p.gemm.m = pm;
+        p.gemm.k = pk;
+        p.gemm.n = pn;
+        p.dataflow = df;
+        return p;
+    };
+
+    switch (st) {
+      case Stationary::kY:
+        // Y = OS(X, W); X' = LS(Y', W); W' = RS(X, Y').
+        return {
+            plan("fwd", Pass::kForward, Dataflow::kOS, m, kin, nout),
+            plan("bwdD", Pass::kBackwardData, Dataflow::kLS, m, nout, kin),
+            plan("bwdW", Pass::kBackwardWeight, Dataflow::kRS, kin, m,
+                 nout),
+        };
+      case Stationary::kX:
+        // Y = LS(X, W^T); X' = OS(Y', W^T); W'^T = RS(Y', X).
+        return {
+            plan("fwd", Pass::kForward, Dataflow::kLS, m, kin, nout),
+            plan("bwdD", Pass::kBackwardData, Dataflow::kOS, m, nout, kin),
+            plan("bwdW", Pass::kBackwardWeight, Dataflow::kRS, nout, m,
+                 kin),
+        };
+      case Stationary::kW:
+        // Y = RS(X^T, W); X'^T = LS(W, Y'); W' = OS(X^T, Y').
+        return {
+            plan("fwd", Pass::kForward, Dataflow::kRS, m, kin, nout),
+            plan("bwdD", Pass::kBackwardData, Dataflow::kLS, kin, nout, m),
+            plan("bwdW", Pass::kBackwardWeight, Dataflow::kOS, kin, m,
+                 nout),
+        };
+    }
+    panic("dataflowsForLayer: bad stationary");
+}
+
+Gemm2DSpec
+makeSpec(const FcGemm &gemm, Dataflow df, int rows, int cols,
+         int slice_count, int bytes_per_element)
+{
+    Gemm2DSpec spec;
+    spec.m = gemm.m;
+    spec.k = gemm.k;
+    spec.n = gemm.n;
+    spec.dataflow = df;
+    spec.rows = rows;
+    spec.cols = cols;
+    spec.sliceCount = slice_count;
+    spec.bytesPerElement = bytes_per_element;
+    return spec;
+}
+
+bool
+shapeFeasible(const FcGemm &gemm, int rows, int cols)
+{
+    for (std::int64_t dim : {gemm.m, gemm.k, gemm.n})
+        if (dim % rows != 0 || dim % cols != 0)
+            return false;
+    return true;
+}
+
+AutotuneResult
+LlmAutotuner::tune(const TransformerConfig &model,
+                   const TrainingConfig &train, int chips,
+                   bool optimize_dataflow) const
+{
+    return tuneForAlgorithm(Algorithm::kMeshSlice, model, train, chips,
+                            optimize_dataflow);
+}
+
+namespace {
+
+/** Phase 1: dataflow and sharding per FC layer. */
+std::vector<FcLayerPlan>
+buildPhase1(Algorithm algo, const TransformerConfig &model,
+            const TrainingConfig &train, bool optimize_dataflow)
+{
+    std::vector<FcLayerPlan> layers;
+    for (const FcGemm &gemm : blockFcGemms(model, train)) {
+        if (gemm.pass != Pass::kForward)
+            continue;
+        FcLayerPlan layer;
+        layer.fcLayer = gemm.fcLayer;
+        layer.stationary = optimize_dataflow
+                               ? chooseStationary(gemm.m, gemm.k, gemm.n)
+                               : Stationary::kY;
+        // Cannon only implements the OS dataflow (Sec 2.3.2), so every
+        // pass runs output-stationary with its computational shape.
+        if (algo == Algorithm::kCannon) {
+            layer.passes = dataflowsForLayer(Stationary::kY, gemm);
+            for (GemmPlan &p : layer.passes)
+                p.dataflow = Dataflow::kOS;
+        } else {
+            layer.passes = dataflowsForLayer(layer.stationary, gemm);
+        }
+        layers.push_back(std::move(layer));
+    }
+    return layers;
+}
+
+} // namespace
+
+AutotuneResult
+LlmAutotuner::tuneForAlgorithm(Algorithm algo,
+                               const TransformerConfig &model,
+                               const TrainingConfig &train, int chips,
+                               bool optimize_dataflow) const
+{
+    return tunePhase2(
+        algo, buildPhase1(algo, model, train, optimize_dataflow), chips);
+}
+
+AutotuneResult
+LlmAutotuner::planAtShape(Algorithm algo, const TransformerConfig &model,
+                          const TrainingConfig &train, int rows, int cols,
+                          bool optimize_dataflow, int force_s) const
+{
+    AutotuneResult out;
+    out.rows = rows;
+    out.cols = cols;
+    out.layers = buildPhase1(algo, model, train, optimize_dataflow);
+    out.blockFcTime = 0.0;
+    for (FcLayerPlan &layer : out.layers) {
+        for (GemmPlan &plan : layer.passes) {
+            if (!shapeFeasible(plan.gemm, rows, cols))
+                panic("planAtShape: %dx%d does not divide GeMM %s", rows,
+                      cols, plan.gemm.name.c_str());
+            Gemm2DSpec spec = makeSpec(plan.gemm, plan.dataflow, rows,
+                                       cols);
+            if (force_s > 0) {
+                spec.sliceCount = force_s;
+                plan.sliceCount = force_s;
+                plan.estTime = cost_.estimateGemmTime(algo, spec);
+            } else {
+                auto [s, t] = cost_.tuneSliceCount(algo, spec);
+                plan.sliceCount = s;
+                plan.estTime = t;
+            }
+            out.blockFcTime += plan.estTime;
+        }
+    }
+    return out;
+}
+
+AutotuneResult
+LlmAutotuner::tunePhase2(Algorithm algo, std::vector<FcLayerPlan> layers,
+                         int chips) const
+{
+    AutotuneResult best;
+    best.blockFcTime = 1e300;
+
+    for (auto [rows, cols] : meshShapesOf(chips)) {
+        if (algo == Algorithm::kCannon && rows != cols)
+            continue;
+        bool feasible = true;
+        for (const FcLayerPlan &layer : layers) {
+            for (const GemmPlan &plan : layer.passes) {
+                if (!shapeFeasible(plan.gemm, static_cast<int>(rows),
+                                   static_cast<int>(cols)))
+                    feasible = false;
+            }
+        }
+        if (!feasible)
+            continue;
+
+        AutotuneResult candidate;
+        candidate.rows = static_cast<int>(rows);
+        candidate.cols = static_cast<int>(cols);
+        candidate.layers = layers;
+        candidate.blockFcTime = 0.0;
+        for (FcLayerPlan &layer : candidate.layers) {
+            for (GemmPlan &plan : layer.passes) {
+                Gemm2DSpec spec =
+                    makeSpec(plan.gemm, plan.dataflow, candidate.rows,
+                             candidate.cols);
+                auto [s, t] = cost_.tuneSliceCount(algo, spec);
+                plan.sliceCount = s;
+                plan.estTime = t;
+                candidate.blockFcTime += t; // 1e300 == out of memory
+            }
+        }
+        if (candidate.blockFcTime < best.blockFcTime)
+            best = std::move(candidate);
+    }
+    if (best.blockFcTime >= 1e300)
+        panic("LlmAutotuner: no feasible mesh shape for %d chips", chips);
+    return best;
+}
+
+} // namespace meshslice

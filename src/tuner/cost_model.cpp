@@ -1,0 +1,260 @@
+#include "tuner/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/memory_model.hpp"
+#include "net/collectives.hpp"
+#include "net/topology.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+/** Simulate one AG on a fresh P-chip ring, returning its duration. */
+Time
+simulateAllGather(const ChipConfig &cfg, int chips, Bytes shard)
+{
+    Cluster cluster(cfg, chips);
+    RingNetwork net(cluster);
+    Time total = -1.0;
+    ringAllGather(cluster, net.ring(), shard, 0,
+                  [&total](const CommStats &stats) { total = stats.total; });
+    cluster.sim().run();
+    if (total < 0.0)
+        panic("calibration: AllGather did not complete");
+    return total;
+}
+
+} // namespace
+
+CommCostParams
+calibrateCommModel(const ChipConfig &cfg)
+{
+    // Shard sizes 8 KB .. 512 MB (paper Sec 4.5).
+    std::vector<Bytes> sizes;
+    for (Bytes s = KB(8); s <= MB(512); s *= 8)
+        sizes.push_back(s);
+
+    const int steps2 = collectiveStepCount(cfg, 2);
+    const int steps4 = collectiveStepCount(cfg, 4);
+
+    std::vector<double> t2, t4;
+    for (Bytes s : sizes) {
+        t2.push_back(simulateAllGather(cfg, 2, s));
+        t4.push_back(simulateAllGather(cfg, 4, s));
+    }
+
+    // Linear regression of t2 against shard size:
+    // t2(s) = (launch + steps2*sync) + (steps2/bw) * s.
+    const size_t n = sizes.size();
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(sizes[i]);
+        sx += x;
+        sy += t2[i];
+        sxx += x * x;
+        sxy += x * t2[i];
+    }
+    const double slope =
+        (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    const double intercept = (sy - slope * sx) / n;
+
+    CommCostParams params;
+    params.bw = static_cast<double>(steps2) / slope;
+
+    // t_sync from the chip-count delta at small sizes (where the
+    // transfer term is negligible but still subtracted exactly).
+    double sync_acc = 0.0;
+    int sync_n = 0;
+    for (size_t i = 0; i < n && sizes[i] <= MB(1); ++i) {
+        const double delta = t4[i] - t2[i];
+        const double per_step = delta / (steps4 - steps2);
+        sync_acc += per_step - static_cast<double>(sizes[i]) / params.bw;
+        ++sync_n;
+    }
+    params.tSync = sync_n > 0 ? sync_acc / sync_n : cfg.syncLatency;
+    params.tLaunch = intercept - steps2 * params.tSync;
+    if (params.tLaunch < 0.0)
+        params.tLaunch = 0.0;
+    return params;
+}
+
+CostModel
+CostModel::calibrated(const ChipConfig &cfg)
+{
+    return CostModel(cfg, calibrateCommModel(cfg));
+}
+
+Time
+CostModel::collectiveTime(int ring_size, Bytes shard_bytes) const
+{
+    if (ring_size <= 1 || shard_bytes <= 0)
+        return 0.0;
+    const int steps = collectiveStepCount(cfg_, ring_size);
+    return params_.tLaunch +
+           steps * (params_.tSync +
+                    static_cast<double>(shard_bytes) / params_.bw);
+}
+
+Time
+CostModel::broadcastTime(int ring_size, Bytes payload_bytes) const
+{
+    if (ring_size <= 1 || payload_bytes <= 0)
+        return 0.0;
+    const int total_hops = ring_size - 1;
+    const int hops = (cfg_.bidirectionalIci && total_hops > 1)
+                         ? (total_hops + 1) / 2
+                         : total_hops;
+    const int packets = optimalPacketCount(cfg_, hops, payload_bytes);
+    const int stages = hops + packets - 1;
+    return params_.tLaunch +
+           stages * (params_.tSync + static_cast<double>(payload_bytes) /
+                                         packets / params_.bw);
+}
+
+Time
+CostModel::shiftTime(Bytes block_bytes) const
+{
+    if (block_bytes <= 0)
+        return 0.0;
+    Bytes per_dir = cfg_.bidirectionalIci ? (block_bytes + 1) / 2
+                                          : block_bytes;
+    return params_.tLaunch + params_.tSync +
+           static_cast<double>(per_dir) / params_.bw;
+}
+
+Time
+CostModel::computeTime(const GemmWork &work) const
+{
+    if (work.empty())
+        return 0.0;
+    return gemmIdealTime(cfg_, work);
+}
+
+Time
+CostModel::estimateGemmTime(Algorithm algo, const Gemm2DSpec &spec) const
+{
+    const bool overlap = cfg_.allowCollectiveOverlap;
+    const FlowSide h = horizontalFlow(spec);
+    const FlowSide v = verticalFlow(spec);
+    const Bytes chips = spec.chips();
+
+    switch (algo) {
+      case Algorithm::kMeshSlice:
+      case Algorithm::kCollective: {
+        Gemm2DSpec eff = spec;
+        if (algo == Algorithm::kCollective)
+            eff.sliceCount = 1;
+        const int s = eff.sliceCount;
+        const Time t_h = collectiveTime(eff.cols,
+                                        h.matrixBytes / (chips * s));
+        const Time t_v = collectiveTime(eff.rows,
+                                        v.matrixBytes / (chips * s));
+        const Time t_c = computeTime(localSliceWork(eff));
+        Time pre = 0.0, post = 0.0;
+        // AG sides form the prologue; RdS sides trail the compute.
+        const Time th_pre = h.op == CollKind::kAllGather ? t_h : 0.0;
+        const Time tv_pre = v.op == CollKind::kAllGather ? t_v : 0.0;
+        const Time th_post = h.op == CollKind::kReduceScatter ? t_h : 0.0;
+        const Time tv_post = v.op == CollKind::kReduceScatter ? t_v : 0.0;
+        pre = overlap ? std::max(th_pre, tv_pre) : th_pre + tv_pre;
+        post = th_post + tv_post;
+        if (!overlap)
+            return s * (pre + t_c + post);
+        const Time steady = std::max({t_h, t_v, t_c});
+        return pre + (s - 1) * steady + t_c + post;
+      }
+      case Algorithm::kWang: {
+        const int s = spec.sliceCount;
+        // Per-link traffic decides the overlapped direction.
+        const Bytes traffic_h =
+            h.matrixBytes / chips * (spec.cols - 1);
+        const Bytes traffic_v =
+            v.matrixBytes / chips * (spec.rows - 1);
+        const bool ov_h = traffic_h >= traffic_v;
+        const Bytes ov_traffic = ov_h ? traffic_h : traffic_v;
+        const Bytes bl_shard = (ov_h ? v : h).matrixBytes / chips;
+        const int bl_ring = ov_h ? spec.rows : spec.cols;
+        const Time t_block = collectiveTime(bl_ring, bl_shard);
+        const Time t_shift = shiftTime(ov_traffic / s);
+        const Time t_c = computeTime(localSliceWork(spec));
+        const Time steady = std::max(t_shift, t_c);
+        return t_block + t_shift + (s - 1) * steady + t_c;
+      }
+      case Algorithm::kSumma: {
+        const int p_iter = std::lcm(spec.rows, spec.cols);
+        const int s = std::min(spec.sliceCount, p_iter);
+        Gemm2DSpec eff = spec;
+        eff.sliceCount = s;
+        const Time t_bh = broadcastTime(
+            spec.cols,
+            h.matrixBytes / (static_cast<Bytes>(spec.rows) * p_iter));
+        const Time t_bv = broadcastTime(
+            spec.rows,
+            v.matrixBytes / (static_cast<Bytes>(spec.cols) * p_iter));
+        const Time t_c = computeTime(localSliceWork(eff));
+        const Time comm_iter = overlap ? std::max(t_bh, t_bv)
+                                       : t_bh + t_bv;
+        const Time comm_total = p_iter * comm_iter;
+        const Time comp_total = s * t_c;
+        if (!overlap)
+            return comm_total + comp_total;
+        return comm_iter + std::max(comm_total - comm_iter,
+                                    comp_total - t_c) +
+               t_c;
+      }
+      case Algorithm::kCannon: {
+        if (spec.rows != spec.cols)
+            return 1e300; // infeasible configuration
+        const int p = spec.rows;
+        const Bytes e = spec.bytesPerElement;
+        const Time shift_a = shiftTime(spec.m * spec.k * e / chips);
+        const Time shift_b = shiftTime(spec.k * spec.n * e / chips);
+        const Time skew = (p / 2) * std::max(shift_a, shift_b);
+        const GemmWork work{spec.m / p, spec.k / p, spec.n / p};
+        const Time t_c = computeTime(work);
+        const Time steady = std::max({shift_a, shift_b, t_c});
+        return skew + std::max(shift_a, shift_b) + (p - 1) * steady + t_c;
+      }
+      default:
+        panic("estimateGemmTime: unsupported algorithm %s",
+              algorithmName(algo));
+    }
+}
+
+std::pair<int, Time>
+CostModel::tuneSliceCount(Algorithm algo, const Gemm2DSpec &spec) const
+{
+    if (algo == Algorithm::kCollective || algo == Algorithm::kCannon) {
+        Gemm2DSpec fixed = spec;
+        fixed.sliceCount = algo == Algorithm::kCannon ? spec.rows : 1;
+        if (!fitsInMemory(cfg_, algo, fixed))
+            return {fixed.sliceCount, 1e300};
+        return {fixed.sliceCount, estimateGemmTime(algo, fixed)};
+    }
+    int best_s = 0;
+    Time best_t = 1e300;
+    for (int s : validSliceCounts(cfg_, spec)) {
+        Gemm2DSpec candidate = spec;
+        candidate.sliceCount = s;
+        // Slicing shrinks the gather buffers; configurations that blow
+        // the HBM capacity are not schedulable at all.
+        if (!fitsInMemory(cfg_, algo, candidate))
+            continue;
+        const Time t = estimateGemmTime(algo, candidate);
+        if (t < best_t) {
+            best_t = t;
+            best_s = s;
+        }
+    }
+    if (best_s == 0)
+        return {1, 1e300}; // nothing fits at this mesh shape
+    return {best_s, best_t};
+}
+
+} // namespace meshslice

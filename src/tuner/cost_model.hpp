@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Analytical cost models of communication and computation
+ * (Sec 3.2.2 / 4.5).
+ *
+ * Communication: `cost = t_launch + steps(P) * (t_sync + shard/bw)`,
+ * the paper's linear model (with the step count reflecting whether the
+ * ICI rings are driven bidirectionally). The three parameters are
+ * *calibrated against the simulator* by the same procedure the paper
+ * used against real TPUs: AG runs on 2- and 4-chip rings over shard
+ * sizes from 8 KB to 512 MB, `t_sync` from the chip-count delta and
+ * `bw`/`t_launch` from linear regression.
+ *
+ * Computation: FLOPs divided by the shape's effective throughput (the
+ * measured-constant model of Sec 3.2.2).
+ *
+ * On top of these, `estimateGemmTime` assembles the
+ * prologue/steady-state/epilogue pipeline estimate for every algorithm
+ * so the autotuner can rank configurations.
+ */
+#ifndef MESHSLICE_TUNER_COST_MODEL_HPP_
+#define MESHSLICE_TUNER_COST_MODEL_HPP_
+
+#include "core/spec.hpp"
+#include "hw/chip_config.hpp"
+
+namespace meshslice {
+
+/** Calibrated parameters of the linear communication model. */
+struct CommCostParams
+{
+    Rate bw = 0.0;       ///< effective per-step link bandwidth
+    Time tSync = 0.0;    ///< per-step synchronization latency
+    Time tLaunch = 0.0;  ///< per-operation launch overhead
+};
+
+/**
+ * Calibrate the communication model against the cluster simulator
+ * (stand-in for the paper's 2- and 4-chip TPUv4 microbenchmarks).
+ */
+CommCostParams calibrateCommModel(const ChipConfig &cfg);
+
+/** Analytical cost model over a fixed chip configuration. */
+class CostModel
+{
+  public:
+    CostModel(const ChipConfig &cfg, const CommCostParams &params)
+        : cfg_(cfg), params_(params)
+    {
+    }
+
+    /** Convenience: calibrate then construct. */
+    static CostModel calibrated(const ChipConfig &cfg);
+
+    const CommCostParams &params() const { return params_; }
+    const ChipConfig &chip() const { return cfg_; }
+
+    /** AG/RdS of @p shard bytes per chip on a P-ring. */
+    Time collectiveTime(int ring_size, Bytes shard_bytes) const;
+
+    /** SUMMA pipelined bcast/reduce of @p payload on a P-ring. */
+    Time broadcastTime(int ring_size, Bytes payload_bytes) const;
+
+    /** One SendRecv rotation of @p block bytes. */
+    Time shiftTime(Bytes block_bytes) const;
+
+    /** Local GeMM time (effective-FLOPS model). */
+    Time computeTime(const GemmWork &work) const;
+
+    /**
+     * Pipeline estimate of a full 2D GeMM under @p algo:
+     * prologue + (S-1) * steady + epilogue (Sec 3.2.2).
+     */
+    Time estimateGemmTime(Algorithm algo, const Gemm2DSpec &spec) const;
+
+    /** MeshSlice-specific alias used by the autotuner. */
+    Time
+    meshSliceTime(const Gemm2DSpec &spec) const
+    {
+        return estimateGemmTime(Algorithm::kMeshSlice, spec);
+    }
+
+    /**
+     * Best slice count for @p algo on this spec (searches the valid S
+     * values, Sec 3.2.2). Returns {S, estimated time}.
+     */
+    std::pair<int, Time> tuneSliceCount(Algorithm algo,
+                                        const Gemm2DSpec &spec) const;
+
+  private:
+    ChipConfig cfg_;
+    CommCostParams params_;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_TUNER_COST_MODEL_HPP_

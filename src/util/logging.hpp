@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facilities.
+ *
+ * Follows the gem5 distinction between `panic` (internal invariant broken,
+ * aborts) and `fatal` (user error, exits cleanly), plus `warn`/`inform`
+ * status messages. All helpers format with printf-style semantics via
+ * std::snprintf to avoid iostream overhead inside the simulator hot path.
+ */
+#ifndef MESHSLICE_UTIL_LOGGING_HPP_
+#define MESHSLICE_UTIL_LOGGING_HPP_
+
+#include <cstdarg>
+#include <string>
+
+namespace meshslice {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { kQuiet = 0, kWarn = 1, kInform = 2, kDebug = 3 };
+
+/** Global log threshold; messages above this level are suppressed. */
+LogLevel logLevel();
+
+/** Set the global log threshold. */
+void setLogLevel(LogLevel level);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal invariant violated: print and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Possibly-incorrect behaviour the user should know about. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Normal operating status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** High-volume debugging message (suppressed unless kDebug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace meshslice
+
+#endif // MESHSLICE_UTIL_LOGGING_HPP_

@@ -1,0 +1,35 @@
+#include "util/math.hpp"
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+std::vector<std::int64_t>
+divisorsOf(std::int64_t n)
+{
+    if (n <= 0)
+        panic("divisorsOf: n must be positive, got %lld",
+              static_cast<long long>(n));
+    std::vector<std::int64_t> lo, hi;
+    for (std::int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            lo.push_back(d);
+            if (d != n / d)
+                hi.push_back(n / d);
+        }
+    }
+    for (auto it = hi.rbegin(); it != hi.rend(); ++it)
+        lo.push_back(*it);
+    return lo;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+meshShapesOf(std::int64_t n)
+{
+    std::vector<std::pair<std::int64_t, std::int64_t>> shapes;
+    for (std::int64_t r : divisorsOf(n))
+        shapes.emplace_back(r, n / r);
+    return shapes;
+}
+
+} // namespace meshslice

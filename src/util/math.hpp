@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small integer-math helpers shared by the sharding and cost-model code.
+ */
+#ifndef MESHSLICE_UTIL_MATH_HPP_
+#define MESHSLICE_UTIL_MATH_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace meshslice {
+
+/** Ceiling division for non-negative integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+constexpr std::int64_t
+roundUp(std::int64_t a, std::int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** True iff @p v is a power of two (v > 0). */
+constexpr bool
+isPow2(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+/** All positive divisors of @p n, in increasing order. */
+std::vector<std::int64_t> divisorsOf(std::int64_t n);
+
+/**
+ * All (rows, cols) factorizations of @p n with rows * cols == n,
+ * in increasing order of rows.
+ */
+std::vector<std::pair<std::int64_t, std::int64_t>>
+meshShapesOf(std::int64_t n);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_UTIL_MATH_HPP_

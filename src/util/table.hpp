@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to emit the
+ * rows/series the paper's tables and figures report.
+ */
+#ifndef MESHSLICE_UTIL_TABLE_HPP_
+#define MESHSLICE_UTIL_TABLE_HPP_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace meshslice {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"algo", "chips", "util"});
+ *   t.addRow({"MeshSlice", "256", "67.4%"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Convenience: format a ratio as a percentage string. */
+    static std::string pct(double ratio, int digits = 1);
+
+    /** Render the table with aligned columns and a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (for downstream plotting). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_UTIL_TABLE_HPP_

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Basic unit types and literals used across the MeshSlice libraries.
+ *
+ * Simulated time is a double in seconds. Rates are bytes/second or
+ * FLOP/second. Helper constructors keep call sites readable
+ * (e.g. `us(1.5)`, `GiB(2)`).
+ */
+#ifndef MESHSLICE_UTIL_UNITS_HPP_
+#define MESHSLICE_UTIL_UNITS_HPP_
+
+#include <cstdint>
+
+namespace meshslice {
+
+/** Simulated time in seconds. */
+using Time = double;
+
+/** Transfer or compute rate (bytes/s or FLOP/s). */
+using Rate = double;
+
+/** Number of bytes (may exceed 32 bits for large tensors). */
+using Bytes = std::int64_t;
+
+/** Floating-point operation count. */
+using Flops = double;
+
+/** @name Time literals. @{ */
+constexpr Time seconds(double v) { return v; }
+constexpr Time ms(double v) { return v * 1e-3; }
+constexpr Time us(double v) { return v * 1e-6; }
+constexpr Time ns(double v) { return v * 1e-9; }
+/** @} */
+
+/** @name Size literals (decimal and binary). @{ */
+constexpr Bytes KB(double v) { return static_cast<Bytes>(v * 1e3); }
+constexpr Bytes MB(double v) { return static_cast<Bytes>(v * 1e6); }
+constexpr Bytes GB(double v) { return static_cast<Bytes>(v * 1e9); }
+constexpr Bytes KiB(double v) { return static_cast<Bytes>(v * 1024.0); }
+constexpr Bytes MiB(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0); }
+constexpr Bytes GiB(double v)
+{
+    return static_cast<Bytes>(v * 1024.0 * 1024.0 * 1024.0);
+}
+/** @} */
+
+/** @name Rate literals. @{ */
+constexpr Rate GBps(double v) { return v * 1e9; }
+constexpr Rate TFLOPS(double v) { return v * 1e12; }
+/** @} */
+
+} // namespace meshslice
+
+#endif // MESHSLICE_UTIL_UNITS_HPP_

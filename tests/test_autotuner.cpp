@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the two-phase LLM autotuner: stationary/dataflow selection
+ * (Table 1 rules), plan structure, mesh-shape search, slice-count
+ * tuning and the dataflow-optimization speedup (Table 2 direction).
+ */
+#include <gtest/gtest.h>
+
+#include "tuner/autotuner.hpp"
+
+namespace meshslice {
+namespace {
+
+class AutotunerTest : public ::testing::Test
+{
+  protected:
+    static CostModel &
+    cost()
+    {
+        static CostModel model = CostModel::calibrated(tpuV4Config());
+        return model;
+    }
+};
+
+TEST_F(AutotunerTest, ChooseStationaryPicksLargestMatrix)
+{
+    // Y (m*n) largest:
+    EXPECT_EQ(chooseStationary(1024, 64, 512), Stationary::kY);
+    // X (m*k) largest:
+    EXPECT_EQ(chooseStationary(1024, 512, 64), Stationary::kX);
+    // W (k*n) largest:
+    EXPECT_EQ(chooseStationary(64, 1024, 512), Stationary::kW);
+    // Ties go to the transpose-free Y default:
+    EXPECT_EQ(chooseStationary(64, 64, 64), Stationary::kY);
+}
+
+TEST_F(AutotunerTest, Table1RowsKeepStationaryMatrixFixed)
+{
+    const FcGemm fwd{"ffn1.fwd", 262144, 12288, 49152, Pass::kForward, 2};
+    // Y-stn: fwd OS, bwd-data LS, bwd-weight RS (Table 1, row 1).
+    auto y_plans = dataflowsForLayer(Stationary::kY, fwd);
+    ASSERT_EQ(y_plans.size(), 3u);
+    EXPECT_EQ(y_plans[0].dataflow, Dataflow::kOS);
+    EXPECT_EQ(y_plans[1].dataflow, Dataflow::kLS);
+    EXPECT_EQ(y_plans[2].dataflow, Dataflow::kRS);
+    // X-stn: fwd LS, bwd-data OS, bwd-weight RS (row 2).
+    auto x_plans = dataflowsForLayer(Stationary::kX, fwd);
+    EXPECT_EQ(x_plans[0].dataflow, Dataflow::kLS);
+    EXPECT_EQ(x_plans[1].dataflow, Dataflow::kOS);
+    EXPECT_EQ(x_plans[2].dataflow, Dataflow::kRS);
+    // W-stn: fwd RS, bwd-data LS, bwd-weight OS (row 3).
+    auto w_plans = dataflowsForLayer(Stationary::kW, fwd);
+    EXPECT_EQ(w_plans[0].dataflow, Dataflow::kRS);
+    EXPECT_EQ(w_plans[1].dataflow, Dataflow::kLS);
+    EXPECT_EQ(w_plans[2].dataflow, Dataflow::kOS);
+}
+
+TEST_F(AutotunerTest, BackwardShapesAreConsistent)
+{
+    const FcGemm fwd{"proj.fwd", 4096, 1024, 2048, Pass::kForward, 1};
+    for (Stationary st :
+         {Stationary::kY, Stationary::kX, Stationary::kW}) {
+        auto plans = dataflowsForLayer(st, fwd);
+        // Every pass computes the same FLOPs as the forward pass.
+        for (const GemmPlan &p : plans)
+            EXPECT_DOUBLE_EQ(p.gemm.flops(), fwd.flops())
+                << stationaryName(st);
+    }
+}
+
+TEST_F(AutotunerTest, TunePicksFeasibleShapeAndSliceCounts)
+{
+    const LlmAutotuner tuner(cost());
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train = TrainingConfig::weakScaling(64);
+    const AutotuneResult result = tuner.tune(model, train, 64);
+    EXPECT_EQ(result.rows * result.cols, 64);
+    EXPECT_EQ(result.layers.size(), 4u);
+    EXPECT_EQ(result.allPlans().size(), 12u);
+    for (const GemmPlan &p : result.allPlans()) {
+        EXPECT_GE(p.sliceCount, 1);
+        EXPECT_GT(p.estTime, 0.0);
+        EXPECT_TRUE(shapeFeasible(p.gemm, result.rows, result.cols));
+    }
+    EXPECT_GT(result.blockFcTime, 0.0);
+}
+
+TEST_F(AutotunerTest, OptimizedDataflowNoWorseThanDefault)
+{
+    const LlmAutotuner tuner(cost());
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train = TrainingConfig::weakScaling(256);
+    const AutotuneResult opt = tuner.tune(model, train, 256, true);
+    const AutotuneResult base = tuner.tune(model, train, 256, false);
+    EXPECT_LE(opt.blockFcTime, base.blockFcTime * (1.0 + 1e-9));
+    for (const FcLayerPlan &layer : base.layers)
+        EXPECT_EQ(layer.stationary, Stationary::kY);
+}
+
+TEST_F(AutotunerTest, ChosenShapeBeatsExtremeShapes)
+{
+    const LlmAutotuner tuner(cost());
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train = TrainingConfig::weakScaling(256);
+    const AutotuneResult best = tuner.tune(model, train, 256);
+    const AutotuneResult ring = tuner.planAtShape(
+        Algorithm::kMeshSlice, model, train, 1, 256, true);
+    EXPECT_LT(best.blockFcTime, ring.blockFcTime);
+}
+
+TEST_F(AutotunerTest, CannonRestrictedToSquareShapes)
+{
+    const LlmAutotuner tuner(cost());
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train = TrainingConfig::weakScaling(64);
+    const AutotuneResult result =
+        tuner.tuneForAlgorithm(Algorithm::kCannon, model, train, 64);
+    EXPECT_EQ(result.rows, 8);
+    EXPECT_EQ(result.cols, 8);
+    for (const GemmPlan &p : result.allPlans())
+        EXPECT_EQ(p.dataflow, Dataflow::kOS);
+}
+
+TEST_F(AutotunerTest, ForcedSliceCountIsApplied)
+{
+    const LlmAutotuner tuner(cost());
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train = TrainingConfig::weakScaling(256);
+    const AutotuneResult plan = tuner.planAtShape(
+        Algorithm::kMeshSlice, model, train, 32, 8, true, 4);
+    for (const GemmPlan &p : plan.allPlans())
+        EXPECT_EQ(p.sliceCount, 4);
+}
+
+TEST_F(AutotunerTest, MakeSpecCopiesGeometry)
+{
+    const FcGemm gemm{"qkv.fwd", 262144, 12288, 36864, Pass::kForward, 0};
+    const Gemm2DSpec spec = makeSpec(gemm, Dataflow::kLS, 16, 4, 8);
+    EXPECT_EQ(spec.m, gemm.m);
+    EXPECT_EQ(spec.k, gemm.k);
+    EXPECT_EQ(spec.n, gemm.n);
+    EXPECT_EQ(spec.dataflow, Dataflow::kLS);
+    EXPECT_EQ(spec.chips(), 64);
+    EXPECT_EQ(spec.sliceCount, 8);
+}
+
+TEST_F(AutotunerTest, ShapeFeasibilityChecksDivisibility)
+{
+    const FcGemm gemm{"x", 1000, 1000, 1000, Pass::kForward, 0};
+    EXPECT_TRUE(shapeFeasible(gemm, 10, 10));
+    EXPECT_FALSE(shapeFeasible(gemm, 3, 10));
+}
+
+} // namespace
+} // namespace meshslice

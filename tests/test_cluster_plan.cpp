@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests of the 3D cluster-plan estimator (Sec 2.2): DP-traffic
+ * scaling with the TP degree, pipeline bubble arithmetic, and the
+ * headline 1D-vs-2D ordering.
+ */
+#include <gtest/gtest.h>
+
+#include "tuner/cluster_plan.hpp"
+
+namespace meshslice {
+namespace {
+
+class ClusterPlanTest : public ::testing::Test
+{
+  protected:
+    static const CostModel &
+    cost()
+    {
+        static CostModel model = CostModel::calibrated(tpuV4Config());
+        return model;
+    }
+    TransformerConfig model_ = gpt3Config();
+    TrainingConfig train_{512, 2048};
+};
+
+TEST_F(ClusterPlanTest, DpTrafficShrinksWithTpDegree)
+{
+    // Same pp: a chip in 128-way TP holds 1/16 the weights of a chip
+    // in 8-way TP (the Sec 2.2 "16x smaller DP traffic" claim).
+    ClusterPlan narrow{32, 4, 1, 8, true};   // 8-way 1D TP
+    ClusterPlan wide{2, 4, 16, 8, false};    // 128-way 2D TP
+    const ClusterStepCost a =
+        estimateClusterStep(cost(), model_, train_, narrow);
+    const ClusterStepCost b =
+        estimateClusterStep(cost(), model_, train_, wide);
+    EXPECT_EQ(a.dpBytesPerChip, 16 * b.dpBytesPerChip);
+}
+
+TEST_F(ClusterPlanTest, PipelineBubbleFollows1F1B)
+{
+    // Doubling the stage count at fixed microbatches raises the bubble
+    // factor from (m+p-1)/m accordingly.
+    // Same dp and TP mesh (so per-block time is identical); only the
+    // stage count changes.
+    ClusterPlan p4{4, 4, 8, 8, false};
+    ClusterPlan p8{4, 8, 8, 8, false};
+    const ClusterStepCost a =
+        estimateClusterStep(cost(), model_, train_, p4, 8);
+    const ClusterStepCost b =
+        estimateClusterStep(cost(), model_, train_, p8, 8);
+    // computePerStage halves; bubble factor grows 11/8 -> 15/8.
+    EXPECT_NEAR(b.pipelineTime / a.pipelineTime,
+                (15.0 / 8.0) / 2.0 / ((11.0 / 8.0)), 0.05);
+}
+
+TEST_F(ClusterPlanTest, Wide2DTpBeatsNarrow1DTp)
+{
+    ClusterPlan one_d{32, 4, 1, 8, true};
+    ClusterPlan two_d{1, 4, 32, 8, false};
+    const ClusterStepCost a =
+        estimateClusterStep(cost(), model_, train_, one_d);
+    const ClusterStepCost b =
+        estimateClusterStep(cost(), model_, train_, two_d);
+    EXPECT_GT(b.utilization, a.utilization);
+    EXPECT_EQ(one_d.chips(), two_d.chips());
+}
+
+TEST_F(ClusterPlanTest, UtilizationIsSane)
+{
+    ClusterPlan plan{4, 8, 16, 8, false};
+    const ClusterStepCost step =
+        estimateClusterStep(cost(), model_, train_, plan);
+    EXPECT_GT(step.utilization, 0.05);
+    EXPECT_LE(step.utilization, 1.0);
+    EXPECT_GT(step.stepTime, step.pipelineTime - 1e-12);
+}
+
+TEST_F(ClusterPlanTest, RejectsIndivisiblePlans)
+{
+    ClusterPlan bad_pp{4, 7, 16, 8, false}; // 96 layers % 7 != 0
+    EXPECT_DEATH(estimateClusterStep(cost(), model_, train_, bad_pp),
+                 "pp");
+}
+
+} // namespace
+} // namespace meshslice

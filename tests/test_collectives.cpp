@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests of the ring collectives: cost structure against the paper's
+ * closed forms, bidirectional split, SUMMA pipelining overheads, and
+ * stats accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "net/collectives.hpp"
+#include "net/topology.hpp"
+
+namespace meshslice {
+namespace {
+
+/** A config with round numbers for hand-checkable cost arithmetic. */
+ChipConfig
+simpleConfig()
+{
+    ChipConfig cfg;
+    cfg.iciLinkBandwidth = 100.0; // 100 B/s
+    cfg.hbmBandwidth = 1e9;       // never the bottleneck here
+    cfg.syncLatency = 1.0;        // 1 s
+    cfg.launchOverhead = 10.0;    // 10 s
+    cfg.bidirectionalIci = false;
+    return cfg;
+}
+
+struct RingFixture
+{
+    RingFixture(const ChipConfig &cfg, int chips)
+        : cluster(cfg, chips), net(cluster)
+    {
+    }
+
+    CommStats
+    run(std::function<void(CommDone)> op)
+    {
+        CommStats out;
+        bool done = false;
+        op([&](const CommStats &stats) {
+            out = stats;
+            done = true;
+        });
+        cluster.sim().run();
+        EXPECT_TRUE(done);
+        return out;
+    }
+
+    Cluster cluster;
+    RingNetwork net;
+};
+
+TEST(Collectives, AllGatherMatchesClosedFormUnidirectional)
+{
+    RingFixture f(simpleConfig(), 4);
+    const Bytes shard = 1000;
+    CommStats stats = f.run([&](CommDone done) {
+        ringAllGather(f.cluster, f.net.ring(), shard, 0, std::move(done));
+    });
+    // t_launch + (P-1) * (t_sync + shard/bw) = 10 + 3 * (1 + 10) = 43.
+    EXPECT_NEAR(stats.total, 43.0, 1e-6);
+    EXPECT_NEAR(stats.launch, 10.0, 1e-9);
+    EXPECT_NEAR(stats.sync, 3.0, 1e-9);
+    EXPECT_NEAR(stats.transfer, 30.0, 1e-6);
+    EXPECT_EQ(stats.syncCount, 3);
+    EXPECT_EQ(stats.bytesPerLink, 3000);
+}
+
+TEST(Collectives, BidirectionalAllGatherHalvesSteps)
+{
+    ChipConfig cfg = simpleConfig();
+    cfg.bidirectionalIci = true;
+    RingFixture f(cfg, 5);
+    const Bytes shard = 1000;
+    CommStats stats = f.run([&](CommDone done) {
+        ringAllGather(f.cluster, f.net.ring(), shard, 0, std::move(done));
+    });
+    // ceil(4/2)=2 steps: 10 + 2 * (1 + 10) = 32.
+    EXPECT_NEAR(stats.total, 32.0, 1e-6);
+    EXPECT_EQ(stats.syncCount, 2);
+}
+
+TEST(Collectives, ReduceScatterCostsSameAsAllGather)
+{
+    RingFixture f(simpleConfig(), 4);
+    const Bytes shard = 1000;
+    CommStats ag = f.run([&](CommDone done) {
+        ringAllGather(f.cluster, f.net.ring(), shard, 0, std::move(done));
+    });
+    CommStats rds = f.run([&](CommDone done) {
+        ringReduceScatter(f.cluster, f.net.ring(), shard, 0,
+                          std::move(done));
+    });
+    EXPECT_NEAR(ag.total, rds.total, 1e-6);
+}
+
+TEST(Collectives, BroadcastPipelineStagesAndBubbles)
+{
+    RingFixture f(simpleConfig(), 4);
+    const Bytes payload = 3000;
+    const int packets = 3;
+    CommStats stats = f.run([&](CommDone done) {
+        ringBroadcast(f.cluster, f.net.ring(), 0, payload, packets, 0,
+                      std::move(done));
+    });
+    // hops=3, D=3 -> stages = 5; each stage: sync 1 + packet 10
+    // -> total = 10 + 5 * 11 = 65.
+    EXPECT_NEAR(stats.total, 65.0, 1e-6);
+    EXPECT_EQ(stats.syncCount, 5);
+}
+
+TEST(Collectives, BroadcastSlowerThanAllGatherForSamePayload)
+{
+    // The SUMMA inefficiency: same bytes delivered, more syncs+bubbles.
+    RingFixture f(simpleConfig(), 8);
+    const Bytes total = 8000;
+    CommStats ag = f.run([&](CommDone done) {
+        ringAllGather(f.cluster, f.net.ring(), total / 8, 0,
+                      std::move(done));
+    });
+    CommStats bc = f.run([&](CommDone done) {
+        ringBroadcast(f.cluster, f.net.ring(), 0, total, 8, 0,
+                      std::move(done));
+    });
+    EXPECT_GT(bc.total, ag.total);
+    EXPECT_GT(bc.syncCount, ag.syncCount);
+}
+
+TEST(Collectives, ShiftIsOneStep)
+{
+    RingFixture f(simpleConfig(), 6);
+    CommStats stats = f.run([&](CommDone done) {
+        ringShift(f.cluster, f.net.ring(), 500, true, 0, std::move(done));
+    });
+    // 10 launch + 5 transfer + 1 sync.
+    EXPECT_NEAR(stats.total, 16.0, 1e-6);
+    EXPECT_EQ(stats.syncCount, 1);
+}
+
+TEST(Collectives, SingleChipRingIsFree)
+{
+    RingFixture f(simpleConfig(), 1);
+    CommStats stats = f.run([&](CommDone done) {
+        ringAllGather(f.cluster, f.net.ring(), 1000, 0, std::move(done));
+    });
+    EXPECT_DOUBLE_EQ(stats.total, 0.0);
+}
+
+TEST(Collectives, StepCountHelperMatchesConfig)
+{
+    ChipConfig uni = simpleConfig();
+    ChipConfig bi = simpleConfig();
+    bi.bidirectionalIci = true;
+    EXPECT_EQ(collectiveStepCount(uni, 8), 7);
+    EXPECT_EQ(collectiveStepCount(bi, 8), 4);
+    EXPECT_EQ(collectiveStepCount(bi, 2), 1);
+    EXPECT_EQ(collectiveStepCount(bi, 1), 0);
+}
+
+TEST(Collectives, AllGatherScalesLinearlyInRingSize)
+{
+    ChipConfig cfg = simpleConfig();
+    double prev_total = 0.0;
+    for (int p : {2, 4, 8}) {
+        RingFixture f(cfg, p);
+        CommStats stats = f.run([&](CommDone done) {
+            ringAllGather(f.cluster, f.net.ring(), 1000, 0,
+                          std::move(done));
+        });
+        const double expected = 10.0 + (p - 1) * 11.0;
+        EXPECT_NEAR(stats.total, expected, 1e-6) << "P=" << p;
+        EXPECT_GT(stats.total, prev_total);
+        prev_total = stats.total;
+    }
+}
+
+TEST(Collectives, ConcurrentRowRingsDoNotInterfere)
+{
+    // Two rows of a 2x4 torus all-gathering simultaneously must take
+    // the same time as one row alone (disjoint links and HBMs).
+    ChipConfig cfg = simpleConfig();
+    Cluster cluster(cfg, 8);
+    TorusMesh mesh(cluster, 2, 4);
+    Time end0 = -1, end1 = -1;
+    ringAllGather(cluster, mesh.rowRing(0), 1000, 0,
+                  [&](const CommStats &) { end0 = cluster.sim().now(); });
+    ringAllGather(cluster, mesh.rowRing(1), 1000, 0,
+                  [&](const CommStats &) { end1 = cluster.sim().now(); });
+    cluster.sim().run();
+    EXPECT_NEAR(end0, 43.0, 1e-6);
+    EXPECT_NEAR(end1, 43.0, 1e-6);
+}
+
+TEST(Collectives, RowAndColumnCollectivesShareOnlyHbm)
+{
+    // A row AG and a column AG on a 4x4 torus use disjoint links; with
+    // ample HBM they complete as fast as either alone.
+    ChipConfig cfg = simpleConfig();
+    Cluster cluster(cfg, 16);
+    TorusMesh mesh(cluster, 4, 4);
+    Time end_row = -1, end_col = -1;
+    ringAllGather(cluster, mesh.rowRing(0), 1000, 0,
+                  [&](const CommStats &) { end_row = cluster.sim().now(); });
+    ringAllGather(cluster, mesh.colRing(0), 1000, 0,
+                  [&](const CommStats &) { end_col = cluster.sim().now(); });
+    cluster.sim().run();
+    EXPECT_NEAR(end_row, 43.0, 1e-6);
+    EXPECT_NEAR(end_col, 43.0, 1e-6);
+}
+
+} // namespace
+} // namespace meshslice

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests of the chip compute model: FLOP counts, padding efficiency,
+ * HBM traffic and the roofline behaviour that makes thin partial GeMMs
+ * slower (the MeshSlice fine-grain overhead of Sec 5.3.1).
+ */
+#include <gtest/gtest.h>
+
+#include "hw/compute_model.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(ComputeModel, FlopsIsTwoMnk)
+{
+    EXPECT_DOUBLE_EQ(gemmFlops(GemmWork{10, 20, 30}), 2.0 * 10 * 20 * 30);
+    EXPECT_DOUBLE_EQ(gemmFlops(GemmWork{0, 20, 30}), 0.0);
+}
+
+TEST(ComputeModel, PadEfficiencyOneForAlignedShapes)
+{
+    const ChipConfig cfg = tpuV4Config();
+    EXPECT_DOUBLE_EQ(gemmPadEfficiency(cfg, GemmWork{128, 128, 128}), 1.0);
+    EXPECT_DOUBLE_EQ(gemmPadEfficiency(cfg, GemmWork{1024, 4096, 256}),
+                     1.0);
+}
+
+TEST(ComputeModel, PadEfficiencyDropsForThinK)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const double thin = gemmPadEfficiency(cfg, GemmWork{1024, 8, 1024});
+    EXPECT_NEAR(thin, 8.0 / 128.0, 1e-12);
+}
+
+TEST(ComputeModel, IdealTimeScalesWithFlopsWhenComputeBound)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const Time t1 = gemmIdealTime(cfg, GemmWork{4096, 4096, 4096});
+    const Time t2 = gemmIdealTime(cfg, GemmWork{8192, 4096, 4096});
+    EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(ComputeModel, LargeGemmsNearPeak)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const GemmWork big{8192, 12288, 6144};
+    const Rate eff = gemmEffectiveFlops(cfg, big);
+    EXPECT_GT(eff, 0.85 * cfg.peakFlops);
+    EXPECT_LE(eff, cfg.peakFlops + 1.0);
+}
+
+TEST(ComputeModel, ThinSlicesRunBelowPeak)
+{
+    // A K = 48 partial GeMM (deep slicing) must be significantly less
+    // efficient than the unsliced shape — the overhead the paper
+    // observed for fine-grain partial GeMMs.
+    const ChipConfig cfg = tpuV4Config();
+    const Rate full = gemmEffectiveFlops(cfg, GemmWork{8192, 1536, 6144});
+    const Rate thin = gemmEffectiveFlops(cfg, GemmWork{8192, 48, 6144});
+    EXPECT_LT(thin, 0.6 * full);
+}
+
+TEST(ComputeModel, HbmTrafficAtLeastCompulsory)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const GemmWork w{2048, 2048, 2048};
+    const Bytes compulsory =
+        (w.m * w.k + w.k * w.n + 2 * w.m * w.n) * cfg.bytesPerElement;
+    EXPECT_GE(gemmHbmTraffic(cfg, w), compulsory);
+}
+
+TEST(ComputeModel, MemoryBoundShapesLimitedByHbm)
+{
+    // A rank-8 update moves ~2*m*n bytes for tiny FLOPs: must be
+    // memory-bound, i.e. time ~ traffic / hbm bandwidth.
+    const ChipConfig cfg = tpuV4Config();
+    const GemmWork w{8192, 8, 8192};
+    const Time t = gemmIdealTime(cfg, w);
+    const Time mem_floor =
+        static_cast<double>(gemmHbmTraffic(cfg, w)) / cfg.hbmBandwidth;
+    EXPECT_NEAR(t, mem_floor, mem_floor * 1e-9);
+}
+
+TEST(ComputeModel, EmptyWorkIsFree)
+{
+    const ChipConfig cfg = tpuV4Config();
+    EXPECT_DOUBLE_EQ(gemmIdealTime(cfg, GemmWork{}), 0.0);
+    EXPECT_EQ(gemmHbmTraffic(cfg, GemmWork{}), 0);
+}
+
+} // namespace
+} // namespace meshslice

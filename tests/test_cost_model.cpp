@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests of the analytical cost models and their calibration against
+ * the simulator: parameter recovery, absolute accuracy on collectives,
+ * and — the property the autotuner actually needs (Sec 5.2) — correct
+ * *ranking* of configurations against simulation.
+ */
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "net/topology.hpp"
+#include "tuner/cost_model.hpp"
+
+namespace meshslice {
+namespace {
+
+Time
+simulateAg(const ChipConfig &cfg, int chips, Bytes shard)
+{
+    Cluster cluster(cfg, chips);
+    RingNetwork net(cluster);
+    Time total = -1.0;
+    ringAllGather(cluster, net.ring(), shard, 0,
+                  [&](const CommStats &stats) { total = stats.total; });
+    cluster.sim().run();
+    return total;
+}
+
+TEST(Calibration, RecoversSimulatorParameters)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const CommCostParams params = calibrateCommModel(cfg);
+    // The fitted bandwidth should be close to one link's bandwidth
+    // (each synchronized step moves one shard over one link).
+    EXPECT_NEAR(params.bw, cfg.iciLinkBandwidth,
+                0.05 * cfg.iciLinkBandwidth);
+    EXPECT_NEAR(params.tSync, cfg.syncLatency, 0.5 * cfg.syncLatency);
+    EXPECT_NEAR(params.tLaunch, cfg.launchOverhead,
+                0.5 * cfg.launchOverhead);
+}
+
+TEST(Calibration, ModelPredictsUnseenRingSizes)
+{
+    // Calibrated on 2- and 4-chip rings; must extrapolate to 16/32.
+    const ChipConfig cfg = tpuV4Config();
+    const CostModel model = CostModel::calibrated(cfg);
+    for (int chips : {8, 16, 32}) {
+        for (Bytes shard : {MB(1), MB(16), MB(64)}) {
+            const Time sim = simulateAg(cfg, chips, shard);
+            const Time est = model.collectiveTime(chips, shard);
+            EXPECT_NEAR(est, sim, 0.1 * sim)
+                << "P=" << chips << " shard=" << shard;
+        }
+    }
+}
+
+TEST(CostModel, CollectiveTimeLinearInShardSize)
+{
+    const CostModel model = CostModel::calibrated(tpuV4Config());
+    const Time t1 = model.collectiveTime(8, MB(4));
+    const Time t2 = model.collectiveTime(8, MB(8));
+    const Time t4 = model.collectiveTime(8, MB(16));
+    EXPECT_NEAR(t4 - t2, 2.0 * (t2 - t1), 1e-9);
+}
+
+TEST(CostModel, ComputeTimeMatchesChipModel)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const CostModel model = CostModel::calibrated(cfg);
+    const GemmWork w{8192, 2048, 4096};
+    EXPECT_DOUBLE_EQ(model.computeTime(w), gemmIdealTime(cfg, w));
+}
+
+TEST(CostModel, EstimateRanksAlgorithmsLikeSimulation)
+{
+    // The model must reproduce the simulated ordering
+    // MeshSlice < Wang < Collective for a communication-heavy spec.
+    const ChipConfig cfg = tpuV4Config();
+    const CostModel model = CostModel::calibrated(cfg);
+    Gemm2DSpec spec;
+    spec.m = 65536;
+    spec.k = 12288;
+    spec.n = 12288;
+    spec.rows = 8;
+    spec.cols = 8;
+    spec.sliceCount = 8;
+    const Time e_ms = model.estimateGemmTime(Algorithm::kMeshSlice, spec);
+    const Time e_wang = model.estimateGemmTime(Algorithm::kWang, spec);
+    const Time e_coll =
+        model.estimateGemmTime(Algorithm::kCollective, spec);
+    EXPECT_LT(e_ms, e_wang);
+    EXPECT_LT(e_wang, e_coll);
+}
+
+TEST(CostModel, EstimateRanksSliceCountsLikeSimulation)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const CostModel model = CostModel::calibrated(cfg);
+    Gemm2DSpec spec;
+    spec.m = 65536;
+    spec.k = 12288;
+    spec.n = 12288;
+    spec.rows = 8;
+    spec.cols = 8;
+
+    auto simulate = [&](int s) {
+        Gemm2DSpec sp = spec;
+        sp.sliceCount = s;
+        Cluster cluster(cfg, sp.chips());
+        TorusMesh mesh(cluster, sp.rows, sp.cols);
+        GemmExecutor exec(mesh);
+        return exec.run(Algorithm::kMeshSlice, sp).time;
+    };
+    auto estimate = [&](int s) {
+        Gemm2DSpec sp = spec;
+        sp.sliceCount = s;
+        return model.estimateGemmTime(Algorithm::kMeshSlice, sp);
+    };
+    // S=1 (no overlap) must rank worst in both; moderate S best.
+    EXPECT_GT(estimate(1), estimate(8));
+    EXPECT_GT(simulate(1), simulate(8));
+}
+
+TEST(CostModel, TuneSliceCountReturnsValidS)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const CostModel model = CostModel::calibrated(cfg);
+    Gemm2DSpec spec;
+    spec.m = 65536;
+    spec.k = 12288;
+    spec.n = 12288;
+    spec.rows = 8;
+    spec.cols = 8;
+    auto [s, t] = model.tuneSliceCount(Algorithm::kMeshSlice, spec);
+    EXPECT_GT(s, 1); // overlap should pay off for this shape
+    EXPECT_LT(t, 1e300);
+    const auto valid = validSliceCounts(cfg, spec);
+    EXPECT_NE(std::find(valid.begin(), valid.end(), s), valid.end());
+}
+
+TEST(CostModel, CannonInfeasibleOnNonSquare)
+{
+    const CostModel model = CostModel::calibrated(tpuV4Config());
+    Gemm2DSpec spec;
+    spec.m = 4096;
+    spec.k = 4096;
+    spec.n = 4096;
+    spec.rows = 2;
+    spec.cols = 8;
+    EXPECT_GE(model.estimateGemmTime(Algorithm::kCannon, spec), 1e300);
+}
+
+TEST(CostModel, BroadcastCostExceedsCollectiveAtScale)
+{
+    const CostModel model = CostModel::calibrated(tpuV4Config());
+    // Same per-ring payload: SUMMA's pipelined broadcast pays more
+    // syncs and cannot split the payload across ring directions.
+    const Bytes payload = MB(16);
+    EXPECT_GT(model.broadcastTime(32, payload),
+              model.collectiveTime(32, payload / 32));
+}
+
+} // namespace
+} // namespace meshslice

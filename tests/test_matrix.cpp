@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the dense matrix substrate.
+ */
+#include <gtest/gtest.h>
+
+#include "gemm/matrix.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(3, 4);
+    for (std::int64_t r = 0; r < 3; ++r)
+        for (std::int64_t c = 0; c < 4; ++c)
+            EXPECT_EQ(m.at(r, c), 0.0f);
+}
+
+TEST(Matrix, RandomIsDeterministic)
+{
+    Matrix a = Matrix::random(8, 8, 42);
+    Matrix b = Matrix::random(8, 8, 42);
+    Matrix c = Matrix::random(8, 8, 43);
+    EXPECT_TRUE(a.allClose(b, 0.0));
+    EXPECT_FALSE(a.allClose(c, 1e-6));
+}
+
+TEST(Matrix, RandomValuesInRange)
+{
+    Matrix m = Matrix::random(16, 16, 7);
+    for (std::int64_t r = 0; r < 16; ++r)
+        for (std::int64_t c = 0; c < 16; ++c) {
+            EXPECT_GE(m.at(r, c), -1.0f);
+            EXPECT_LE(m.at(r, c), 1.0f);
+        }
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Matrix m = Matrix::random(5, 9, 1);
+    Matrix tt = m.transpose().transpose();
+    EXPECT_TRUE(m.allClose(tt, 0.0));
+    EXPECT_EQ(m.transpose().rows(), 9);
+    EXPECT_EQ(m.transpose().cols(), 5);
+}
+
+TEST(Matrix, GemmAgainstHandComputed)
+{
+    Matrix a(2, 3);
+    Matrix b(3, 2);
+    // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(av, av + 6, a.data());
+    std::copy(bv, bv + 6, b.data());
+    Matrix c = Matrix::gemm(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, GemmWithIdentity)
+{
+    Matrix a = Matrix::random(6, 6, 3);
+    Matrix c = Matrix::gemm(a, Matrix::identity(6));
+    EXPECT_TRUE(c.allClose(a, 1e-6));
+}
+
+TEST(Matrix, GemmTransposeIdentity)
+{
+    // (A * B)^T == B^T * A^T
+    Matrix a = Matrix::random(4, 7, 10);
+    Matrix b = Matrix::random(7, 5, 11);
+    Matrix lhs = Matrix::gemm(a, b).transpose();
+    Matrix rhs = Matrix::gemm(b.transpose(), a.transpose());
+    EXPECT_TRUE(lhs.allClose(rhs, 1e-4));
+}
+
+TEST(Matrix, HcatVcatRoundTrip)
+{
+    Matrix m = Matrix::random(6, 8, 5);
+    Matrix left = m.colBlock(0, 3);
+    Matrix right = m.colBlock(3, 5);
+    EXPECT_TRUE(Matrix::hcat({left, right}).allClose(m, 0.0));
+    Matrix top = m.rowBlock(0, 2);
+    Matrix bottom = m.rowBlock(2, 4);
+    EXPECT_TRUE(Matrix::vcat({top, bottom}).allClose(m, 0.0));
+}
+
+TEST(Matrix, AddAccumulates)
+{
+    Matrix a = Matrix::random(3, 3, 1);
+    Matrix b = Matrix::random(3, 3, 2);
+    Matrix c = a;
+    c.add(b);
+    for (std::int64_t r = 0; r < 3; ++r)
+        for (std::int64_t cc = 0; cc < 3; ++cc)
+            EXPECT_FLOAT_EQ(c.at(r, cc), a.at(r, cc) + b.at(r, cc));
+}
+
+TEST(Matrix, GemmAccAccumulatesOnExisting)
+{
+    Matrix a = Matrix::random(4, 4, 20);
+    Matrix b = Matrix::random(4, 4, 21);
+    Matrix c = Matrix::gemm(a, b);
+    Matrix twice = Matrix::gemm(a, b);
+    Matrix::gemmAcc(a, b, twice);
+    for (std::int64_t r = 0; r < 4; ++r)
+        for (std::int64_t cc = 0; cc < 4; ++cc)
+            EXPECT_NEAR(twice.at(r, cc), 2.0f * c.at(r, cc), 1e-4);
+}
+
+} // namespace
+} // namespace meshslice

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the LLM workload definitions: parameter counts, the 12
+ * FC-layer training GeMMs, shape dedup ("eight distinct GeMMs"), and
+ * the non-FC roofline estimate.
+ */
+#include <gtest/gtest.h>
+
+#include "model/transformer.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(Transformer, Gpt3HasRoughly175BParameters)
+{
+    const TransformerConfig cfg = gpt3Config();
+    EXPECT_NEAR(cfg.parameterCount(), 175e9, 10e9);
+    EXPECT_EQ(cfg.hiddenDim % cfg.heads, 0);
+}
+
+TEST(Transformer, MegatronHasRoughly530BParameters)
+{
+    const TransformerConfig cfg = megatronNlgConfig();
+    EXPECT_NEAR(cfg.parameterCount(), 530e9, 30e9);
+}
+
+TEST(Transformer, WeakScalingBatchRule)
+{
+    EXPECT_EQ(TrainingConfig::weakScaling(256).batch, 128);
+    EXPECT_EQ(TrainingConfig::weakScaling(16).tokens(), 8 * 2048);
+}
+
+TEST(Transformer, BlockHasTwelveGemms)
+{
+    const auto gemms =
+        blockFcGemms(gpt3Config(), TrainingConfig{128, 2048});
+    EXPECT_EQ(gemms.size(), 12u);
+    int fwd = 0, bwd_d = 0, bwd_w = 0;
+    for (const FcGemm &gemm : gemms) {
+        switch (gemm.pass) {
+          case Pass::kForward:
+            ++fwd;
+            break;
+          case Pass::kBackwardData:
+            ++bwd_d;
+            break;
+          case Pass::kBackwardWeight:
+            ++bwd_w;
+            break;
+        }
+    }
+    EXPECT_EQ(fwd, 4);
+    EXPECT_EQ(bwd_d, 4);
+    EXPECT_EQ(bwd_w, 4);
+}
+
+TEST(Transformer, GemmShapesMatchArchitecture)
+{
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train{128, 2048};
+    const std::int64_t m = train.tokens();
+    for (const FcGemm &gemm : blockFcGemms(model, train)) {
+        if (gemm.name == "qkv.fwd") {
+            EXPECT_EQ(gemm.m, m);
+            EXPECT_EQ(gemm.k, model.hiddenDim);
+            EXPECT_EQ(gemm.n, 3 * model.hiddenDim);
+        }
+        if (gemm.name == "ffn2.fwd") {
+            EXPECT_EQ(gemm.k, model.ffnDim);
+            EXPECT_EQ(gemm.n, model.hiddenDim);
+        }
+        if (gemm.name == "ffn1.bwdW") {
+            // W' is (in x out), contracting the token dimension.
+            EXPECT_EQ(gemm.m, model.hiddenDim);
+            EXPECT_EQ(gemm.k, m);
+            EXPECT_EQ(gemm.n, model.ffnDim);
+        }
+    }
+}
+
+TEST(Transformer, EightDistinctGemmShapes)
+{
+    // The paper's Sec 5.1.4: eight distinct (M, N, K) per model.
+    const auto distinct =
+        distinctFcGemms(gpt3Config(), TrainingConfig{128, 2048});
+    EXPECT_EQ(distinct.size(), 8u);
+    int total = 0;
+    for (const WeightedFcGemm &entry : distinct)
+        total += entry.count;
+    EXPECT_EQ(total, 12);
+}
+
+TEST(Transformer, BlockFlopsMatchSixParamsTokens)
+{
+    // Folklore check: training FLOPs ~ 6 * params * tokens (the FC
+    // layers dominate). Per block: 6 * blockParams * tokens.
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train{128, 2048};
+    double flops = 0.0;
+    for (const FcGemm &gemm : blockFcGemms(model, train))
+        flops += gemm.flops();
+    const double block_params = model.parameterCount() / model.layers;
+    EXPECT_NEAR(flops, 6.0 * block_params * train.tokens(),
+                0.02 * flops);
+}
+
+TEST(Transformer, NonFcTimeScalesInverselyWithChips)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train{128, 2048};
+    const Time t64 = nonFcBlockTime(cfg, model, train, 64);
+    const Time t256 = nonFcBlockTime(cfg, model, train, 256);
+    EXPECT_NEAR(t64 / t256, 4.0, 1e-6);
+}
+
+TEST(Transformer, NonFcTimeIsMinorityOfBlockTime)
+{
+    // The paper's end-to-end speedups are only slightly below the
+    // FC-only speedups, so non-FC time must be a modest fraction of
+    // the FC time.
+    const ChipConfig cfg = tpuV4Config();
+    const TransformerConfig model = gpt3Config();
+    const TrainingConfig train = TrainingConfig::weakScaling(256);
+    double fc_flops = 0.0;
+    for (const FcGemm &gemm : blockFcGemms(model, train))
+        fc_flops += gemm.flops();
+    // FC time at ~70% utilization on 256 chips:
+    const Time fc_time = fc_flops / (0.7 * cfg.peakFlops * 256);
+    const Time non_fc = nonFcBlockTime(cfg, model, train, 256);
+    EXPECT_LT(non_fc, 0.35 * fc_time);
+    EXPECT_GT(non_fc, 0.01 * fc_time);
+}
+
+} // namespace
+} // namespace meshslice

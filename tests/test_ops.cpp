@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests of the element-wise/row-wise NN kernels (GeLU, softmax,
+ * layer norm) including gradient checks against finite differences and
+ * the sharded layer-norm reduction path used by the distributed block.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gemm/ops.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(Ops, GeluKnownValues)
+{
+    Matrix x(1, 3);
+    x.at(0, 0) = 0.0f;
+    x.at(0, 1) = 1.0f;
+    x.at(0, 2) = -1.0f;
+    Matrix y = geluForward(x);
+    EXPECT_NEAR(y.at(0, 0), 0.0, 1e-6);
+    EXPECT_NEAR(y.at(0, 1), 0.8412, 1e-3);
+    EXPECT_NEAR(y.at(0, 2), -0.1588, 1e-3);
+}
+
+TEST(Ops, GeluGradientMatchesFiniteDifference)
+{
+    Matrix x = Matrix::random(4, 4, 1);
+    Matrix dy(4, 4);
+    for (std::int64_t r = 0; r < 4; ++r)
+        for (std::int64_t c = 0; c < 4; ++c)
+            dy.at(r, c) = 1.0f;
+    Matrix dx = geluBackward(x, dy);
+    const double eps = 1e-3;
+    for (std::int64_t r = 0; r < 4; ++r) {
+        for (std::int64_t c = 0; c < 4; ++c) {
+            Matrix xp = x, xm = x;
+            xp.at(r, c) += static_cast<float>(eps);
+            xm.at(r, c) -= static_cast<float>(eps);
+            const double fd = (geluForward(xp).at(r, c) -
+                               geluForward(xm).at(r, c)) /
+                              (2.0 * eps);
+            EXPECT_NEAR(fd, dx.at(r, c), 2e-3);
+        }
+    }
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrderPreserved)
+{
+    Matrix x = Matrix::random(6, 10, 2);
+    Matrix p = softmaxRows(x);
+    for (std::int64_t r = 0; r < 6; ++r) {
+        double sum = 0.0;
+        for (std::int64_t c = 0; c < 10; ++c) {
+            sum += p.at(r, c);
+            EXPECT_GT(p.at(r, c), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Ops, SoftmaxInvariantToRowShift)
+{
+    Matrix x = Matrix::random(3, 5, 3);
+    Matrix shifted = x;
+    for (std::int64_t r = 0; r < 3; ++r)
+        for (std::int64_t c = 0; c < 5; ++c)
+            shifted.at(r, c) += 100.0f;
+    EXPECT_TRUE(softmaxRows(x).allClose(softmaxRows(shifted), 1e-5));
+}
+
+TEST(Ops, SoftmaxBackwardIsOrthogonalToOnes)
+{
+    // Since rows of softmax sum to 1, dx rows must sum to ~0 for any dp.
+    Matrix x = Matrix::random(4, 6, 4);
+    Matrix p = softmaxRows(x);
+    Matrix dp = Matrix::random(4, 6, 5);
+    Matrix dx = softmaxRowsBackward(p, dp);
+    for (std::int64_t r = 0; r < 4; ++r) {
+        double sum = 0.0;
+        for (std::int64_t c = 0; c < 6; ++c)
+            sum += dx.at(r, c);
+        EXPECT_NEAR(sum, 0.0, 1e-5);
+    }
+}
+
+TEST(Ops, LayerNormRowsHaveZeroMeanUnitVar)
+{
+    Matrix x = Matrix::random(5, 32, 6);
+    Matrix y = layerNormForward(x);
+    for (std::int64_t r = 0; r < 5; ++r) {
+        double mean = 0.0, var = 0.0;
+        for (std::int64_t c = 0; c < 32; ++c)
+            mean += y.at(r, c);
+        mean /= 32.0;
+        for (std::int64_t c = 0; c < 32; ++c)
+            var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+        var /= 32.0;
+        EXPECT_NEAR(mean, 0.0, 1e-5);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(Ops, ShardedStatsMatchFullStats)
+{
+    // Accumulating row sums over column shards must reproduce the
+    // full-row statistics (the distributed layer-norm path).
+    Matrix x = Matrix::random(4, 24, 7);
+    std::vector<double> sum, sum_sq;
+    accumulateRowSums(x.colBlock(0, 8), sum, sum_sq);
+    accumulateRowSums(x.colBlock(8, 8), sum, sum_sq);
+    accumulateRowSums(x.colBlock(16, 8), sum, sum_sq);
+    RowStats sharded = rowStatsFromSums(sum, sum_sq, 24);
+    RowStats full;
+    layerNormForward(x, &full);
+    for (size_t r = 0; r < 4; ++r) {
+        EXPECT_NEAR(sharded.mean[r], full.mean[r], 1e-6);
+        EXPECT_NEAR(sharded.invStd[r], full.invStd[r], 1e-5);
+    }
+}
+
+TEST(Ops, LayerNormBackwardMatchesFiniteDifference)
+{
+    Matrix x = Matrix::random(2, 16, 8);
+    Matrix dy = Matrix::random(2, 16, 9);
+    RowStats stats;
+    layerNormForward(x, &stats);
+    Matrix dx = layerNormBackwardFull(x, stats, dy);
+
+    auto loss = [&](const Matrix &xin) {
+        Matrix y = layerNormForward(xin);
+        double l = 0.0;
+        for (std::int64_t r = 0; r < y.rows(); ++r)
+            for (std::int64_t c = 0; c < y.cols(); ++c)
+                l += static_cast<double>(y.at(r, c)) * dy.at(r, c);
+        return l;
+    };
+    const double eps = 1e-2;
+    for (auto [r, c] : {std::pair{0, 0}, {1, 7}, {0, 15}}) {
+        Matrix xp = x, xm = x;
+        xp.at(r, c) += static_cast<float>(eps);
+        xm.at(r, c) -= static_cast<float>(eps);
+        const double fd = (loss(xp) - loss(xm)) / (2.0 * eps);
+        EXPECT_NEAR(fd, dx.at(r, c), 5e-2 + 0.05 * std::fabs(dx.at(r, c)));
+    }
+}
+
+} // namespace
+} // namespace meshslice

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the step-accurate functional ring collectives against their
+ * mathematical definitions, including the AG/RdS duality and the
+ * AllReduce composition used for DP gradients.
+ */
+#include <gtest/gtest.h>
+
+#include "gemm/ring_collectives.hpp"
+
+namespace meshslice {
+namespace {
+
+std::vector<Matrix>
+randomShards(int p, std::int64_t rows, std::int64_t cols,
+             std::uint64_t seed)
+{
+    std::vector<Matrix> shards;
+    for (int i = 0; i < p; ++i)
+        shards.push_back(Matrix::random(rows, cols, seed + i));
+    return shards;
+}
+
+TEST(RingCollectives, AllGatherProducesFullConcat)
+{
+    for (int p : {1, 2, 3, 4, 8}) {
+        auto shards = randomShards(p, 4, 6, 100);
+        Matrix expected = Matrix::vcat(shards);
+        auto gathered = ringAllGatherFunctional(shards);
+        ASSERT_EQ(gathered.size(), static_cast<size_t>(p));
+        for (const Matrix &m : gathered)
+            EXPECT_TRUE(m.allClose(expected, 0.0)) << "P=" << p;
+    }
+}
+
+TEST(RingCollectives, ReduceScatterSumsBlockwise)
+{
+    for (int p : {2, 3, 4, 6}) {
+        auto partials = randomShards(p, 4 * p, 5, 200);
+        auto reduced = ringReduceScatterFunctional(partials);
+        ASSERT_EQ(reduced.size(), static_cast<size_t>(p));
+        for (int c = 0; c < p; ++c) {
+            Matrix expected(4, 5);
+            for (int j = 0; j < p; ++j)
+                expected.add(partials[static_cast<size_t>(j)].rowBlock(
+                    c * 4, 4));
+            EXPECT_TRUE(reduced[static_cast<size_t>(c)].allClose(
+                expected, 1e-4))
+                << "P=" << p << " chunk " << c;
+        }
+    }
+}
+
+TEST(RingCollectives, AllGatherUndoesReduceScatterShape)
+{
+    // RdS then AG yields the fully reduced matrix on every chip —
+    // the AllReduce identity.
+    const int p = 4;
+    auto partials = randomShards(p, 8 * p, 3, 300);
+    Matrix expected(8 * p, 3);
+    for (const Matrix &m : partials)
+        expected.add(m);
+    auto allreduced = ringAllReduceFunctional(partials);
+    ASSERT_EQ(allreduced.size(), static_cast<size_t>(p));
+    for (const Matrix &m : allreduced)
+        EXPECT_TRUE(m.allClose(expected, 1e-4));
+}
+
+TEST(RingCollectives, BroadcastDeliversRootPayloadToAll)
+{
+    for (int p : {2, 3, 5}) {
+        for (int packets : {1, 2, 4}) {
+            std::vector<Matrix> payloads(static_cast<size_t>(p));
+            for (int i = 0; i < p; ++i)
+                payloads[static_cast<size_t>(i)] =
+                    Matrix::random(8, 4, 400 + i);
+            for (int root = 0; root < p; ++root) {
+                auto out =
+                    ringBroadcastFunctional(payloads, root, packets);
+                for (const Matrix &m : out)
+                    EXPECT_TRUE(m.allClose(
+                        payloads[static_cast<size_t>(root)], 0.0))
+                        << "P=" << p << " root=" << root;
+            }
+        }
+    }
+}
+
+TEST(RingCollectives, ReduceAccumulatesToRoot)
+{
+    const int p = 5;
+    auto partials = randomShards(p, 12, 3, 500);
+    Matrix expected(12, 3);
+    for (const Matrix &m : partials)
+        expected.add(m);
+    for (int root : {0, 2, 4}) {
+        Matrix got = ringReduceFunctional(partials, root, 3);
+        EXPECT_TRUE(got.allClose(expected, 1e-4)) << "root=" << root;
+    }
+}
+
+TEST(RingCollectives, ShiftRotatesByOne)
+{
+    auto shards = randomShards(4, 2, 2, 600);
+    auto fwd = ringShiftFunctional(shards, true);
+    EXPECT_TRUE(fwd[0].allClose(shards[1], 0.0));
+    EXPECT_TRUE(fwd[3].allClose(shards[0], 0.0));
+    auto bwd = ringShiftFunctional(shards, false);
+    EXPECT_TRUE(bwd[0].allClose(shards[3], 0.0));
+    // fwd then bwd is the identity.
+    auto round = ringShiftFunctional(fwd, false);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(round[static_cast<size_t>(i)].allClose(
+            shards[static_cast<size_t>(i)], 0.0));
+}
+
+TEST(RingCollectives, PSteps1AllGatherOfSingleChipIsIdentity)
+{
+    auto shards = randomShards(1, 4, 4, 700);
+    auto out = ringAllGatherFunctional(shards);
+    EXPECT_TRUE(out[0].allClose(shards[0], 0.0));
+}
+
+TEST(RingCollectivesDeath, RejectsMismatchedShapes)
+{
+    std::vector<Matrix> bad;
+    bad.push_back(Matrix::random(4, 4, 1));
+    bad.push_back(Matrix::random(4, 5, 2));
+    EXPECT_DEATH(ringAllGatherFunctional(bad), "mismatched");
+}
+
+TEST(RingCollectivesDeath, ReduceScatterNeedsDivisibleRows)
+{
+    auto partials = randomShards(3, 7, 2, 800);
+    EXPECT_DEATH(ringReduceScatterFunctional(partials), "rows");
+}
+
+} // namespace
+} // namespace meshslice

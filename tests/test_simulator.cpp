@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests of the discrete-event core: ordering, cancellation,
+ * determinism, and time progression.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SameTimestampRunsInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(1.0, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesRelativeDelay)
+{
+    Simulator sim;
+    Time fired_at = -1.0;
+    sim.schedule(5.0, [&] {
+        sim.scheduleAfter(2.5, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    EventId id = sim.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id)); // second cancel is a no-op
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidIdReturnsFalse)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.cancel(EventId{}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(1.0, [&] { ++count; });
+    sim.schedule(10.0, [&] { ++count; });
+    sim.runUntil(5.0);
+    EXPECT_EQ(count, 1);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 100)
+            sim.scheduleAfter(0.1, recurse);
+    };
+    sim.scheduleAfter(0.1, recurse);
+    sim.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_NEAR(sim.now(), 10.0, 1e-9);
+    EXPECT_EQ(sim.eventsProcessed(), 100u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime)
+{
+    Simulator sim;
+    Time when = -1.0;
+    sim.schedule(2.0, [&] {
+        sim.scheduleAfter(0.0, [&] { when = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(when, 2.0);
+}
+
+} // namespace
+} // namespace meshslice

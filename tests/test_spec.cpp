@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the GeMM spec geometry: which matrix flows where under each
+ * dataflow, per-iteration local work, traffic symmetry, and the valid
+ * slice-count enumeration.
+ */
+#include <gtest/gtest.h>
+
+#include "core/spec.hpp"
+
+namespace meshslice {
+namespace {
+
+Gemm2DSpec
+spec(Dataflow df, int rows = 4, int cols = 8, int s = 2)
+{
+    Gemm2DSpec out;
+    out.m = 1024;
+    out.k = 2048;
+    out.n = 4096;
+    out.dataflow = df;
+    out.rows = rows;
+    out.cols = cols;
+    out.sliceCount = s;
+    out.bytesPerElement = 2;
+    return out;
+}
+
+TEST(Spec, OSFlowsBothInputsAsAllGather)
+{
+    const Gemm2DSpec sp = spec(Dataflow::kOS);
+    const FlowSide h = horizontalFlow(sp);
+    const FlowSide v = verticalFlow(sp);
+    EXPECT_EQ(h.matrixBytes, 1024 * 2048 * 2); // A
+    EXPECT_EQ(h.op, CollKind::kAllGather);
+    EXPECT_EQ(v.matrixBytes, 2048LL * 4096 * 2); // B
+    EXPECT_EQ(v.op, CollKind::kAllGather);
+    EXPECT_EQ(stationaryShardBytes(sp), 1024 * 4096 * 2 / 32); // C
+}
+
+TEST(Spec, LSFlowsOutputHorizontallyAsReduceScatter)
+{
+    const Gemm2DSpec sp = spec(Dataflow::kLS);
+    const FlowSide h = horizontalFlow(sp);
+    const FlowSide v = verticalFlow(sp);
+    EXPECT_EQ(h.matrixBytes, 1024 * 4096 * 2); // C
+    EXPECT_EQ(h.op, CollKind::kReduceScatter);
+    EXPECT_EQ(v.matrixBytes, 2048LL * 4096 * 2); // B
+    EXPECT_EQ(v.op, CollKind::kAllGather);
+}
+
+TEST(Spec, RSFlowsOutputVerticallyAsReduceScatter)
+{
+    const Gemm2DSpec sp = spec(Dataflow::kRS);
+    const FlowSide h = horizontalFlow(sp);
+    const FlowSide v = verticalFlow(sp);
+    EXPECT_EQ(h.matrixBytes, 1024 * 2048 * 2); // A
+    EXPECT_EQ(h.op, CollKind::kAllGather);
+    EXPECT_EQ(v.matrixBytes, 1024 * 4096 * 2); // C
+    EXPECT_EQ(v.op, CollKind::kReduceScatter);
+}
+
+TEST(Spec, LocalSliceWorkPerDataflow)
+{
+    // OS slices K, LS slices N, RS slices M.
+    GemmWork os = localSliceWork(spec(Dataflow::kOS));
+    EXPECT_EQ(os.m, 1024 / 4);
+    EXPECT_EQ(os.k, 2048 / 2);
+    EXPECT_EQ(os.n, 4096 / 8);
+
+    GemmWork ls = localSliceWork(spec(Dataflow::kLS));
+    EXPECT_EQ(ls.m, 1024 / 4);
+    EXPECT_EQ(ls.k, 2048 / 8);
+    EXPECT_EQ(ls.n, 4096 / 2);
+
+    GemmWork rs = localSliceWork(spec(Dataflow::kRS));
+    EXPECT_EQ(rs.m, 1024 / 2);
+    EXPECT_EQ(rs.k, 2048 / 4);
+    EXPECT_EQ(rs.n, 4096 / 8);
+}
+
+TEST(Spec, SlicedWorkSumsToFullComputation)
+{
+    // Property: S iterations of the per-iteration local GeMM times the
+    // chip count cover exactly the full GeMM's FLOPs, per dataflow.
+    for (Dataflow df : {Dataflow::kOS, Dataflow::kLS, Dataflow::kRS}) {
+        for (int s : {1, 2, 4}) {
+            Gemm2DSpec sp = spec(df, 4, 8, s);
+            const GemmWork w = localSliceWork(sp);
+            const double per_iter = gemmFlops(w);
+            EXPECT_DOUBLE_EQ(per_iter * s * sp.chips(), sp.totalFlops())
+                << dataflowName(df) << " S=" << s;
+        }
+    }
+}
+
+TEST(Spec, SlicedDimMatchesDataflow)
+{
+    EXPECT_EQ(slicedDim(spec(Dataflow::kOS)), 2048);
+    EXPECT_EQ(slicedDim(spec(Dataflow::kLS)), 4096);
+    EXPECT_EQ(slicedDim(spec(Dataflow::kRS)), 1024);
+}
+
+TEST(Spec, ValidSliceCountsDivideBothPerChipExtents)
+{
+    const ChipConfig cfg = tpuV4Config(); // B = 8
+    Gemm2DSpec sp = spec(Dataflow::kOS, 4, 8, 1);
+    // K=2048: per-row 512, per-col 256; gcd/B = 256/8 = 32.
+    const std::vector<int> valid = validSliceCounts(cfg, sp);
+    EXPECT_EQ(valid, (std::vector<int>{1, 2, 4, 8, 16, 32}));
+}
+
+TEST(Spec, ValidSliceCountsRespectCap)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Gemm2DSpec sp = spec(Dataflow::kOS, 1, 1, 1);
+    const std::vector<int> valid = validSliceCounts(cfg, sp, 8);
+    for (int s : valid)
+        EXPECT_LE(s, 8);
+    EXPECT_FALSE(valid.empty());
+}
+
+TEST(Spec, AlgorithmNamesRoundTrip)
+{
+    EXPECT_STREQ(algorithmName(Algorithm::kMeshSlice), "MeshSlice");
+    EXPECT_EQ(all2DAlgorithms().size(), 5u);
+    EXPECT_EQ(allAlgorithms().size(), 7u);
+}
+
+TEST(Spec, UtilizationComputation)
+{
+    GemmRunResult res;
+    res.time = 1.0;
+    res.flops = 272e12 * 16 * 0.5;
+    ChipConfig cfg = tpuV4Config();
+    EXPECT_NEAR(res.utilization(cfg, 16), 0.5, 1e-9);
+}
+
+} // namespace
+} // namespace meshslice

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests of the torus/ring topologies and the mesh-wide operation
+ * helpers: ring membership, link distinctness (rows and columns use
+ * disjoint links — the "4 ICI links" property the paper's bandwidth
+ * argument rests on), and fan-out completion semantics.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/mesh_ops.hpp"
+#include "net/topology.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(Topology, TorusRingMembership)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 12);
+    TorusMesh mesh(cluster, 3, 4);
+    EXPECT_EQ(mesh.rowRing(1).chips, (std::vector<int>{4, 5, 6, 7}));
+    EXPECT_EQ(mesh.colRing(2).chips, (std::vector<int>{2, 6, 10}));
+    EXPECT_EQ(mesh.rowRings().size(), 3u);
+    EXPECT_EQ(mesh.colRings().size(), 4u);
+}
+
+TEST(Topology, RowAndColumnLinksAreDisjoint)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 16);
+    TorusMesh mesh(cluster, 4, 4);
+    std::set<ResourceId> row_links, col_links;
+    for (const Ring &ring : mesh.rowRings()) {
+        row_links.insert(ring.fwd.begin(), ring.fwd.end());
+        row_links.insert(ring.bwd.begin(), ring.bwd.end());
+    }
+    for (const Ring &ring : mesh.colRings()) {
+        col_links.insert(ring.fwd.begin(), ring.fwd.end());
+        col_links.insert(ring.bwd.begin(), ring.bwd.end());
+    }
+    // 4 rows x 4 chips x 2 directions = 32 distinct links each way.
+    EXPECT_EQ(row_links.size(), 32u);
+    EXPECT_EQ(col_links.size(), 32u);
+    for (ResourceId id : row_links)
+        EXPECT_EQ(col_links.count(id), 0u);
+}
+
+TEST(Topology, LayeredMeshesUseDistinctChips)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 16);
+    TorusMesh layer0(cluster, 2, 4, 0);
+    TorusMesh layer1(cluster, 2, 4, 8);
+    EXPECT_EQ(layer0.chipAt(1, 3), 7);
+    EXPECT_EQ(layer1.chipAt(0, 0), 8);
+    EXPECT_EQ(layer1.chipAt(1, 3), 15);
+}
+
+TEST(TopologyDeath, RejectsOversizedBase)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 8);
+    EXPECT_DEATH(TorusMesh(cluster, 2, 4, 4), "exceeds");
+}
+
+TEST(Topology, RingNetworkConnectsAllChips)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 6);
+    RingNetwork net(cluster);
+    EXPECT_EQ(net.ring().size(), 6);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(net.ring().chips[static_cast<size_t>(i)], i);
+}
+
+TEST(MeshOps, MeshCollectiveCompletesOncePerCall)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 8);
+    TorusMesh mesh(cluster, 2, 4);
+    int fired = 0;
+    CommStats seen;
+    meshCollective(mesh, Dir::kHorizontal, CollKind::kAllGather, MB(1),
+                   [&](const CommStats &stats) {
+                       ++fired;
+                       seen = stats;
+                   });
+    cluster.sim().run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_GT(seen.total, 0.0);
+    // The merged stats describe one (representative) ring, not a sum
+    // over the two symmetric rows.
+    Cluster solo(cfg, 4);
+    RingNetwork ring(solo);
+    CommStats alone;
+    ringAllGather(solo, ring.ring(), MB(1), 0,
+                  [&](const CommStats &stats) { alone = stats; });
+    solo.sim().run();
+    EXPECT_NEAR(seen.total, alone.total, 1e-12);
+}
+
+TEST(MeshOps, MeshGemmRunsOnMeshChipsOnly)
+{
+    // On a layered cluster, a layer's meshGemm must only charge that
+    // layer's cores.
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 8);
+    TorusMesh layer0(cluster, 2, 2, 0);
+    bool done = false;
+    meshGemm(layer0, GemmWork{1024, 1024, 1024}, [&] { done = true; });
+    cluster.sim().run();
+    EXPECT_TRUE(done);
+    for (int chip = 0; chip < 4; ++chip)
+        EXPECT_GT(cluster.net().resourceStats(cluster.coreOf(chip))
+                      .totalConsumed,
+                  0.0);
+    for (int chip = 4; chip < 8; ++chip)
+        EXPECT_EQ(cluster.net().resourceStats(cluster.coreOf(chip))
+                      .totalConsumed,
+                  0.0);
+}
+
+TEST(MeshOps, VerticalShiftUsesColumnRings)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 8);
+    TorusMesh mesh(cluster, 2, 4);
+    bool done = false;
+    meshShift(mesh, Dir::kVertical, MB(2), true,
+              [&](const CommStats &) { done = true; });
+    cluster.sim().run();
+    EXPECT_TRUE(done);
+    // Southward links carried the data; eastward links stayed idle.
+    double south = 0.0, east = 0.0;
+    for (const Ring &ring : mesh.colRings())
+        for (ResourceId id : ring.fwd)
+            south += cluster.net().resourceStats(id).totalConsumed;
+    for (const Ring &ring : mesh.rowRings())
+        for (ResourceId id : ring.fwd)
+            east += cluster.net().resourceStats(id).totalConsumed;
+    EXPECT_GT(south, 0.0);
+    EXPECT_EQ(east, 0.0);
+}
+
+} // namespace
+} // namespace meshslice

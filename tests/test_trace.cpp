@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests of the chrome-trace recorder and its integration with the
+ * executors (the Figure-4-style timeline export).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/executor.hpp"
+#include "sim/trace.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(Trace, DisabledRecorderIsNoOp)
+{
+    TraceRecorder trace;
+    trace.record("x", "compute", 0, 0, 0.0, 1.0);
+    EXPECT_EQ(trace.spanCount(), 0u);
+}
+
+TEST(Trace, RecordsSpansWhenEnabled)
+{
+    TraceRecorder trace;
+    trace.enable(true);
+    trace.record("gemm", "compute", 3, kLaneCompute, 1.0, 2.5);
+    ASSERT_EQ(trace.spanCount(), 1u);
+    EXPECT_EQ(trace.spans()[0].pid, 3);
+    EXPECT_DOUBLE_EQ(trace.spans()[0].end, 2.5);
+    trace.clear();
+    EXPECT_EQ(trace.spanCount(), 0u);
+}
+
+TEST(Trace, WritesValidChromeTraceJson)
+{
+    TraceRecorder trace;
+    trace.enable(true);
+    trace.record("allgather", "comm", 0, kLaneHorizontalComm, 0.0, 1e-3);
+    trace.record("gemm", "compute", 1, kLaneCompute, 1e-3, 2e-3);
+    const std::string path = "/tmp/meshslice_trace_test.json";
+    trace.writeJson(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string json = buf.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"allgather\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ExecutorEmitsComputeAndCommSpans)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Gemm2DSpec spec;
+    spec.m = 8192;
+    spec.k = 4096;
+    spec.n = 4096;
+    spec.rows = 2;
+    spec.cols = 2;
+    spec.sliceCount = 2;
+    Cluster cluster(cfg, 4);
+    TorusMesh mesh(cluster, 2, 2);
+    cluster.trace().enable(true);
+    GemmExecutor exec(mesh);
+    exec.run(Algorithm::kMeshSlice, spec);
+    bool saw_compute = false, saw_comm = false;
+    for (const TraceRecorder::Span &span : cluster.trace().spans()) {
+        if (span.category == "compute")
+            saw_compute = true;
+        if (span.category == "comm")
+            saw_comm = true;
+        EXPECT_GE(span.end, span.begin);
+    }
+    EXPECT_TRUE(saw_compute);
+    EXPECT_TRUE(saw_comm);
+}
+
+TEST(Collectives, AllReduceCostsTwoCollectives)
+{
+    ChipConfig cfg = tpuV4Config();
+    cfg.bidirectionalIci = false;
+    Cluster cluster(cfg, 4);
+    RingNetwork net(cluster);
+    CommStats ar;
+    const Bytes total = 4000;
+    ringAllReduce(cluster, net.ring(), total, 0,
+                  [&](const CommStats &stats) { ar = stats; });
+    cluster.sim().run();
+    // RdS + AG of total/P shards: 2 launches, 2*(P-1) syncs,
+    // 2*(P-1)*shard bytes per link.
+    EXPECT_NEAR(ar.launch, 2 * cfg.launchOverhead, 1e-12);
+    EXPECT_EQ(ar.syncCount, 6);
+    EXPECT_EQ(ar.bytesPerLink, 2 * 3 * (total / 4));
+}
+
+} // namespace
+} // namespace meshslice

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests of the util substrate: math helpers, table printer, units.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(MathUtil, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 128), 1);
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+}
+
+TEST(MathUtil, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(256));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(-4));
+}
+
+TEST(MathUtil, DivisorsSortedAndComplete)
+{
+    EXPECT_EQ(divisorsOf(12),
+              (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisorsOf(1), (std::vector<std::int64_t>{1}));
+    EXPECT_EQ(divisorsOf(16),
+              (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(MathUtil, MeshShapesCoverAllFactorizations)
+{
+    auto shapes = meshShapesOf(256);
+    EXPECT_EQ(shapes.size(), 9u); // 1,2,4,...,256
+    for (auto [r, c] : shapes)
+        EXPECT_EQ(r * c, 256);
+    EXPECT_EQ(shapes.front().first, 1);
+    EXPECT_EQ(shapes.back().first, 256);
+}
+
+TEST(Units, LiteralsScaleCorrectly)
+{
+    EXPECT_DOUBLE_EQ(us(1.0), 1e-6);
+    EXPECT_DOUBLE_EQ(ms(2.0), 2e-3);
+    EXPECT_EQ(MB(1.0), 1000000);
+    EXPECT_EQ(MiB(1.0), 1048576);
+    EXPECT_DOUBLE_EQ(GBps(45.0), 45e9);
+    EXPECT_DOUBLE_EQ(TFLOPS(272.0), 272e12);
+}
+
+TEST(TableUtil, AlignsColumnsAndCountsRows)
+{
+    Table t({"a", "long_header"});
+    t.addRow({"xxxx", "1"});
+    t.addRow({"y", "22"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("xxxx"), std::string::npos);
+}
+
+TEST(TableUtil, CsvOutput)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TableUtil, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+TEST(TableUtilDeath, RejectsArityMismatch)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "arity");
+}
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+}
+
+} // namespace
+} // namespace meshslice
