@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_gemm_shapes.dir/fig11_gemm_shapes.cpp.o"
+  "CMakeFiles/fig11_gemm_shapes.dir/fig11_gemm_shapes.cpp.o.d"
+  "fig11_gemm_shapes"
+  "fig11_gemm_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gemm_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

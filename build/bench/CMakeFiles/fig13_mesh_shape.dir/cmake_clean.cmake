@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mesh_shape.dir/fig13_mesh_shape.cpp.o"
+  "CMakeFiles/fig13_mesh_shape.dir/fig13_mesh_shape.cpp.o.d"
+  "fig13_mesh_shape"
+  "fig13_mesh_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mesh_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

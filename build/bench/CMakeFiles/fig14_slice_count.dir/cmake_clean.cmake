@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_slice_count.dir/fig14_slice_count.cpp.o"
+  "CMakeFiles/fig14_slice_count.dir/fig14_slice_count.cpp.o.d"
+  "fig14_slice_count"
+  "fig14_slice_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_slice_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_costmodel.dir/fig15_costmodel.cpp.o"
+  "CMakeFiles/fig15_costmodel.dir/fig15_costmodel.cpp.o.d"
+  "fig15_costmodel"
+  "fig15_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_bench_common.dir/common.cpp.o"
+  "CMakeFiles/ms_bench_common.dir/common.cpp.o.d"
+  "libms_bench_common.a"
+  "libms_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

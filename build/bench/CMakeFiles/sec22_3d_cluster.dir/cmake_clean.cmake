@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_3d_cluster.dir/sec22_3d_cluster.cpp.o"
+  "CMakeFiles/sec22_3d_cluster.dir/sec22_3d_cluster.cpp.o.d"
+  "sec22_3d_cluster"
+  "sec22_3d_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_3d_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec22_3d_cluster.
+# This may be replaced when dependencies are built.

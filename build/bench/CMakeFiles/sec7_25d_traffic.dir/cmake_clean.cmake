@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_25d_traffic.dir/sec7_25d_traffic.cpp.o"
+  "CMakeFiles/sec7_25d_traffic.dir/sec7_25d_traffic.cpp.o.d"
+  "sec7_25d_traffic"
+  "sec7_25d_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_25d_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dataflow_opt.dir/table2_dataflow_opt.cpp.o"
+  "CMakeFiles/table2_dataflow_opt.dir/table2_dataflow_opt.cpp.o.d"
+  "table2_dataflow_opt"
+  "table2_dataflow_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dataflow_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

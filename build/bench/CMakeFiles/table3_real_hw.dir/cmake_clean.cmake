@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_real_hw.dir/table3_real_hw.cpp.o"
+  "CMakeFiles/table3_real_hw.dir/table3_real_hw.cpp.o.d"
+  "table3_real_hw"
+  "table3_real_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_real_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

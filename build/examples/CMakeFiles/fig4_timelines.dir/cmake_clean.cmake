@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_timelines.dir/fig4_timelines.cpp.o"
+  "CMakeFiles/fig4_timelines.dir/fig4_timelines.cpp.o.d"
+  "fig4_timelines"
+  "fig4_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

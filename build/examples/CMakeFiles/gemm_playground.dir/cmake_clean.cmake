@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_playground.dir/gemm_playground.cpp.o"
+  "CMakeFiles/gemm_playground.dir/gemm_playground.cpp.o.d"
+  "gemm_playground"
+  "gemm_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

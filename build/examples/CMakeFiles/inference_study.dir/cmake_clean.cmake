@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_study.dir/inference_study.cpp.o"
+  "CMakeFiles/inference_study.dir/inference_study.cpp.o.d"
+  "inference_study"
+  "inference_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_autotune.dir/llm_autotune.cpp.o"
+  "CMakeFiles/llm_autotune.dir/llm_autotune.cpp.o.d"
+  "llm_autotune"
+  "llm_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_block.dir/transformer_block.cpp.o"
+  "CMakeFiles/transformer_block.dir/transformer_block.cpp.o.d"
+  "transformer_block"
+  "transformer_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dp3d.cpp" "src/core/CMakeFiles/ms_core.dir/dp3d.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/dp3d.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/core/CMakeFiles/ms_core.dir/executor.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/executor.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/ms_core.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/mesh_ops.cpp" "src/core/CMakeFiles/ms_core.dir/mesh_ops.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/mesh_ops.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/ms_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/spec.cpp.o.d"
+  "/root/repo/src/core/taskgraph.cpp" "src/core/CMakeFiles/ms_core.dir/taskgraph.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/taskgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

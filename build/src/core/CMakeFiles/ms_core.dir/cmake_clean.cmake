@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_core.dir/dp3d.cpp.o"
+  "CMakeFiles/ms_core.dir/dp3d.cpp.o.d"
+  "CMakeFiles/ms_core.dir/executor.cpp.o"
+  "CMakeFiles/ms_core.dir/executor.cpp.o.d"
+  "CMakeFiles/ms_core.dir/memory_model.cpp.o"
+  "CMakeFiles/ms_core.dir/memory_model.cpp.o.d"
+  "CMakeFiles/ms_core.dir/mesh_ops.cpp.o"
+  "CMakeFiles/ms_core.dir/mesh_ops.cpp.o.d"
+  "CMakeFiles/ms_core.dir/spec.cpp.o"
+  "CMakeFiles/ms_core.dir/spec.cpp.o.d"
+  "CMakeFiles/ms_core.dir/taskgraph.cpp.o"
+  "CMakeFiles/ms_core.dir/taskgraph.cpp.o.d"
+  "libms_core.a"
+  "libms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

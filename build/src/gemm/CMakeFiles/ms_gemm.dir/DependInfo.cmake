@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemm/dist_matrix.cpp" "src/gemm/CMakeFiles/ms_gemm.dir/dist_matrix.cpp.o" "gcc" "src/gemm/CMakeFiles/ms_gemm.dir/dist_matrix.cpp.o.d"
+  "/root/repo/src/gemm/functional_gemm.cpp" "src/gemm/CMakeFiles/ms_gemm.dir/functional_gemm.cpp.o" "gcc" "src/gemm/CMakeFiles/ms_gemm.dir/functional_gemm.cpp.o.d"
+  "/root/repo/src/gemm/matrix.cpp" "src/gemm/CMakeFiles/ms_gemm.dir/matrix.cpp.o" "gcc" "src/gemm/CMakeFiles/ms_gemm.dir/matrix.cpp.o.d"
+  "/root/repo/src/gemm/ops.cpp" "src/gemm/CMakeFiles/ms_gemm.dir/ops.cpp.o" "gcc" "src/gemm/CMakeFiles/ms_gemm.dir/ops.cpp.o.d"
+  "/root/repo/src/gemm/ring_collectives.cpp" "src/gemm/CMakeFiles/ms_gemm.dir/ring_collectives.cpp.o" "gcc" "src/gemm/CMakeFiles/ms_gemm.dir/ring_collectives.cpp.o.d"
+  "/root/repo/src/gemm/slicing.cpp" "src/gemm/CMakeFiles/ms_gemm.dir/slicing.cpp.o" "gcc" "src/gemm/CMakeFiles/ms_gemm.dir/slicing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_gemm.dir/dist_matrix.cpp.o"
+  "CMakeFiles/ms_gemm.dir/dist_matrix.cpp.o.d"
+  "CMakeFiles/ms_gemm.dir/functional_gemm.cpp.o"
+  "CMakeFiles/ms_gemm.dir/functional_gemm.cpp.o.d"
+  "CMakeFiles/ms_gemm.dir/matrix.cpp.o"
+  "CMakeFiles/ms_gemm.dir/matrix.cpp.o.d"
+  "CMakeFiles/ms_gemm.dir/ops.cpp.o"
+  "CMakeFiles/ms_gemm.dir/ops.cpp.o.d"
+  "CMakeFiles/ms_gemm.dir/ring_collectives.cpp.o"
+  "CMakeFiles/ms_gemm.dir/ring_collectives.cpp.o.d"
+  "CMakeFiles/ms_gemm.dir/slicing.cpp.o"
+  "CMakeFiles/ms_gemm.dir/slicing.cpp.o.d"
+  "libms_gemm.a"
+  "libms_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_hw.dir/cluster.cpp.o"
+  "CMakeFiles/ms_hw.dir/cluster.cpp.o.d"
+  "CMakeFiles/ms_hw.dir/compute_model.cpp.o"
+  "CMakeFiles/ms_hw.dir/compute_model.cpp.o.d"
+  "libms_hw.a"
+  "libms_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/block_dist.cpp" "src/model/CMakeFiles/ms_model.dir/block_dist.cpp.o" "gcc" "src/model/CMakeFiles/ms_model.dir/block_dist.cpp.o.d"
+  "/root/repo/src/model/block_ref.cpp" "src/model/CMakeFiles/ms_model.dir/block_ref.cpp.o" "gcc" "src/model/CMakeFiles/ms_model.dir/block_ref.cpp.o.d"
+  "/root/repo/src/model/transformer.cpp" "src/model/CMakeFiles/ms_model.dir/transformer.cpp.o" "gcc" "src/model/CMakeFiles/ms_model.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gemm/CMakeFiles/ms_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

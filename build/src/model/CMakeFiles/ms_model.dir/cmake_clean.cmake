@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_model.dir/block_dist.cpp.o"
+  "CMakeFiles/ms_model.dir/block_dist.cpp.o.d"
+  "CMakeFiles/ms_model.dir/block_ref.cpp.o"
+  "CMakeFiles/ms_model.dir/block_ref.cpp.o.d"
+  "CMakeFiles/ms_model.dir/transformer.cpp.o"
+  "CMakeFiles/ms_model.dir/transformer.cpp.o.d"
+  "libms_model.a"
+  "libms_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

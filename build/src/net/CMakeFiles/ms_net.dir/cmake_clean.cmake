@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_net.dir/collectives.cpp.o"
+  "CMakeFiles/ms_net.dir/collectives.cpp.o.d"
+  "CMakeFiles/ms_net.dir/topology.cpp.o"
+  "CMakeFiles/ms_net.dir/topology.cpp.o.d"
+  "libms_net.a"
+  "libms_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_sim.dir/fluid.cpp.o"
+  "CMakeFiles/ms_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ms_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/trace.cpp.o"
+  "CMakeFiles/ms_sim.dir/trace.cpp.o.d"
+  "libms_sim.a"
+  "libms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_tuner.dir/autotuner.cpp.o"
+  "CMakeFiles/ms_tuner.dir/autotuner.cpp.o.d"
+  "CMakeFiles/ms_tuner.dir/cluster_plan.cpp.o"
+  "CMakeFiles/ms_tuner.dir/cluster_plan.cpp.o.d"
+  "CMakeFiles/ms_tuner.dir/cost_model.cpp.o"
+  "CMakeFiles/ms_tuner.dir/cost_model.cpp.o.d"
+  "libms_tuner.a"
+  "libms_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_util.dir/logging.cpp.o"
+  "CMakeFiles/ms_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ms_util.dir/math.cpp.o"
+  "CMakeFiles/ms_util.dir/math.cpp.o.d"
+  "CMakeFiles/ms_util.dir/table.cpp.o"
+  "CMakeFiles/ms_util.dir/table.cpp.o.d"
+  "libms_util.a"
+  "libms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autotuner.cpp" "tests/CMakeFiles/ms_tests.dir/test_autotuner.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_autotuner.cpp.o.d"
+  "/root/repo/tests/test_block_dist.cpp" "tests/CMakeFiles/ms_tests.dir/test_block_dist.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_block_dist.cpp.o.d"
+  "/root/repo/tests/test_cluster_plan.cpp" "tests/CMakeFiles/ms_tests.dir/test_cluster_plan.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_cluster_plan.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/ms_tests.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_compute_model.cpp" "tests/CMakeFiles/ms_tests.dir/test_compute_model.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_compute_model.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/ms_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_dp3d.cpp" "tests/CMakeFiles/ms_tests.dir/test_dp3d.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_dp3d.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/ms_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_fluid.cpp" "tests/CMakeFiles/ms_tests.dir/test_fluid.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_fluid.cpp.o.d"
+  "/root/repo/tests/test_functional_gemm.cpp" "tests/CMakeFiles/ms_tests.dir/test_functional_gemm.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_functional_gemm.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/ms_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_memory_model.cpp" "tests/CMakeFiles/ms_tests.dir/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_memory_model.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/ms_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/ms_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/test_overlap.cpp" "tests/CMakeFiles/ms_tests.dir/test_overlap.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_overlap.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ms_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_ring_collectives.cpp" "tests/CMakeFiles/ms_tests.dir/test_ring_collectives.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_ring_collectives.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/ms_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_slicing.cpp" "tests/CMakeFiles/ms_tests.dir/test_slicing.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_slicing.cpp.o.d"
+  "/root/repo/tests/test_spec.cpp" "tests/CMakeFiles/ms_tests.dir/test_spec.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_spec.cpp.o.d"
+  "/root/repo/tests/test_taskgraph.cpp" "tests/CMakeFiles/ms_tests.dir/test_taskgraph.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_taskgraph.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/ms_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ms_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_training_composition.cpp" "tests/CMakeFiles/ms_tests.dir/test_training_composition.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_training_composition.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/ms_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/ms_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/ms_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
