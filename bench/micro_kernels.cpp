@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Microbenchmark of the two host-side hot paths this repo's design
+ * depends on: the blocked multithreaded `Matrix::gemmAcc` kernel and
+ * the autotuner's parallel design-space search, plus the calibration
+ * cache. Emits `BENCH_kernels.json` (in the working directory) so the
+ * perf trajectory of these paths is tracked across PRs.
+ *
+ * The "naive" GeMM baseline below is the literal pre-PR kernel
+ * (branchy triple loop, single thread); the autotune baseline is the
+ * same search forced onto one pool thread (`MESHSLICE_THREADS=1`
+ * semantics). Speedups are therefore vs the pre-PR serial behaviour
+ * and scale with the host's core count.
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <thread>
+
+#include "gemm/matrix.hpp"
+#include "model/transformer.hpp"
+#include "tuner/autotuner.hpp"
+#include "util/parallel.hpp"
+
+using namespace meshslice;
+
+namespace {
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+/** The pre-PR `Matrix::gemmAcc`: branchy serial triple loop. */
+void
+naiveGemmAcc(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t p = 0; p < k; ++p) {
+            const float av = a.at(i, p);
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.data() + p * n;
+            float *crow = c.data() + i * n;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+double
+gflops(std::int64_t m, std::int64_t k, std::int64_t n, double ms)
+{
+    return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+           static_cast<double>(n) / (ms * 1e-3) / 1e9;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::int64_t dim = argc > 1 ? std::atoll(argv[1]) : 1024;
+    const int host_threads = ThreadPool::defaultThreadCount();
+
+    std::cout << "micro_kernels: dim=" << dim << " pool_threads="
+              << host_threads << " (hardware_concurrency="
+              << std::thread::hardware_concurrency() << ")\n\n";
+
+    // ---- GeMM kernel: naive baseline vs blocked serial vs blocked
+    // parallel, all computing C += A*B on dim^3.
+    const Matrix a = Matrix::random(dim, dim, 1);
+    const Matrix b = Matrix::random(dim, dim, 2);
+
+    Matrix c_naive(dim, dim);
+    const double naive_ms =
+        wallMs([&] { naiveGemmAcc(a, b, c_naive); });
+
+    ThreadPool::setGlobalThreads(1);
+    Matrix c_serial(dim, dim);
+    const double blocked_serial_ms =
+        wallMs([&] { Matrix::gemmAcc(a, b, c_serial); });
+
+    ThreadPool::setGlobalThreads(host_threads);
+    Matrix c_parallel(dim, dim);
+    const double blocked_parallel_ms =
+        wallMs([&] { Matrix::gemmAcc(a, b, c_parallel); });
+
+    if (c_parallel.maxAbsDiff(c_naive) != 0.0 ||
+        c_serial.maxAbsDiff(c_naive) != 0.0) {
+        std::cerr << "FAIL: kernel results diverge from naive loop\n";
+        return 1;
+    }
+
+    const double gemm_speedup = naive_ms / blocked_parallel_ms;
+    std::cout << "gemm " << dim << "^3:\n"
+              << "  naive (pre-PR)    " << naive_ms << " ms  "
+              << gflops(dim, dim, dim, naive_ms) << " GFLOP/s\n"
+              << "  blocked serial    " << blocked_serial_ms << " ms  "
+              << gflops(dim, dim, dim, blocked_serial_ms)
+              << " GFLOP/s\n"
+              << "  blocked parallel  " << blocked_parallel_ms
+              << " ms  " << gflops(dim, dim, dim, blocked_parallel_ms)
+              << " GFLOP/s\n"
+              << "  speedup vs naive  " << gemm_speedup << "x\n\n";
+
+    // ---- Calibration cache: first call simulates, second must not.
+    const ChipConfig cfg = tpuV4Config();
+    const long runs_before = calibrationRunCount();
+    const double calib_first_ms =
+        wallMs([&] { (void)CostModel::calibrated(cfg); });
+    const double calib_cached_ms =
+        wallMs([&] { (void)CostModel::calibrated(cfg); });
+    const long calib_runs = calibrationRunCount() - runs_before;
+    std::cout << "calibration: first " << calib_first_ms
+              << " ms, cached " << calib_cached_ms << " ms ("
+              << calib_runs << " simulator run(s))\n\n";
+
+    // ---- Autotuner design-space search (GPT-3-sized): full phase-1 +
+    // phase-2 mesh-shape x slice-count search across cluster sizes,
+    // serial pool vs full pool. The calibrated cost model is built
+    // once above, so this times the search itself.
+    const CostModel cost = CostModel::calibrated(cfg);
+    const LlmAutotuner tuner(cost);
+    const TransformerConfig model = gpt3Config();
+    const int reps = 20;
+    const auto search = [&] {
+        for (int r = 0; r < reps; ++r)
+            for (int chips : {64, 256, 1024, 4096}) {
+                const TrainingConfig train =
+                    TrainingConfig::weakScaling(chips);
+                (void)tuner.tune(model, train, chips);
+            }
+    };
+    ThreadPool::setGlobalThreads(1);
+    const double tune_serial_ms = wallMs(search);
+    ThreadPool::setGlobalThreads(host_threads);
+    const double tune_parallel_ms = wallMs(search);
+    const double tune_speedup = tune_serial_ms / tune_parallel_ms;
+    std::cout << "autotune GPT-3 {64,256,1024,4096} chips x " << reps
+              << " reps:\n"
+              << "  serial (1 thread) " << tune_serial_ms << " ms\n"
+              << "  parallel          " << tune_parallel_ms << " ms\n"
+              << "  speedup           " << tune_speedup << "x\n\n";
+
+    std::ofstream json("BENCH_kernels.json");
+    json << "{\n"
+         << "  \"pool_threads\": " << host_threads << ",\n"
+         << "  \"gemm\": {\n"
+         << "    \"dim\": " << dim << ",\n"
+         << "    \"naive_ms\": " << naive_ms << ",\n"
+         << "    \"blocked_serial_ms\": " << blocked_serial_ms << ",\n"
+         << "    \"blocked_parallel_ms\": " << blocked_parallel_ms
+         << ",\n"
+         << "    \"naive_gflops\": " << gflops(dim, dim, dim, naive_ms)
+         << ",\n"
+         << "    \"blocked_parallel_gflops\": "
+         << gflops(dim, dim, dim, blocked_parallel_ms) << ",\n"
+         << "    \"speedup_vs_naive\": " << gemm_speedup << "\n"
+         << "  },\n"
+         << "  \"calibration\": {\n"
+         << "    \"first_ms\": " << calib_first_ms << ",\n"
+         << "    \"cached_ms\": " << calib_cached_ms << ",\n"
+         << "    \"simulator_runs\": " << calib_runs << "\n"
+         << "  },\n"
+         << "  \"autotune_gpt3\": {\n"
+         << "    \"chip_counts\": [64, 256, 1024, 4096],\n"
+         << "    \"reps\": " << reps << ",\n"
+         << "    \"serial_ms\": " << tune_serial_ms << ",\n"
+         << "    \"parallel_ms\": " << tune_parallel_ms << ",\n"
+         << "    \"speedup\": " << tune_speedup << "\n"
+         << "  }\n"
+         << "}\n";
+    std::cout << "wrote BENCH_kernels.json\n";
+    return 0;
+}

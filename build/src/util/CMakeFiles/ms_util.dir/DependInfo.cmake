@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/ms_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/ms_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/math.cpp" "src/util/CMakeFiles/ms_util.dir/math.cpp.o" "gcc" "src/util/CMakeFiles/ms_util.dir/math.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/util/CMakeFiles/ms_util.dir/parallel.cpp.o" "gcc" "src/util/CMakeFiles/ms_util.dir/parallel.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/ms_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/ms_util.dir/table.cpp.o.d"
   )
 

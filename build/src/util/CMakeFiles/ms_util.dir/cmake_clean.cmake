@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ms_util.dir/logging.cpp.o.d"
   "CMakeFiles/ms_util.dir/math.cpp.o"
   "CMakeFiles/ms_util.dir/math.cpp.o.d"
+  "CMakeFiles/ms_util.dir/parallel.cpp.o"
+  "CMakeFiles/ms_util.dir/parallel.cpp.o.d"
   "CMakeFiles/ms_util.dir/table.cpp.o"
   "CMakeFiles/ms_util.dir/table.cpp.o.d"
   "libms_util.a"

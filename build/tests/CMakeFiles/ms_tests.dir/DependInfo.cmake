@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/ms_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_model.cpp.o.d"
   "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/ms_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_ops.cpp.o.d"
   "/root/repo/tests/test_overlap.cpp" "tests/CMakeFiles/ms_tests.dir/test_overlap.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_overlap.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/ms_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_parallel.cpp.o.d"
   "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ms_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_properties.cpp.o.d"
   "/root/repo/tests/test_ring_collectives.cpp" "tests/CMakeFiles/ms_tests.dir/test_ring_collectives.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_ring_collectives.cpp.o.d"
   "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/ms_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_simulator.cpp.o.d"

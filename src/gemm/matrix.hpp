@@ -71,7 +71,13 @@ class Matrix
     /** True if every element differs by at most @p tol. */
     bool allClose(const Matrix &other, double tol = 1e-3) const;
 
-    /** c += a * b (naive blocked GeMM; shapes must agree). */
+    /**
+     * c += a * b (shapes must agree). Cache-blocked (64-row x 256-k
+     * panels) and parallelized over row panels on the shared pool;
+     * per output element the contraction accumulates in increasing-k
+     * order, so results are bit-identical to the naive triple loop
+     * for any `MESHSLICE_THREADS`.
+     */
     static void gemmAcc(const Matrix &a, const Matrix &b, Matrix &c);
 
     /** a * b. */

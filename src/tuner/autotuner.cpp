@@ -1,9 +1,11 @@
 #include "tuner/autotuner.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 
 namespace meshslice {
 
@@ -201,13 +203,28 @@ LlmAutotuner::planAtShape(Algorithm algo, const TransformerConfig &model,
     return out;
 }
 
+namespace {
+
+/** One phase-2 candidate's tuned plan, without the layers deep copy. */
+struct ShapeEval
+{
+    int rows = 0;
+    int cols = 0;
+    Time blockFcTime = 1e300;
+    /** (sliceCount, estTime) per GeMM, in allPlans() order. */
+    std::vector<std::pair<int, Time>> perGemm;
+};
+
+} // namespace
+
 AutotuneResult
 LlmAutotuner::tunePhase2(Algorithm algo, std::vector<FcLayerPlan> layers,
                          int chips) const
 {
-    AutotuneResult best;
-    best.blockFcTime = 1e300;
-
+    // Feasibility pre-check (cheap, serial): collect the candidate
+    // mesh shapes, breaking out of the pass scan on the first
+    // non-dividing GeMM instead of evaluating all 12.
+    std::vector<std::pair<int, int>> shapes;
     for (auto [rows, cols] : meshShapesOf(chips)) {
         if (algo == Algorithm::kCannon && rows != cols)
             continue;
@@ -215,35 +232,67 @@ LlmAutotuner::tunePhase2(Algorithm algo, std::vector<FcLayerPlan> layers,
         for (const FcLayerPlan &layer : layers) {
             for (const GemmPlan &plan : layer.passes) {
                 if (!shapeFeasible(plan.gemm, static_cast<int>(rows),
-                                   static_cast<int>(cols)))
+                                   static_cast<int>(cols))) {
                     feasible = false;
+                    break;
+                }
             }
+            if (!feasible)
+                break;
         }
-        if (!feasible)
-            continue;
-
-        AutotuneResult candidate;
-        candidate.rows = static_cast<int>(rows);
-        candidate.cols = static_cast<int>(cols);
-        candidate.layers = layers;
-        candidate.blockFcTime = 0.0;
-        for (FcLayerPlan &layer : candidate.layers) {
-            for (GemmPlan &plan : layer.passes) {
-                Gemm2DSpec spec =
-                    makeSpec(plan.gemm, plan.dataflow, candidate.rows,
-                             candidate.cols);
-                auto [s, t] = cost_.tuneSliceCount(algo, spec);
-                plan.sliceCount = s;
-                plan.estTime = t;
-                candidate.blockFcTime += t; // 1e300 == out of memory
-            }
-        }
-        if (candidate.blockFcTime < best.blockFcTime)
-            best = std::move(candidate);
+        if (feasible)
+            shapes.emplace_back(static_cast<int>(rows),
+                                static_cast<int>(cols));
     }
+    if (shapes.empty())
+        panic("LlmAutotuner: no feasible mesh shape for %d chips", chips);
+
+    // Evaluate candidates in parallel. Each evaluation only records
+    // the tuned (S, time) pairs — the layers vector is *not* copied
+    // per shape; the winner's copy is materialized once at the end.
+    const auto eval_shape = [&](std::int64_t idx) {
+        ShapeEval ev;
+        ev.rows = shapes[static_cast<size_t>(idx)].first;
+        ev.cols = shapes[static_cast<size_t>(idx)].second;
+        ev.blockFcTime = 0.0;
+        for (const FcLayerPlan &layer : layers) {
+            for (const GemmPlan &plan : layer.passes) {
+                const Gemm2DSpec spec = makeSpec(plan.gemm, plan.dataflow,
+                                                 ev.rows, ev.cols);
+                auto [s, t] = cost_.tuneSliceCount(algo, spec);
+                ev.perGemm.emplace_back(s, t);
+                ev.blockFcTime += t; // 1e300 == out of memory
+            }
+        }
+        return ev;
+    };
+    // The reduction is serial and index-ordered (meshShapesOf order =
+    // increasing rows), so ties keep the earliest candidate — lowest
+    // rows first — and the result is bit-identical to the serial loop
+    // for any MESHSLICE_THREADS.
+    ShapeEval best = parallelMapReduce(
+        static_cast<std::int64_t>(shapes.size()), ShapeEval{}, eval_shape,
+        [](ShapeEval acc, ShapeEval next) {
+            return next.blockFcTime < acc.blockFcTime ? std::move(next)
+                                                      : std::move(acc);
+        });
     if (best.blockFcTime >= 1e300)
         panic("LlmAutotuner: no feasible mesh shape for %d chips", chips);
-    return best;
+
+    AutotuneResult out;
+    out.rows = best.rows;
+    out.cols = best.cols;
+    out.blockFcTime = best.blockFcTime;
+    out.layers = std::move(layers); // the only layers copy/move
+    size_t g = 0;
+    for (FcLayerPlan &layer : out.layers) {
+        for (GemmPlan &plan : layer.passes) {
+            plan.sliceCount = best.perGemm[g].first;
+            plan.estTime = best.perGemm[g].second;
+            ++g;
+        }
+    }
+    return out;
 }
 
 } // namespace meshslice

@@ -37,8 +37,23 @@ struct CommCostParams
 /**
  * Calibrate the communication model against the cluster simulator
  * (stand-in for the paper's 2- and 4-chip TPUv4 microbenchmarks).
+ *
+ * Memoized process-wide on a fingerprint of every ChipConfig field:
+ * repeated calls with an identical configuration (every bench binary
+ * and every test constructs `CostModel::calibrated(tpuV4Config())`)
+ * run the ring simulations exactly once. Thread-safe.
  */
 CommCostParams calibrateCommModel(const ChipConfig &cfg);
+
+/**
+ * Number of *actual* (cache-missing) calibration simulations this
+ * process has performed. Tests assert it does not grow across
+ * repeated `CostModel::calibrated` calls with the same config.
+ */
+long calibrationRunCount();
+
+/** Drop all memoized calibrations (tests only; the counter stays). */
+void clearCalibrationCache();
 
 /** Analytical cost model over a fixed chip configuration. */
 class CostModel

@@ -1,0 +1,159 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+/** True while the current thread is executing a pool chunk; nested
+ *  parallelFor calls from such threads run inline to avoid deadlock. */
+thread_local bool t_inside_pool_task = false;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+} // namespace
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("MESHSLICE_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<int>(std::min(v, 512L));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 1)
+        panic("ThreadPool: thread count %d < 1", threads);
+    workers_.reserve(static_cast<size_t>(threads - 1));
+    for (int i = 0; i < threads - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    const bool was_inside = t_inside_pool_task;
+    t_inside_pool_task = true;
+    for (;;) {
+        const std::int64_t begin =
+            job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+        if (begin >= job.n)
+            break;
+        (*job.body)(begin, std::min(begin + job.chunk, job.n));
+    }
+    t_inside_pool_task = was_inside;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_cv_.wait(lock, [&] {
+                return stop_ || (job_ != nullptr && epoch_ != seen_epoch);
+            });
+            if (stop_)
+                return;
+            job = job_;
+            seen_epoch = epoch_;
+            job->working.fetch_add(1, std::memory_order_relaxed);
+        }
+        runChunks(*job);
+        if (job->working.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last worker out: wake the caller (which may be waiting
+            // for stragglers after exhausting the index space itself).
+            std::unique_lock<std::mutex> lock(mu_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::int64_t n, std::int64_t chunk,
+                        const ChunkFn &body)
+{
+    if (n <= 0)
+        return;
+    if (chunk < 1)
+        chunk = 1;
+    // Serial pool, single-chunk loops and nested calls run inline:
+    // same code path, no synchronization, deterministic by
+    // construction.
+    if (workers_.empty() || n <= chunk || t_inside_pool_task) {
+        for (std::int64_t begin = 0; begin < n; begin += chunk)
+            body(begin, std::min(begin + chunk, n));
+        return;
+    }
+
+    Job job;
+    job.n = n;
+    job.chunk = chunk;
+    job.body = &body;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        job_ = &job;
+        ++epoch_;
+    }
+    wake_cv_.notify_all();
+    runChunks(job); // the caller participates
+    {
+        // All indices are claimed; wait for workers still executing
+        // their final chunk, then retract the job so late-waking
+        // workers (which re-check `epoch_`) never touch a dead frame.
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] {
+            return job.working.load(std::memory_order_acquire) == 0;
+        });
+        job_ = nullptr;
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::unique_lock<std::mutex> lock(g_global_mu);
+    if (!g_global_pool)
+        g_global_pool =
+            std::make_unique<ThreadPool>(defaultThreadCount());
+    return *g_global_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    std::unique_lock<std::mutex> lock(g_global_mu);
+    g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+void
+parallelFor(std::int64_t n, std::int64_t chunk, const ChunkFn &body)
+{
+    ThreadPool::global().parallelFor(n, chunk, body);
+}
+
+} // namespace meshslice

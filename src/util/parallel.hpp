@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared CPU parallelism layer: a small fixed-size thread pool with
+ * deterministic map/reduce helpers.
+ *
+ * The pool backs the two hot paths of the repo — the autotuner's
+ * design-space search (mesh shapes x slice counts) and the functional
+ * runtime's blocked GeMM kernel — so a single `MESHSLICE_THREADS`
+ * knob controls all host parallelism:
+ *
+ *  - `MESHSLICE_THREADS` unset: `std::thread::hardware_concurrency()`.
+ *  - `MESHSLICE_THREADS=1`: fully serial execution (determinism
+ *    debugging; the pool spawns no workers at all).
+ *  - `MESHSLICE_THREADS=N`: exactly N executing threads (the caller
+ *    participates, so N-1 workers are spawned).
+ *
+ * Determinism guarantee: `parallelFor` only promises that every index
+ * in [0, n) is visited exactly once; `parallelMapReduce` additionally
+ * guarantees a *serial, index-ordered* reduction, so any fold over it
+ * (argmin with tie-breaks, float summation, ...) is bit-identical to
+ * the serial loop regardless of thread count.
+ *
+ * Nested parallel regions degrade gracefully: a `parallelFor` issued
+ * from inside a pool task runs inline on the issuing thread, so
+ * library code may use the pool without caring who calls it.
+ */
+#ifndef MESHSLICE_UTIL_PARALLEL_HPP_
+#define MESHSLICE_UTIL_PARALLEL_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace meshslice {
+
+/** Chunked loop body: processes indices [begin, end). */
+using ChunkFn = std::function<void(std::int64_t, std::int64_t)>;
+
+/** A fixed-size pool of worker threads executing chunked loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @p threads is the number of *executing* threads (callers of
+     * `parallelFor` participate): `threads - 1` workers are spawned,
+     * and `threads <= 1` means no workers (serial execution).
+     */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Executing threads (workers + the calling thread), >= 1. */
+    int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Run @p body over [0, n) in chunks of at most @p chunk indices.
+     * Chunks are claimed dynamically (work stealing off one atomic
+     * counter); every index is processed exactly once. Blocks until
+     * all n indices are done. Runs inline when serial, when n fits in
+     * one chunk, or when called from inside another pool task.
+     */
+    void parallelFor(std::int64_t n, std::int64_t chunk,
+                     const ChunkFn &body);
+
+    /**
+     * The process-wide pool, lazily created with
+     * `defaultThreadCount()` threads on first use.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Destroy and re-create the global pool with @p threads executing
+     * threads (tests and benchmarks use this to compare serial vs
+     * parallel runs within one process). Not safe to call while the
+     * global pool is executing a loop.
+     */
+    static void setGlobalThreads(int threads);
+
+    /**
+     * Thread count the global pool starts with: `MESHSLICE_THREADS`
+     * if set (clamped to [1, 512]), else hardware concurrency.
+     */
+    static int defaultThreadCount();
+
+  private:
+    struct Job
+    {
+        std::atomic<std::int64_t> next{0}; ///< first unclaimed index
+        std::int64_t n = 0;
+        std::int64_t chunk = 1;
+        const ChunkFn *body = nullptr;
+        std::atomic<int> working{0}; ///< workers still inside run()
+    };
+
+    void workerLoop();
+    static void runChunks(Job &job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_cv_; ///< workers: new job / shutdown
+    std::condition_variable done_cv_; ///< caller: workers drained
+    Job *job_ = nullptr;              ///< current job, null when idle
+    std::uint64_t epoch_ = 0;         ///< bumped per job
+    bool stop_ = false;
+};
+
+/** `ThreadPool::global().parallelFor(n, chunk, body)`. */
+void parallelFor(std::int64_t n, std::int64_t chunk, const ChunkFn &body);
+
+/**
+ * Deterministic parallel map-reduce: computes `map(i)` for every i in
+ * [0, n) on the global pool, then folds `acc = reduce(acc, result_i)`
+ * *serially in index order*. The fold is therefore bit-identical to
+ * the equivalent serial loop for any (even non-associative) reduce.
+ */
+template <typename Result, typename MapFn, typename ReduceFn>
+Result
+parallelMapReduce(std::int64_t n, Result init, const MapFn &map,
+                  const ReduceFn &reduce, std::int64_t chunk = 1)
+{
+    std::vector<Result> partial(static_cast<size_t>(n > 0 ? n : 0));
+    parallelFor(n, chunk, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+            partial[static_cast<size_t>(i)] = map(i);
+    });
+    Result acc = std::move(init);
+    for (Result &p : partial)
+        acc = reduce(std::move(acc), std::move(p));
+    return acc;
+}
+
+} // namespace meshslice
+
+#endif // MESHSLICE_UTIL_PARALLEL_HPP_

@@ -150,6 +150,38 @@ TEST(CostModel, CannonInfeasibleOnNonSquare)
     EXPECT_GE(model.estimateGemmTime(Algorithm::kCannon, spec), 1e300);
 }
 
+TEST(Calibration, MemoizedPerChipConfigFingerprint)
+{
+    // Use a config distinct from the common tpuV4Config() so this
+    // test owns its cache entry regardless of execution order.
+    ChipConfig cfg = tpuV4Config();
+    cfg.iciLinkBandwidth = GBps(44.5);
+    clearCalibrationCache();
+
+    const long runs0 = calibrationRunCount();
+    const CostModel first = CostModel::calibrated(cfg);
+    EXPECT_EQ(calibrationRunCount(), runs0 + 1)
+        << "first calibrated() call must simulate";
+
+    // Second call with an identical config: zero simulator runs.
+    const CostModel second = CostModel::calibrated(cfg);
+    EXPECT_EQ(calibrationRunCount(), runs0 + 1);
+    EXPECT_EQ(first.params().bw, second.params().bw);
+    EXPECT_EQ(first.params().tSync, second.params().tSync);
+    EXPECT_EQ(first.params().tLaunch, second.params().tLaunch);
+
+    // The raw calibration entry point is memoized too.
+    const CommCostParams direct = calibrateCommModel(cfg);
+    EXPECT_EQ(calibrationRunCount(), runs0 + 1);
+    EXPECT_EQ(direct.bw, first.params().bw);
+
+    // A *different* config must not hit the cache.
+    ChipConfig other = cfg;
+    other.syncLatency = us(6.0);
+    (void)CostModel::calibrated(other);
+    EXPECT_EQ(calibrationRunCount(), runs0 + 2);
+}
+
 TEST(CostModel, BroadcastCostExceedsCollectiveAtScale)
 {
     const CostModel model = CostModel::calibrated(tpuV4Config());

@@ -100,6 +100,56 @@ TEST(Matrix, AddAccumulates)
             EXPECT_FLOAT_EQ(c.at(r, cc), a.at(r, cc) + b.at(r, cc));
 }
 
+namespace {
+
+/** Reference kernel: naive i/p/j triple loop, fixed summation order
+ *  (increasing p per output element), no zero-skip branch. */
+Matrix
+naiveGemm(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t p = 0; p < k; ++p) {
+            const float av = a.at(i, p);
+            for (std::int64_t j = 0; j < n; ++j)
+                c.at(i, j) += av * b.at(p, j);
+        }
+    return c;
+}
+
+} // namespace
+
+TEST(Matrix, BlockedGemmMatchesNaiveExactlyOnOddShapes)
+{
+    // The blocked kernel accumulates each output element in the same
+    // increasing-k order as the naive loop, so results must be
+    // bit-identical — including shapes that don't divide the 64x256
+    // tiles and degenerate 1-extent dims.
+    struct Shape
+    {
+        std::int64_t m, k, n;
+    };
+    for (const Shape &s : {Shape{1, 1, 1}, Shape{1, 300, 1},
+                           Shape{1, 7, 513}, Shape{63, 1, 65},
+                           Shape{129, 257, 65}, Shape{64, 256, 64},
+                           Shape{65, 511, 3}}) {
+        const Matrix a = Matrix::random(s.m, s.k, 7);
+        const Matrix b = Matrix::random(s.k, s.n, 8);
+        const Matrix blocked = Matrix::gemm(a, b);
+        const Matrix naive = naiveGemm(a, b);
+        EXPECT_EQ(blocked.maxAbsDiff(naive), 0.0)
+            << s.m << "x" << s.k << "x" << s.n;
+    }
+}
+
+TEST(Matrix, BlockedGemmAccHandlesZeroExtent)
+{
+    Matrix a(0, 5), b(5, 0), c(0, 0);
+    Matrix::gemmAcc(a, b, c); // must not crash
+    EXPECT_TRUE(c.empty());
+}
+
 TEST(Matrix, GemmAccAccumulatesOnExisting)
 {
     Matrix a = Matrix::random(4, 4, 20);

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the shared parallelism layer: exactly-once index coverage
+ * under contention, inline nested execution, deterministic map-reduce
+ * ordering, and bit-identical autotuner results across thread counts.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "tuner/autotuner.hpp"
+#include "util/parallel.hpp"
+
+namespace meshslice {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(8);
+    constexpr std::int64_t n = 100000;
+    std::vector<std::atomic<int>> hits(n);
+    // Chunk of 7 forces many hand-offs through the shared counter.
+    pool.parallelFor(n, 7, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+            hits[static_cast<size_t>(i)].fetch_add(
+                1, std::memory_order_relaxed);
+    });
+    for (std::int64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesEdgeCases)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    std::atomic<std::int64_t> sum{0};
+    pool.parallelFor(5, 100, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    constexpr std::int64_t outer = 32, inner = 64;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    pool.parallelFor(outer, 1, [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t o = ob; o < oe; ++o)
+            // Nested call: must run inline on this worker, not
+            // re-enter the (busy) pool.
+            pool.parallelFor(
+                inner, 8, [&](std::int64_t ib, std::int64_t ie) {
+                    for (std::int64_t i = ib; i < ie; ++i)
+                        hits[static_cast<size_t>(o * inner + i)]
+                            .fetch_add(1, std::memory_order_relaxed);
+                });
+    });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SerialPoolSpawnsNoWorkers)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    std::int64_t sum = 0; // non-atomic: serial execution is safe
+    pool.parallelFor(1000, 16, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST(ThreadPool, MapReduceFoldsInIndexOrder)
+{
+    // A deliberately non-associative, order-sensitive fold: the
+    // parallel result must equal the serial left fold exactly.
+    const auto map = [](std::int64_t i) {
+        return static_cast<double>(i % 7) + 0.1 * static_cast<double>(i);
+    };
+    const auto reduce = [](double acc, double v) {
+        return acc * 0.5 + v;
+    };
+    constexpr std::int64_t n = 4097;
+    double serial = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+        serial = reduce(serial, map(i));
+
+    ThreadPool::setGlobalThreads(8);
+    const double parallel = parallelMapReduce(n, 0.0, map, reduce);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+    EXPECT_EQ(serial, parallel); // bitwise
+}
+
+TEST(ThreadPool, AutotunerBitIdenticalAcrossThreadCounts)
+{
+    const CostModel cost = CostModel::calibrated(tpuV4Config());
+    const LlmAutotuner tuner(cost);
+    for (const TransformerConfig &model :
+         {gpt3Config(), megatronNlgConfig()}) {
+        const TrainingConfig train = TrainingConfig::weakScaling(256);
+
+        ThreadPool::setGlobalThreads(1);
+        const AutotuneResult serial = tuner.tune(model, train, 256);
+        ThreadPool::setGlobalThreads(8);
+        const AutotuneResult parallel = tuner.tune(model, train, 256);
+        ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+
+        EXPECT_EQ(serial.rows, parallel.rows) << model.name;
+        EXPECT_EQ(serial.cols, parallel.cols) << model.name;
+        // blockFcTime is a serial index-ordered sum in both runs.
+        EXPECT_EQ(serial.blockFcTime, parallel.blockFcTime)
+            << model.name;
+        const auto sp = serial.allPlans();
+        const auto pp = parallel.allPlans();
+        ASSERT_EQ(sp.size(), pp.size());
+        for (size_t i = 0; i < sp.size(); ++i) {
+            EXPECT_EQ(sp[i].sliceCount, pp[i].sliceCount)
+                << model.name << " plan " << i;
+            EXPECT_EQ(sp[i].estTime, pp[i].estTime)
+                << model.name << " plan " << i;
+            EXPECT_EQ(sp[i].dataflow, pp[i].dataflow)
+                << model.name << " plan " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace meshslice
