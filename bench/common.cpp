@@ -10,9 +10,6 @@
 
 namespace meshslice {
 
-namespace {
-
-/** Analytical 1D pipeline estimate used only to tune the 1D S. */
 Time
 estimate1DTime(const CostModel &cost, const Gemm1DSpec &spec)
 {
@@ -29,7 +26,6 @@ estimate1DTime(const CostModel &cost, const Gemm1DSpec &spec)
     return t_shift + (spec.sliceCount - 1) * steady + t_c;
 }
 
-/** Build the 1D baseline spec for one FC GeMM (Sec 4.3). */
 Gemm1DSpec
 make1DSpec(const FcGemm &gemm, Algorithm algo, int chips,
            int bytes_per_element)
@@ -68,8 +64,6 @@ make1DSpec(const FcGemm &gemm, Algorithm algo, int chips,
     }
     return spec;
 }
-
-} // namespace
 
 double
 utilizationOf(const ChipConfig &cfg, const GemmRunResult &result, int chips)
@@ -116,7 +110,7 @@ simulateFcBlock(const ChipConfig &cfg, const TransformerConfig &model,
                 }
             }
             spec.sliceCount = best_s;
-            GemmRunResult res = runGemm1D(net, spec);
+            GemmRunResult res = runGemm1D(net, spec, algo);
             out.fcTime += res.time;
             out.fcFlops += res.flops;
             out.comm += res.horizontal;

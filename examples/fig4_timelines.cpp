@@ -43,8 +43,12 @@ lane(const TraceRecorder &trace, int tid, Time t0, Time t1, char mark)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Optional: `fig4_timelines out.json` additionally writes the
+    // MeshSlice schedule as a Chrome trace for Perfetto /
+    // chrome://tracing (per-chip lanes, counters, flow arrows).
+    const char *trace_path = argc > 1 ? argv[1] : nullptr;
     Gemm2DSpec spec;
     spec.m = 32768;
     spec.k = 8192;
@@ -82,6 +86,11 @@ main()
         std::printf("  V |%s|\n\n",
                     lane(cluster.trace(), kLaneVerticalComm, t0, t1, '=')
                         .c_str());
+        if (trace_path != nullptr && algo == Algorithm::kMeshSlice) {
+            cluster.trace().writeJson(trace_path);
+            std::printf("  (wrote MeshSlice Chrome trace to %s)\n\n",
+                        trace_path);
+        }
     }
     std::printf("(Each bar spans that algorithm's own duration; compare "
                 "the printed times for absolute scale.)\n");

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <numeric>
+#include <string>
 
 #include "core/mesh_ops.hpp"
 #include "core/taskgraph.hpp"
@@ -38,6 +41,54 @@ statsSink(GemmRunResult *result, Dir dir, std::function<void()> done)
         done();
     };
 }
+
+/** Sum of the chips' core busy-seconds (overlap attribution input). */
+double
+sumCoreBusy(Cluster &cluster)
+{
+    double sum = 0.0;
+    for (int chip = 0; chip < cluster.numChips(); ++chip)
+        sum += cluster.net().resourceStats(cluster.coreOf(chip)).busyTime;
+    return sum;
+}
+
+/**
+ * Fill the overlap-efficiency fields of @p result from the core-busy
+ * delta across the run and publish the per-algorithm metrics into the
+ * cluster's stats registry.
+ */
+void
+finishRunTelemetry(Cluster &cluster, const char *algo_name,
+                   GemmRunResult &result, double core_busy_before,
+                   int chips)
+{
+    const double busy =
+        (sumCoreBusy(cluster) - core_busy_before) / std::max(1, chips);
+    result.computeBusy = busy;
+    result.exposedComm = std::max(0.0, result.time - busy);
+    StatsRegistry &st = cluster.stats();
+    if (!st.enabled())
+        return;
+    const std::string base = std::string("algo/") + algo_name;
+    st.add(base + "/runs", 1.0);
+    st.add(base + "/time_s", result.time);
+    st.add(base + "/compute_busy_s", result.computeBusy);
+    st.add(base + "/exposed_comm_s", result.exposedComm);
+    st.observe(base + "/overlap_efficiency",
+               result.overlapEfficiency());
+    st.observe(base + "/compute_bound_frac",
+               result.computeBoundFraction());
+}
+
+/**
+ * Per-schedule flow-event plumbing: input collectives deposit a flow
+ * id as they complete; the next compute task consumes all pending ids,
+ * drawing comm -> compute dependency arrows in Perfetto.
+ */
+struct FlowLinks
+{
+    std::vector<std::uint64_t> pending;
+};
 
 /** One side of a sliced schedule. */
 struct Side
@@ -78,14 +129,46 @@ buildSliced(TaskGraph &graph, TorusMesh &mesh, const Gemm2DSpec &spec,
     const GemmWork work = localSliceWork(spec);
     const auto sides = sidesOf(spec);
 
-    auto comm_task = [&](const Side &side, int iter) {
+    // Flow arrows (Perfetto): each completed input collective deposits
+    // a flow id; the compute that consumes it closes the arrow.
+    auto links = std::make_shared<FlowLinks>();
+    const int chip0 = mesh.chipAt(0, 0);
+
+    auto comm_task = [&, links, chip0](const Side &side, int iter) {
         (void)iter;
-        return [&mesh, side, state](std::function<void()> done) {
+        return [&mesh, side, state, links,
+                chip0](std::function<void()> done) {
+            Cluster &cl = mesh.cluster();
+            const bool is_input = side.op == CollKind::kAllGather;
+            auto wrapped = [&cl, links, chip0, side, is_input,
+                            done = std::move(done)] {
+                TraceRecorder &tr = cl.trace();
+                if (is_input && tr.enabled()) {
+                    const std::uint64_t id = tr.newFlowId();
+                    const int lane = side.dir == Dir::kHorizontal
+                                         ? kLaneHorizontalComm
+                                         : kLaneVerticalComm;
+                    // 1ns inside the comm span so the arrow binds to it.
+                    tr.recordFlow("feeds", "dep", id, chip0, lane,
+                                  cl.sim().now() - ns(1.0), true);
+                    links->pending.push_back(id);
+                }
+                done();
+            };
             meshCollective(mesh, side.dir, side.op, side.shardPerIter,
-                           statsSink(state, side.dir, std::move(done)));
+                           statsSink(state, side.dir, std::move(wrapped)));
         };
     };
-    auto gemm_task = [&mesh, work](std::function<void()> done) {
+    auto gemm_task = [&mesh, work, links,
+                      chip0](std::function<void()> done) {
+        Cluster &cl = mesh.cluster();
+        TraceRecorder &tr = cl.trace();
+        if (tr.enabled() && !links->pending.empty()) {
+            for (std::uint64_t id : links->pending)
+                tr.recordFlow("feeds", "dep", id, chip0, kLaneCompute,
+                              cl.sim().now() + ns(1.0), false);
+            links->pending.clear();
+        }
         meshGemm(mesh, work, std::move(done));
     };
 
@@ -490,17 +573,20 @@ GemmExecutor::run(Algorithm algo, const Gemm2DSpec &spec)
     TaskGraph graph(cluster.sim());
     buildGemmSchedule(graph, mesh_, algo, spec, &result);
 
+    const double core_busy_before = sumCoreBusy(cluster);
     const Time begin = cluster.sim().now();
     graph.start([&finished] { finished = true; });
     cluster.sim().run();
     if (!finished)
         panic("GemmExecutor: schedule did not drain");
     result.time = cluster.sim().now() - begin;
+    finishRunTelemetry(cluster, algorithmName(algo), result,
+                       core_busy_before, cluster.numChips());
     return result;
 }
 
 GemmRunResult
-runGemm1D(RingNetwork &net, const Gemm1DSpec &spec)
+runGemm1D(RingNetwork &net, const Gemm1DSpec &spec, Algorithm algo)
 {
     Cluster &cluster = net.cluster();
     const ChipConfig &cfg = cluster.config();
@@ -587,12 +673,15 @@ runGemm1D(RingNetwork &net, const Gemm1DSpec &spec)
         }
     }
 
+    const double core_busy_before = sumCoreBusy(cluster);
     const Time begin = cluster.sim().now();
     graph.start([&finished] { finished = true; });
     cluster.sim().run();
     if (!finished)
         panic("runGemm1D: schedule did not drain");
     result.time = cluster.sim().now() - begin;
+    finishRunTelemetry(cluster, algorithmName(algo), result,
+                       core_busy_before, cluster.numChips());
     return result;
 }
 

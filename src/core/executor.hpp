@@ -64,8 +64,11 @@ void buildGemmSchedule(TaskGraph &graph, TorusMesh &mesh, Algorithm algo,
                        const Gemm2DSpec &spec, GemmRunResult *accum);
 
 /** Simulate a 1D baseline (`kOneDTP` semantics == `kFsdp`: the spec's
- *  comm matrix and local work differ, the schedule is the same). */
-GemmRunResult runGemm1D(RingNetwork &net, const Gemm1DSpec &spec);
+ *  comm matrix and local work differ, the schedule is the same).
+ *  @p algo only labels the telemetry (per-algorithm overlap metrics in
+ *  the cluster's stats registry). */
+GemmRunResult runGemm1D(RingNetwork &net, const Gemm1DSpec &spec,
+                        Algorithm algo = Algorithm::kOneDTP);
 
 /**
  * The SUMMA packet count minimizing the pipelined broadcast time of

@@ -145,6 +145,16 @@ struct GemmRunResult
     CommStats horizontal; ///< summed over iterations (max over rings)
     CommStats vertical;
 
+    /**
+     * Overlap-efficiency attribution (filled by `GemmExecutor::run` /
+     * `runGemm1D` from the fluid network's core accounting):
+     * `computeBusy` is the mean per-chip core busy-seconds during the
+     * run; `exposedComm` is the wall time the cores sat idle — the
+     * communication (and bubbles) the schedule failed to hide.
+     */
+    Time computeBusy = 0.0;
+    Time exposedComm = 0.0;
+
     /** Achieved / peak throughput over the whole cluster. */
     double
     utilization(const ChipConfig &cfg, int chips) const
@@ -152,6 +162,38 @@ struct GemmRunResult
         if (time <= 0.0)
             return 0.0;
         return flops / (time * cfg.peakFlops * static_cast<double>(chips));
+    }
+
+    /** Fraction of the run during which the cores were busy. */
+    double
+    computeBoundFraction() const
+    {
+        if (time <= 0.0)
+            return 0.0;
+        return computeBusy / time;
+    }
+
+    /** Fraction of the run during which the cores were idle (waiting
+     *  on un-hidden communication or pipeline bubbles). */
+    double
+    commBoundFraction() const
+    {
+        return 1.0 - computeBoundFraction();
+    }
+
+    /**
+     * Fraction of the issued communication wall time that was hidden
+     * behind computation: 1 = fully overlapped (MeshSlice's goal),
+     * 0 = fully exposed (the Collective baseline). Clamped to [0, 1].
+     */
+    double
+    overlapEfficiency() const
+    {
+        const Time comm_wall = horizontal.total + vertical.total;
+        if (comm_wall <= 0.0)
+            return 1.0;
+        const double eff = (comm_wall - exposedComm) / comm_wall;
+        return eff < 0.0 ? 0.0 : (eff > 1.0 ? 1.0 : eff);
     }
 };
 

@@ -21,6 +21,7 @@
 #include "hw/compute_model.hpp"
 #include "sim/fluid.hpp"
 #include "sim/simulator.hpp"
+#include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
 namespace meshslice {
@@ -48,6 +49,8 @@ class Cluster
     Simulator &sim() { return sim_; }
     FluidNetwork &net() { return net_; }
     TraceRecorder &trace() { return trace_; }
+    StatsRegistry &stats() { return stats_; }
+    const StatsRegistry &stats() const { return stats_; }
 
     ResourceId coreOf(int chip) const { return chips_.at(chip).core; }
     ResourceId hbmOf(int chip) const { return chips_.at(chip).hbm; }
@@ -65,6 +68,34 @@ class Cluster
     /** Total FLOPs issued through runGemm so far (for utilization). */
     Flops issuedFlops() const { return issuedFlops_; }
 
+    /** Account @p bytes of communication (called per link transfer). */
+    void
+    noteCommBytes(Bytes bytes)
+    {
+        commBytesIssued_ += bytes;
+    }
+
+    /** Total bytes pushed through links so far (counter-track source). */
+    Bytes commBytesIssued() const { return commBytesIssued_; }
+
+    /**
+     * If tracing is enabled, emit one sample of the cluster-wide
+     * counter tracks (cumulative issued FLOPs and link bytes) at the
+     * current simulated time. Collectives and GeMM completions call
+     * this so Perfetto shows the Figure-4 counters next to the lanes.
+     */
+    void sampleCounters();
+
+    /**
+     * Dump the fluid network's per-resource accounting into @p stats:
+     * for every chip core, HBM and ICI link — capacity, busy/idle/
+     * contention seconds, units moved and achieved-vs-peak rate —
+     * plus the conservation inputs (`observed_s`). Names follow the
+     * registry hierarchy, e.g. `chip3/hbm/busy_s` or
+     * `link/E/b0/r0/c1/bytes`.
+     */
+    void collectResourceStats(StatsRegistry &stats) const;
+
   private:
     struct ChipResources
     {
@@ -76,8 +107,10 @@ class Cluster
     Simulator sim_;
     FluidNetwork net_;
     TraceRecorder trace_;
+    StatsRegistry stats_;
     std::vector<ChipResources> chips_;
     Flops issuedFlops_ = 0.0;
+    Bytes commBytesIssued_ = 0;
 };
 
 } // namespace meshslice

@@ -15,6 +15,7 @@ CommStats::operator+=(const CommStats &other)
     launch += other.launch;
     transfer += other.transfer;
     sync += other.sync;
+    bubble += other.bubble;
     total += other.total;
     syncCount += other.syncCount;
     bytesPerLink += other.bytesPerLink;
@@ -27,6 +28,7 @@ CommStats::mergeParallel(const CommStats &other)
     launch = std::max(launch, other.launch);
     transfer = std::max(transfer, other.transfer);
     sync = std::max(sync, other.sync);
+    bubble = std::max(bubble, other.bubble);
     total = std::max(total, other.total);
     syncCount = std::max(syncCount, other.syncCount);
     bytesPerLink = std::max(bytesPerLink, other.bytesPerLink);
@@ -93,7 +95,8 @@ class RingOpBase
     /**
      * Create the join for @p flow_count flows of (chain, step); when all
      * signalled, wait the sync latency and move to the next step of the
-     * chain, or finish once every chain has drained.
+     * chain, or finish once every chain has drained. Each step's
+     * transfer duration feeds the per-step phase breakdown (Fig 10).
      */
     Join *
     stepJoin(int chain, int step, int flow_count)
@@ -101,7 +104,19 @@ class RingOpBase
         if (flow_count <= 0) {
             panic("RingOpBase: step with no flows");
         }
-        return Join::create(flow_count, [this, chain, step] {
+        const Time step_begin = cluster_.sim().now();
+        return Join::create(flow_count, [this, chain, step, step_begin] {
+            const Time step_dur = cluster_.sim().now() - step_begin;
+            StatsRegistry &st = cluster_.stats();
+            if (st.enabled()) {
+                st.observe(std::string("collective/") + name_ + "/step_s",
+                           step_dur);
+            }
+            if (cluster_.trace().enabled() && !ring_.chips.empty()) {
+                cluster_.trace().recordInstant(
+                    std::string(name_) + ".sync", "sync", ring_.chips[0],
+                    lane_, cluster_.sim().now());
+            }
             const Time sync = cluster_.config().syncLatency;
             cluster_.sim().scheduleAfter(sync, [this, chain, step] {
                 if (step + 1 < stepCount(chain)) {
@@ -125,6 +140,7 @@ class RingOpBase
         const ResourceId link =
             forward ? ring_.fwd[static_cast<size_t>(pos)]
                     : ring_.bwd[static_cast<size_t>(pos)];
+        cluster_.noteCommBytes(bytes);
         cluster_.net().startFlow(
             static_cast<double>(bytes),
             {Demand{link, 1.0}, Demand{cluster_.hbmOf(src), 1.0},
@@ -140,10 +156,32 @@ class RingOpBase
         stats_.transfer = stats_.total - stats_.launch - stats_.sync;
         if (stats_.transfer < 0.0)
             stats_.transfer = 0.0;
+        // Bubble: transfer beyond the contention-free ideal of pushing
+        // bytesPerLink through one solo link.
+        const ChipConfig &cfg = cluster_.config();
+        const double solo_rate =
+            cfg.iciLinkBandwidth / cfg.logicalMeshContention;
+        const Time ideal =
+            static_cast<double>(stats_.bytesPerLink) / solo_rate;
+        stats_.bubble = std::max(0.0, stats_.transfer - ideal);
         if (cluster_.trace().enabled()) {
             for (int chip : ring_.chips)
                 cluster_.trace().record(name_, "comm", chip, lane_, begin_,
                                         cluster_.sim().now());
+            cluster_.sampleCounters();
+        }
+        StatsRegistry &st = cluster_.stats();
+        if (st.enabled()) {
+            const std::string base = std::string("collective/") + name_;
+            st.add(base + "/count", 1.0);
+            st.add(base + "/launch_s", stats_.launch);
+            st.add(base + "/transfer_s", stats_.transfer);
+            st.add(base + "/sync_s", stats_.sync);
+            st.add(base + "/bubble_s", stats_.bubble);
+            st.add(base + "/total_s", stats_.total);
+            st.add(base + "/sync_count", stats_.syncCount);
+            st.add(base + "/bytes_per_link",
+                   static_cast<double>(stats_.bytesPerLink));
         }
         CommDone done = std::move(done_);
         CommStats stats = stats_;

@@ -35,6 +35,12 @@ struct CommStats
     Time launch = 0.0;   ///< host launch overhead
     Time transfer = 0.0; ///< time spent moving bytes (incl. contention)
     Time sync = 0.0;     ///< per-step synchronization latency
+    /**
+     * Pipeline bubble: transfer time beyond the contention-free ideal
+     * (bytesPerLink / solo link rate) — stragglers, HBM interference,
+     * and rate-sharing cuts show up here. Subset of `transfer`.
+     */
+    Time bubble = 0.0;
     Time total = 0.0;    ///< wall-clock duration of the op(s)
     int syncCount = 0;   ///< number of synchronizations
     Bytes bytesPerLink = 0; ///< bytes pushed through the busiest link

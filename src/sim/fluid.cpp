@@ -23,6 +23,7 @@ FluidNetwork::addResource(std::string name, double capacity)
     Resource res;
     res.name = std::move(name);
     res.capacity = capacity;
+    res.createdAt = sim_.now();
     res.lastUpdate = sim_.now();
     resources_.push_back(std::move(res));
     return static_cast<ResourceId>(resources_.size() - 1);
@@ -86,8 +87,14 @@ FluidNetwork::resourceStats(ResourceId id) const
     stats.name = res.name;
     stats.capacity = res.capacity;
     double dt = sim_.now() - res.lastUpdate;
+    const double frac = std::min(1.0, res.load / res.capacity);
     stats.totalConsumed = res.totalConsumed + res.load * dt;
-    stats.busyTime = res.busyTime + res.load / res.capacity * dt;
+    stats.busyTime = res.busyTime + frac * dt;
+    stats.idleTime = res.idleTime + (1.0 - frac) * dt;
+    stats.contentionTime = res.contentionTime;
+    if (res.soloLoad > res.capacity * (1.0 + kOverloadEps))
+        stats.contentionTime += dt;
+    stats.createdAt = res.createdAt;
     stats.activeFlows = res.activeFlows;
     return stats;
 }
@@ -126,8 +133,12 @@ FluidNetwork::advanceResourceAccounting()
     for (Resource &res : resources_) {
         double dt = sim_.now() - res.lastUpdate;
         if (dt > 0.0) {
+            const double frac = std::min(1.0, res.load / res.capacity);
             res.totalConsumed += res.load * dt;
-            res.busyTime += res.load / res.capacity * dt;
+            res.busyTime += frac * dt;
+            res.idleTime += (1.0 - frac) * dt;
+            if (res.soloLoad > res.capacity * (1.0 + kOverloadEps))
+                res.contentionTime += dt;
         }
         res.lastUpdate = sim_.now();
     }
@@ -175,6 +186,9 @@ FluidNetwork::recompute()
         }
         rate[i] = r;
     }
+    // Snapshot of the uncontended rates (the waterfill mutates `rate`),
+    // for the per-resource contention attribution.
+    const std::vector<double> solo_rate = rate;
 
     // Per-resource membership: (flow index, demand coefficient).
     std::vector<std::vector<std::pair<size_t, double>>> members(
@@ -242,8 +256,10 @@ FluidNetwork::recompute()
     }
 
     // Apply rates, reschedule completions, refresh resource loads.
-    for (Resource &res : resources_)
+    for (Resource &res : resources_) {
         res.load = 0.0;
+        res.soloLoad = 0.0;
+    }
     for (size_t i = 0; i < ids.size(); ++i) {
         Flow &flow = flows_[ids[i]];
         if (rate[i] <= 0.0)
@@ -251,9 +267,11 @@ FluidNetwork::recompute()
         bool changed =
             std::abs(rate[i] - flow.rate) > 1e-12 * std::max(1.0, flow.rate);
         flow.rate = rate[i];
-        for (const auto &d : flow.demands)
-            resources_[static_cast<size_t>(d.resource)].load +=
-                d.perUnit * flow.rate;
+        for (const auto &d : flow.demands) {
+            Resource &res = resources_[static_cast<size_t>(d.resource)];
+            res.load += d.perUnit * flow.rate;
+            res.soloLoad += d.perUnit * solo_rate[i];
+        }
         if (changed || !flow.completion.valid()) {
             sim_.cancel(flow.completion);
             FlowId id = ids[i];

@@ -57,6 +57,21 @@ struct ResourceStats
     double totalConsumed = 0.0;
     /** Integral of load/capacity over time (busy-seconds). */
     double busyTime = 0.0;
+    /**
+     * Integral of (1 - load/capacity): seconds of unused capacity.
+     * Tracked independently of `busyTime` so the conservation law
+     * `busyTime + idleTime == now - createdAt` is a real check of the
+     * accounting (a missed advance breaks it).
+     */
+    double idleTime = 0.0;
+    /**
+     * Seconds during which the flows' *uncontended* demand exceeded the
+     * capacity — i.e. the rate-sharing waterfill actually cut somebody.
+     * This is the fluid-model analogue of queueing/contention time.
+     */
+    double contentionTime = 0.0;
+    /** Simulated time the resource was registered (accounting start). */
+    Time createdAt = 0.0;
     int activeFlows = 0;
 };
 
@@ -94,6 +109,9 @@ class FluidNetwork
 
     size_t activeFlowCount() const { return flows_.size(); }
 
+    /** Number of registered resources (ids are [0, resourceCount)). */
+    size_t resourceCount() const { return resources_.size(); }
+
     /** Accounting snapshot for @p id (updated through current time). */
     ResourceStats resourceStats(ResourceId id) const;
 
@@ -106,8 +124,14 @@ class FluidNetwork
         std::string name;
         double capacity = 0.0;
         double load = 0.0; // current total consumption rate
+        /** Sum of the flows' *solo* (uncontended) consumption rates;
+         *  load < soloLoad means rate-sharing is cutting someone. */
+        double soloLoad = 0.0;
         double totalConsumed = 0.0;
         double busyTime = 0.0;
+        double idleTime = 0.0;
+        double contentionTime = 0.0;
+        Time createdAt = 0.0;
         Time lastUpdate = 0.0;
         int activeFlows = 0;
     };

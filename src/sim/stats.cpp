@@ -1,0 +1,278 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace meshslice {
+
+const char *
+statKindName(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::kCounter:
+        return "counter";
+      case StatKind::kAccumulator:
+        return "accumulator";
+      case StatKind::kHistogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+StatsRegistry::Entry &
+StatsRegistry::entryLocked(const std::string &name, StatKind kind)
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e;
+        e.kind = kind;
+        it = entries_.emplace(name, std::move(e)).first;
+    } else if (it->second.kind != kind) {
+        panic("StatsRegistry: '%s' is a %s, used as a %s", name.c_str(),
+              statKindName(it->second.kind), statKindName(kind));
+    }
+    return it->second;
+}
+
+void
+StatsRegistry::observeLocked(Entry &e, double v)
+{
+    if (e.count == 0) {
+        e.min = v;
+        e.max = v;
+    } else {
+        e.min = std::min(e.min, v);
+        e.max = std::max(e.max, v);
+    }
+    e.value += v;
+    e.count++;
+}
+
+void
+StatsRegistry::add(const std::string &name, double v)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entryLocked(name, StatKind::kCounter);
+    e.value += v;
+    e.count++;
+}
+
+void
+StatsRegistry::set(const std::string &name, double v)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entryLocked(name, StatKind::kCounter);
+    e.value = v;
+    e.count++;
+}
+
+void
+StatsRegistry::observe(const std::string &name, double v)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    observeLocked(entryLocked(name, StatKind::kAccumulator), v);
+}
+
+void
+StatsRegistry::observeHistogram(const std::string &name, double v)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entryLocked(name, StatKind::kHistogram);
+    observeLocked(e, v);
+    // Bucket 0: v < 1; bucket i >= 1: v in [2^(i-1), 2^i).
+    size_t bucket = 0;
+    if (v >= 1.0) {
+        bucket = static_cast<size_t>(std::ilogb(v)) + 1;
+        bucket = std::min<size_t>(bucket, 63);
+    }
+    if (e.buckets.size() <= bucket)
+        e.buckets.resize(bucket + 1, 0);
+    e.buckets[bucket]++;
+}
+
+double
+StatsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.value;
+}
+
+StatSnapshot
+StatsRegistry::snapshotOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    StatSnapshot out;
+    out.name = name;
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        const Entry &e = it->second;
+        out.kind = e.kind;
+        out.value = e.value;
+        out.count = e.count;
+        out.min = e.min;
+        out.max = e.max;
+        out.buckets = e.buckets;
+    }
+    return out;
+}
+
+std::vector<StatSnapshot>
+StatsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<StatSnapshot> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, e] : entries_) {
+        StatSnapshot s;
+        s.name = name;
+        s.kind = e.kind;
+        s.value = e.value;
+        s.count = e.count;
+        s.min = e.min;
+        s.max = e.max;
+        s.buckets = e.buckets;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+size_t
+StatsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+StatsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+namespace {
+
+/** Tree node used to nest '/'-separated names into JSON objects. */
+struct JsonNode
+{
+    std::map<std::string, JsonNode> children;
+    const StatSnapshot *leaf = nullptr;
+};
+
+std::string
+leafJson(const StatSnapshot &s)
+{
+    if (s.kind == StatKind::kCounter)
+        return jsonNumber(s.value);
+    std::string out = "{\"sum\":" + jsonNumber(s.value) +
+                      ",\"count\":" + jsonNumber(static_cast<double>(s.count)) +
+                      ",\"min\":" + jsonNumber(s.min) +
+                      ",\"max\":" + jsonNumber(s.max) +
+                      ",\"mean\":" + jsonNumber(s.mean());
+    if (s.kind == StatKind::kHistogram) {
+        out += ",\"buckets\":[";
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+            if (i)
+                out += ',';
+            out += jsonNumber(static_cast<double>(s.buckets[i]));
+        }
+        out += ']';
+    }
+    out += '}';
+    return out;
+}
+
+void
+emitNode(const JsonNode &node, std::string &out)
+{
+    // A name that is both a leaf and an interior node keeps its leaf
+    // under the reserved key "__self".
+    out += '{';
+    bool first = true;
+    if (node.leaf) {
+        out += "\"__self\":" + leafJson(*node.leaf);
+        first = false;
+    }
+    for (const auto &[key, child] : node.children) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += jsonString(key);
+        out += ':';
+        if (child.children.empty() && child.leaf)
+            out += leafJson(*child.leaf);
+        else
+            emitNode(child, out);
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::string
+StatsRegistry::toJson() const
+{
+    const std::vector<StatSnapshot> snaps = snapshot();
+    JsonNode root;
+    for (const StatSnapshot &s : snaps) {
+        JsonNode *node = &root;
+        size_t begin = 0;
+        while (begin <= s.name.size()) {
+            const size_t slash = s.name.find('/', begin);
+            const std::string part = s.name.substr(
+                begin, slash == std::string::npos ? std::string::npos
+                                                  : slash - begin);
+            node = &node->children[part];
+            if (slash == std::string::npos)
+                break;
+            begin = slash + 1;
+        }
+        node->leaf = &s;
+    }
+    std::string out;
+    emitNode(root, out);
+    out += '\n';
+    return out;
+}
+
+void
+StatsRegistry::writeJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("StatsRegistry: cannot open '%s' for writing", path.c_str());
+    os << toJson();
+}
+
+void
+StatsRegistry::printTable(std::ostream &os) const
+{
+    Table t({"stat", "kind", "value/sum", "count", "min", "max", "mean"});
+    for (const StatSnapshot &s : snapshot()) {
+        if (s.kind == StatKind::kCounter) {
+            t.addRow({s.name, "counter", Table::num(s.value, 6),
+                      std::to_string(s.count), "", "", ""});
+        } else {
+            t.addRow({s.name, statKindName(s.kind), Table::num(s.value, 6),
+                      std::to_string(s.count), Table::num(s.min, 6),
+                      Table::num(s.max, 6), Table::num(s.mean(), 6)});
+        }
+    }
+    t.print(os);
+}
+
+} // namespace meshslice

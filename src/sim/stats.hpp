@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Hierarchical statistics registry for cluster-wide telemetry.
+ *
+ * Every simulated subsystem (the fluid resource network, the ring
+ * collectives, the GeMM executors) attributes what it does to named
+ * stats in one `StatsRegistry`: counters (monotone totals), gauges
+ * (last-value), accumulators (count/sum/min/max over observations) and
+ * log2-bucketed histograms. Names are '/'-separated paths — e.g.
+ * `chip3/hbm/busy_s` or `collective/allgather/step_s` — and the JSON
+ * dump nests along that hierarchy so the paper's per-resource
+ * breakdowns (Fig 4 / Fig 10 / Fig 15) fall directly out of a run.
+ *
+ * A disabled registry (the default) reduces every mutation to one
+ * relaxed atomic load, so instrumented hot paths stay free when nobody
+ * is looking. Mutations are thread-safe: independent simulations run
+ * concurrently under the PR-1 parallel autotuner and may share a
+ * registry.
+ */
+#ifndef MESHSLICE_SIM_STATS_HPP_
+#define MESHSLICE_SIM_STATS_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace meshslice {
+
+/** What a registry entry measures. */
+enum class StatKind
+{
+    kCounter,     ///< monotone total (`add`) or gauge (`set`)
+    kAccumulator, ///< count/sum/min/max of `observe`d samples
+    kHistogram,   ///< accumulator plus log2 bucket counts
+};
+
+const char *statKindName(StatKind kind);
+
+/** Immutable copy of one entry, for dumps and tests. */
+struct StatSnapshot
+{
+    std::string name;
+    StatKind kind = StatKind::kCounter;
+    double value = 0.0; ///< counter value / accumulator sum
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> buckets; ///< histogram only
+
+    double mean() const { return count ? value / static_cast<double>(count) : 0.0; }
+};
+
+/**
+ * Registry of named stats with cheap disabled paths and JSON/table
+ * dumps. See the file comment for the naming convention.
+ */
+class StatsRegistry
+{
+  public:
+    void
+    enable(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Counter: `name += v` (no-op while disabled). */
+    void add(const std::string &name, double v);
+
+    /** Gauge: `name = v` (no-op while disabled). */
+    void set(const std::string &name, double v);
+
+    /** Accumulator: record one sample (no-op while disabled). */
+    void observe(const std::string &name, double v);
+
+    /**
+     * Histogram: record one sample into the accumulator stats plus a
+     * log2 bucket (bucket i counts samples in [2^(i-1), 2^i), bucket 0
+     * counts samples < 1).
+     */
+    void observeHistogram(const std::string &name, double v);
+
+    /** Current value of a counter/gauge (0 if absent). */
+    double counter(const std::string &name) const;
+
+    /** Snapshot of one entry; `count == 0 && value == 0` if absent. */
+    StatSnapshot snapshotOf(const std::string &name) const;
+
+    /** All entries, sorted by name (deterministic). */
+    std::vector<StatSnapshot> snapshot() const;
+
+    size_t size() const;
+    void clear();
+
+    /**
+     * Serialize as a JSON object nested along the '/' hierarchy.
+     * Counters become numbers; accumulators/histograms become objects
+     * with sum/count/min/max/mean (+buckets).
+     */
+    std::string toJson() const;
+
+    /** `toJson()` into @p path (fatal on open failure). */
+    void writeJson(const std::string &path) const;
+
+    /** Human-readable dump, one aligned row per entry (util/table). */
+    void printTable(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        StatKind kind = StatKind::kCounter;
+        double value = 0.0;
+        std::uint64_t count = 0;
+        double min = 0.0;
+        double max = 0.0;
+        std::vector<std::uint64_t> buckets;
+    };
+
+    Entry &entryLocked(const std::string &name, StatKind kind);
+    void observeLocked(Entry &e, double v);
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_; ///< ordered => stable dumps
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_SIM_STATS_HPP_

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "util/json.hpp"
 #include "util/logging.hpp"
 
 namespace meshslice {
@@ -10,29 +11,169 @@ void
 TraceRecorder::record(std::string name, std::string category, int pid,
                       int tid, Time begin, Time end)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
+    std::lock_guard<std::mutex> lock(mu_);
     spans_.push_back(Span{std::move(name), std::move(category), pid, tid,
                           begin, end});
 }
 
 void
+TraceRecorder::recordCounter(
+    std::string name, int pid, Time ts,
+    std::vector<std::pair<std::string, double>> series)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.push_back(
+        CounterEvent{std::move(name), pid, ts, std::move(series)});
+}
+
+void
+TraceRecorder::recordInstant(std::string name, std::string category,
+                             int pid, int tid, Time ts)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    instants_.push_back(
+        InstantEvent{std::move(name), std::move(category), pid, tid, ts});
+}
+
+void
+TraceRecorder::recordFlow(std::string name, std::string category,
+                          std::uint64_t id, int pid, int tid, Time ts,
+                          bool start)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    flows_.push_back(FlowEvent{std::move(name), std::move(category), id,
+                               pid, tid, ts, start});
+}
+
+void
+TraceRecorder::setProcessName(int pid, std::string name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    metas_.push_back(MetaEvent{pid, 0, true, std::move(name)});
+}
+
+void
+TraceRecorder::setThreadName(int pid, int tid, std::string name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    metas_.push_back(MetaEvent{pid, tid, false, std::move(name)});
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    counters_.clear();
+    instants_.clear();
+    flows_.clear();
+    metas_.clear();
+}
+
+size_t
+TraceRecorder::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+size_t
+TraceRecorder::counterCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.size();
+}
+
+size_t
+TraceRecorder::instantCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return instants_.size();
+}
+
+size_t
+TraceRecorder::flowCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return flows_.size();
+}
+
+void
 TraceRecorder::writeJson(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::ofstream os(path);
     if (!os)
         fatal("TraceRecorder: cannot open '%s' for writing", path.c_str());
     os << "{\"traceEvents\":[\n";
     bool first = true;
-    for (const Span &span : spans_) {
+    auto sep = [&os, &first] {
         if (!first)
             os << ",\n";
         first = false;
-        // Times in microseconds, as the trace format expects.
-        os << "{\"name\":\"" << span.name << "\",\"cat\":\"" << span.category
-           << "\",\"ph\":\"X\",\"pid\":" << span.pid
-           << ",\"tid\":" << span.tid << ",\"ts\":" << span.begin * 1e6
-           << ",\"dur\":" << (span.end - span.begin) * 1e6 << "}";
+    };
+    // Metadata first so viewers name lanes before any event references
+    // them.
+    for (const MetaEvent &meta : metas_) {
+        sep();
+        os << "{\"name\":\""
+           << (meta.process ? "process_name" : "thread_name")
+           << "\",\"ph\":\"M\",\"pid\":" << meta.pid;
+        if (!meta.process)
+            os << ",\"tid\":" << meta.tid;
+        os << ",\"args\":{\"name\":" << jsonString(meta.name) << "}}";
+    }
+    // Times in microseconds, as the trace format expects.
+    for (const Span &span : spans_) {
+        sep();
+        os << "{\"name\":" << jsonString(span.name)
+           << ",\"cat\":" << jsonString(span.category)
+           << ",\"ph\":\"X\",\"pid\":" << span.pid
+           << ",\"tid\":" << span.tid
+           << ",\"ts\":" << jsonNumber(span.begin * 1e6)
+           << ",\"dur\":" << jsonNumber((span.end - span.begin) * 1e6)
+           << "}";
+    }
+    for (const CounterEvent &c : counters_) {
+        sep();
+        os << "{\"name\":" << jsonString(c.name)
+           << ",\"ph\":\"C\",\"pid\":" << c.pid
+           << ",\"ts\":" << jsonNumber(c.ts * 1e6) << ",\"args\":{";
+        bool sfirst = true;
+        for (const auto &[series, value] : c.series) {
+            if (!sfirst)
+                os << ',';
+            sfirst = false;
+            os << jsonString(series) << ':' << jsonNumber(value);
+        }
+        os << "}}";
+    }
+    for (const InstantEvent &i : instants_) {
+        sep();
+        os << "{\"name\":" << jsonString(i.name)
+           << ",\"cat\":" << jsonString(i.category)
+           << ",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << i.pid
+           << ",\"tid\":" << i.tid
+           << ",\"ts\":" << jsonNumber(i.ts * 1e6) << "}";
+    }
+    for (const FlowEvent &f : flows_) {
+        sep();
+        os << "{\"name\":" << jsonString(f.name)
+           << ",\"cat\":" << jsonString(f.category) << ",\"ph\":\""
+           << (f.start ? 's' : 'f') << "\"";
+        if (!f.start)
+            os << ",\"bp\":\"e\"";
+        os << ",\"id\":" << f.id << ",\"pid\":" << f.pid
+           << ",\"tid\":" << f.tid
+           << ",\"ts\":" << jsonNumber(f.ts * 1e6) << "}";
     }
     os << "\n]}\n";
 }

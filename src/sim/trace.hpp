@@ -3,12 +3,22 @@
  * Chrome-trace (chrome://tracing / Perfetto JSON) recording of simulated
  * schedules. Produces the visual equivalent of the paper's Figure 4
  * timelines: per-chip lanes for compute, inter-row and inter-column
- * communication.
+ * communication, plus counter tracks sampled from the telemetry
+ * registry, instant markers, metadata (process/thread names so a lane
+ * reads "chip 3 / row comm" in Perfetto) and flow arrows linking
+ * dependent compute <-> communication spans.
+ *
+ * All `record*` calls are thread-safe: PR 1's parallel autotuner may
+ * drive traced simulations concurrently from pool workers.
  */
 #ifndef MESHSLICE_SIM_TRACE_HPP_
 #define MESHSLICE_SIM_TRACE_HPP_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/units.hpp"
@@ -16,10 +26,13 @@
 namespace meshslice {
 
 /**
- * Collects duration events and serializes them as a Chrome trace.
+ * Collects trace events and serializes them as a Chrome trace.
  *
- * Recording is opt-in; a disabled recorder makes `record` a no-op so the
- * hot path stays cheap.
+ * Recording is opt-in; a disabled recorder makes every `record*` call a
+ * no-op (one relaxed atomic load) so the hot path stays cheap. Metadata
+ * (`setProcessName` / `setThreadName`) is kept even while disabled: it
+ * is cheap, bounded by topology size, and must exist before the first
+ * span no matter when tracing gets switched on.
  */
 class TraceRecorder
 {
@@ -35,23 +48,116 @@ class TraceRecorder
         Time end;
     };
 
-    void enable(bool on) { enabled_ = on; }
-    bool enabled() const { return enabled_; }
+    /** One sample of one or more counter series on a track. */
+    struct CounterEvent
+    {
+        std::string name; ///< counter track name
+        int pid;
+        Time ts;
+        std::vector<std::pair<std::string, double>> series;
+    };
+
+    /** A zero-duration marker. */
+    struct InstantEvent
+    {
+        std::string name;
+        std::string category;
+        int pid;
+        int tid;
+        Time ts;
+    };
+
+    /** One endpoint of a flow arrow (start or finish). */
+    struct FlowEvent
+    {
+        std::string name;
+        std::string category;
+        std::uint64_t id;
+        int pid;
+        int tid;
+        Time ts;
+        bool start; ///< true = ph "s", false = ph "f" (bp "e")
+    };
+
+    /** A process or thread display name. */
+    struct MetaEvent
+    {
+        int pid;
+        int tid;       ///< ignored for process names
+        bool process;  ///< true = process_name, false = thread_name
+        std::string name;
+    };
+
+    void
+    enable(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /** Record a completed span (no-op while disabled). */
     void record(std::string name, std::string category, int pid, int tid,
                 Time begin, Time end);
 
-    /** Serialize all spans as Chrome trace JSON into @p path. */
+    /** Record a counter sample (ph "C"; no-op while disabled). */
+    void recordCounter(std::string name, int pid, Time ts,
+                       std::vector<std::pair<std::string, double>> series);
+
+    /** Record an instant marker (ph "i"; no-op while disabled). */
+    void recordInstant(std::string name, std::string category, int pid,
+                       int tid, Time ts);
+
+    /** Allocate a fresh flow id (unique within this recorder). */
+    std::uint64_t
+    newFlowId()
+    {
+        return nextFlowId_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Record one endpoint of flow @p id. The start binds to the span
+     * enclosing @p ts on (pid, tid); the finish binds to the enclosing
+     * slice (`bp:"e"`), drawing an arrow between the two in Perfetto.
+     * No-op while disabled.
+     */
+    void recordFlow(std::string name, std::string category,
+                    std::uint64_t id, int pid, int tid, Time ts,
+                    bool start);
+
+    /** Name a process lane group ("chip 3"). Kept even while disabled. */
+    void setProcessName(int pid, std::string name);
+
+    /** Name one lane ("row comm"). Kept even while disabled. */
+    void setThreadName(int pid, int tid, std::string name);
+
+    /** Serialize all events as Chrome trace JSON into @p path. */
     void writeJson(const std::string &path) const;
 
-    void clear() { spans_.clear(); }
-    size_t spanCount() const { return spans_.size(); }
+    /** Drop all recorded events (metadata included). */
+    void clear();
+
+    size_t spanCount() const;
+    size_t counterCount() const;
+    size_t instantCount() const;
+    size_t flowCount() const;
+
+    /** Spans in record order. Not synchronized against concurrent
+     *  recording — read only after the traced run finished. */
     const std::vector<Span> &spans() const { return spans_; }
 
   private:
-    bool enabled_ = false;
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> nextFlowId_{1};
+    mutable std::mutex mu_;
     std::vector<Span> spans_;
+    std::vector<CounterEvent> counters_;
+    std::vector<InstantEvent> instants_;
+    std::vector<FlowEvent> flows_;
+    std::vector<MetaEvent> metas_;
 };
 
 } // namespace meshslice

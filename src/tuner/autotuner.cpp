@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "tuner/search_trace.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
 #include "util/parallel.hpp"
@@ -215,6 +217,25 @@ struct ShapeEval
     std::vector<std::pair<int, Time>> perGemm;
 };
 
+/**
+ * One phase-2 JSONL record per candidate mesh shape. Shapes pruned by
+ * the divisibility pre-check carry `"feasible":false` and no time;
+ * evaluated shapes report the summed per-block FC time (`null` when
+ * no slice count fit in memory at that shape).
+ */
+void
+traceShapeCandidate(Algorithm algo, int chips, int rows, int cols,
+                    bool feasible, Time block_fc)
+{
+    const bool timed = feasible && block_fc < 1e300;
+    SearchTrace::global().record(strprintf(
+        "{\"phase\":\"shape\",\"algo\":%s,\"chips\":%d,\"rows\":%d,"
+        "\"cols\":%d,\"feasible\":%s,\"block_fc_s\":%s}",
+        jsonString(algorithmName(algo)).c_str(), chips, rows, cols,
+        feasible ? "true" : "false",
+        timed ? jsonNumber(block_fc).c_str() : "null"));
+}
+
 } // namespace
 
 AutotuneResult
@@ -243,6 +264,10 @@ LlmAutotuner::tunePhase2(Algorithm algo, std::vector<FcLayerPlan> layers,
         if (feasible)
             shapes.emplace_back(static_cast<int>(rows),
                                 static_cast<int>(cols));
+        else if (SearchTrace::global().enabled())
+            traceShapeCandidate(algo, chips, static_cast<int>(rows),
+                                static_cast<int>(cols),
+                                /*feasible=*/false, 1e300);
     }
     if (shapes.empty())
         panic("LlmAutotuner: no feasible mesh shape for %d chips", chips);
@@ -264,6 +289,9 @@ LlmAutotuner::tunePhase2(Algorithm algo, std::vector<FcLayerPlan> layers,
                 ev.blockFcTime += t; // 1e300 == out of memory
             }
         }
+        if (SearchTrace::global().enabled())
+            traceShapeCandidate(algo, chips, ev.rows, ev.cols,
+                                /*feasible=*/true, ev.blockFcTime);
         return ev;
     };
     // The reduction is serial and index-ordered (meshShapesOf order =

@@ -15,6 +15,8 @@
 #include "core/memory_model.hpp"
 #include "net/collectives.hpp"
 #include "net/topology.hpp"
+#include "tuner/search_trace.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -301,15 +303,44 @@ CostModel::estimateGemmTime(Algorithm algo, const Gemm2DSpec &spec) const
     }
 }
 
+namespace {
+
+/**
+ * One phase-1 JSONL record per slice-count candidate: the GeMM, the
+ * mesh shape, the candidate S, whether it fit in HBM, and the analytic
+ * time estimate (`null` when the candidate was pruned).
+ */
+void
+traceSliceCandidate(Algorithm algo, const Gemm2DSpec &spec, int s,
+                    bool fits, Time est)
+{
+    SearchTrace::global().record(strprintf(
+        "{\"phase\":\"slice\",\"algo\":%s,\"m\":%lld,\"k\":%lld,"
+        "\"n\":%lld,\"dataflow\":%s,\"rows\":%d,\"cols\":%d,\"s\":%d,"
+        "\"fits\":%s,\"est_s\":%s}",
+        jsonString(algorithmName(algo)).c_str(),
+        static_cast<long long>(spec.m), static_cast<long long>(spec.k),
+        static_cast<long long>(spec.n),
+        jsonString(dataflowName(spec.dataflow)).c_str(), spec.rows,
+        spec.cols, s, fits ? "true" : "false",
+        fits ? jsonNumber(est).c_str() : "null"));
+}
+
+} // namespace
+
 std::pair<int, Time>
 CostModel::tuneSliceCount(Algorithm algo, const Gemm2DSpec &spec) const
 {
+    const bool tracing = SearchTrace::global().enabled();
     if (algo == Algorithm::kCollective || algo == Algorithm::kCannon) {
         Gemm2DSpec fixed = spec;
         fixed.sliceCount = algo == Algorithm::kCannon ? spec.rows : 1;
-        if (!fitsInMemory(cfg_, algo, fixed))
-            return {fixed.sliceCount, 1e300};
-        return {fixed.sliceCount, estimateGemmTime(algo, fixed)};
+        const bool fits = fitsInMemory(cfg_, algo, fixed);
+        const Time est =
+            fits ? estimateGemmTime(algo, fixed) : Time{1e300};
+        if (tracing)
+            traceSliceCandidate(algo, fixed, fixed.sliceCount, fits, est);
+        return {fixed.sliceCount, est};
     }
     const std::vector<int> slice_counts = validSliceCounts(cfg_, spec);
     // Candidate evaluations are independent; the serial index-ordered
@@ -323,9 +354,17 @@ CostModel::tuneSliceCount(Algorithm algo, const Gemm2DSpec &spec) const
         candidate.sliceCount = slice_counts[static_cast<size_t>(i)];
         // Slicing shrinks the gather buffers; configurations that blow
         // the HBM capacity are not schedulable at all.
-        if (!fitsInMemory(cfg_, algo, candidate))
+        if (!fitsInMemory(cfg_, algo, candidate)) {
+            if (tracing)
+                traceSliceCandidate(algo, candidate, candidate.sliceCount,
+                                    /*fits=*/false, 1e300);
             return {0, 1e300};
-        return {candidate.sliceCount, estimateGemmTime(algo, candidate)};
+        }
+        const Time est = estimateGemmTime(algo, candidate);
+        if (tracing)
+            traceSliceCandidate(algo, candidate, candidate.sliceCount,
+                                /*fits=*/true, est);
+        return {candidate.sliceCount, est};
     };
     const auto [best_s, best_t] = parallelMapReduce(
         static_cast<std::int64_t>(slice_counts.size()),

@@ -1,0 +1,53 @@
+#include "tuner/search_trace.hpp"
+
+namespace meshslice {
+
+SearchTrace &
+SearchTrace::global()
+{
+    static SearchTrace trace;
+    return trace;
+}
+
+SearchTrace::~SearchTrace()
+{
+    close();
+}
+
+bool
+SearchTrace::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    file_ = std::fopen(path.c_str(), "w");
+    count_.store(0, std::memory_order_relaxed);
+    enabled_.store(file_ != nullptr, std::memory_order_relaxed);
+    return file_ != nullptr;
+}
+
+void
+SearchTrace::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_.store(false, std::memory_order_relaxed);
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+void
+SearchTrace::record(const std::string &json_line)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ == nullptr)
+        return;
+    std::fwrite(json_line.data(), 1, json_line.size(), file_);
+    std::fputc('\n', file_);
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace meshslice

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * JSONL trace of autotuner search decisions (observability layer).
+ *
+ * When opened, every candidate the two-phase autotuner evaluates —
+ * slice counts in phase 1/`tuneSliceCount`, mesh shapes in phase 2 —
+ * appends one JSON object per line to the sink file. The records are
+ * self-describing (`"phase":"slice"` / `"phase":"shape"`) and carry
+ * enough of the candidate (algorithm, GeMM dims, dataflow, mesh shape,
+ * S, feasibility, estimated time) to replay or audit a search offline.
+ *
+ * The sink is process-wide and disabled by default; the fast path for
+ * an instrumented site is a single relaxed atomic load, so closed-sink
+ * overhead is negligible.
+ */
+#ifndef MESHSLICE_TUNER_SEARCH_TRACE_HPP_
+#define MESHSLICE_TUNER_SEARCH_TRACE_HPP_
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace meshslice {
+
+/** Process-wide JSONL sink for autotuner search telemetry. */
+class SearchTrace
+{
+  public:
+    /** The singleton instrumented call sites write to. */
+    static SearchTrace &global();
+
+    SearchTrace() = default;
+    ~SearchTrace();
+    SearchTrace(const SearchTrace &) = delete;
+    SearchTrace &operator=(const SearchTrace &) = delete;
+
+    /**
+     * Open (truncating) @p path and start recording. Returns false —
+     * leaving the sink closed — if the file cannot be created.
+     */
+    bool open(const std::string &path);
+
+    /** Flush and close the sink; recording stops. Idempotent. */
+    void close();
+
+    /** True while a sink file is open. Call sites must check this
+     *  before building a record string. */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Append one JSON object (no trailing newline) as a JSONL line.
+     *  No-op when the sink is closed. */
+    void record(const std::string &json_line);
+
+    /** Lines written since the sink was last opened. */
+    long recordCount() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> enabled_{false};
+    std::atomic<long> count_{0};
+    mutable std::mutex mu_;
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_TUNER_SEARCH_TRACE_HPP_

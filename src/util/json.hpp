@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by every writer in the repo
+ * (Chrome traces, stats dumps, tuner search JSONL, bench reports).
+ *
+ * Historically each writer spliced raw strings into its output, which
+ * produced invalid JSON the moment a span name contained a quote or a
+ * backslash. All writers now route strings through `escapeJson` and
+ * numbers through `jsonNumber` (which maps non-finite values to
+ * `null`, the only legal JSON spelling).
+ */
+#ifndef MESHSLICE_UTIL_JSON_HPP_
+#define MESHSLICE_UTIL_JSON_HPP_
+
+#include <string>
+#include <string_view>
+
+namespace meshslice {
+
+/**
+ * Escape @p s for inclusion inside a double-quoted JSON string:
+ * backslash, quote, and control characters (U+0000..U+001F) are
+ * escaped; everything else (including UTF-8 multibyte sequences) is
+ * passed through verbatim. Does NOT add the surrounding quotes.
+ */
+std::string escapeJson(std::string_view s);
+
+/** `"` + escapeJson(s) + `"`. */
+std::string jsonString(std::string_view s);
+
+/**
+ * Format @p v as a JSON number with round-trippable precision
+ * (`%.17g`). Infinities and NaNs — which JSON cannot represent — are
+ * emitted as `null`.
+ */
+std::string jsonNumber(double v);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_UTIL_JSON_HPP_

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * A minimal validating JSON parser for tests: checks that an artifact
+ * (Chrome trace, stats dump, JSONL line) is well-formed JSON without
+ * depending on any external library. Strict enough to catch the bugs
+ * the telemetry writers could realistically produce — unescaped
+ * quotes/backslashes, trailing commas, bare NaN/inf tokens.
+ */
+#ifndef MESHSLICE_TESTS_JSON_CHECKER_HPP_
+#define MESHSLICE_TESTS_JSON_CHECKER_HPP_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace meshslice {
+namespace testing {
+
+/** Recursive-descent JSON validator (no DOM, just well-formedness). */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : s_(text) {}
+
+    /** True iff the whole input is exactly one valid JSON value. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        depth_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (++depth_ > 256)
+            return false; // runaway nesting
+        skipWs();
+        bool ok = false;
+        if (pos_ >= s_.size()) {
+            ok = false;
+        } else if (s_[pos_] == '{') {
+            ok = object();
+        } else if (s_[pos_] == '[') {
+            ok = array();
+        } else if (s_[pos_] == '"') {
+            ok = string();
+        } else if (s_[pos_] == 't') {
+            ok = literal("true");
+        } else if (s_[pos_] == 'f') {
+            ok = literal("false");
+        } else if (s_[pos_] == 'n') {
+            ok = literal("null");
+        } else {
+            ok = number();
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i)
+                        if (pos_ + i >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + i])))
+                            return false;
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        size_t digits = 0;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0)
+            return false; // catches NaN / inf / bare '-'
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            digits = 0;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++digits;
+            }
+            if (digits == 0)
+                return false;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() &&
+                (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            digits = 0;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++digits;
+            }
+            if (digits == 0)
+                return false;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::string_view w(word);
+        if (s_.substr(pos_, w.size()) != w)
+            return false;
+        pos_ += w.size();
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    std::string_view s_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+/** Convenience: one-shot validity check. */
+inline bool
+jsonValid(std::string_view text)
+{
+    return JsonChecker(text).valid();
+}
+
+/** Number of (non-overlapping) occurrences of @p needle in @p hay. */
+inline size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    size_t n = 0;
+    for (size_t at = hay.find(needle); at != std::string::npos;
+         at = hay.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+} // namespace testing
+} // namespace meshslice
+
+#endif // MESHSLICE_TESTS_JSON_CHECKER_HPP_

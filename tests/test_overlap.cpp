@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "core/executor.hpp"
 #include "sim/trace.hpp"
@@ -16,16 +17,18 @@
 namespace meshslice {
 namespace {
 
+using Spans = std::vector<TraceRecorder::Span>;
+
 /** Total time during which a chip-0 span of category a overlaps one
  *  of category b on the given lane. */
 double
-overlapSeconds(const TraceRecorder &trace, int lane_comm)
+overlapSeconds(const Spans &spans, int lane_comm)
 {
     double total = 0.0;
-    for (const TraceRecorder::Span &comm : trace.spans()) {
+    for (const TraceRecorder::Span &comm : spans) {
         if (comm.pid != 0 || comm.tid != lane_comm)
             continue;
-        for (const TraceRecorder::Span &comp : trace.spans()) {
+        for (const TraceRecorder::Span &comp : spans) {
             if (comp.pid != 0 || comp.tid != kLaneCompute)
                 continue;
             const double lo = std::max(comm.begin, comp.begin);
@@ -38,7 +41,7 @@ overlapSeconds(const TraceRecorder &trace, int lane_comm)
 }
 
 GemmRunResult
-runTraced(const ChipConfig &cfg, Algorithm algo, TraceRecorder *out)
+runTraced(const ChipConfig &cfg, Algorithm algo, Spans *out)
 {
     Gemm2DSpec spec;
     spec.m = 32768;
@@ -52,13 +55,13 @@ runTraced(const ChipConfig &cfg, Algorithm algo, TraceRecorder *out)
     cluster.trace().enable(true);
     GemmExecutor exec(mesh);
     GemmRunResult res = exec.run(algo, spec);
-    *out = cluster.trace();
+    *out = cluster.trace().spans();
     return res;
 }
 
 TEST(Overlap, MeshSliceOverlapsBothDirections)
 {
-    TraceRecorder trace;
+    Spans trace;
     runTraced(tpuV4Config(), Algorithm::kMeshSlice, &trace);
     EXPECT_GT(overlapSeconds(trace, kLaneHorizontalComm), 0.0);
     EXPECT_GT(overlapSeconds(trace, kLaneVerticalComm), 0.0);
@@ -66,7 +69,7 @@ TEST(Overlap, MeshSliceOverlapsBothDirections)
 
 TEST(Overlap, CollectiveNeverOverlaps)
 {
-    TraceRecorder trace;
+    Spans trace;
     runTraced(tpuV4Config(), Algorithm::kCollective, &trace);
     EXPECT_DOUBLE_EQ(overlapSeconds(trace, kLaneHorizontalComm), 0.0);
     EXPECT_DOUBLE_EQ(overlapSeconds(trace, kLaneVerticalComm), 0.0);
@@ -74,7 +77,7 @@ TEST(Overlap, CollectiveNeverOverlaps)
 
 TEST(Overlap, WangOverlapsExactlyOneDirection)
 {
-    TraceRecorder trace;
+    Spans trace;
     runTraced(tpuV4Config(), Algorithm::kWang, &trace);
     const double h = overlapSeconds(trace, kLaneHorizontalComm);
     const double v = overlapSeconds(trace, kLaneVerticalComm);
@@ -87,7 +90,7 @@ TEST(Overlap, NoOverlapModeSerializesAgRds)
 {
     ChipConfig cfg = tpuV4Config();
     cfg.allowCollectiveOverlap = false;
-    TraceRecorder trace;
+    Spans trace;
     runTraced(cfg, Algorithm::kMeshSlice, &trace);
     EXPECT_DOUBLE_EQ(overlapSeconds(trace, kLaneHorizontalComm), 0.0);
     EXPECT_DOUBLE_EQ(overlapSeconds(trace, kLaneVerticalComm), 0.0);
@@ -111,8 +114,8 @@ TEST(Overlap, CannonOverlapsShiftsWithCompute)
     cluster.trace().enable(true);
     GemmExecutor exec(mesh);
     exec.run(Algorithm::kCannon, spec);
-    EXPECT_GT(overlapSeconds(cluster.trace(), kLaneHorizontalComm), 0.0);
-    EXPECT_GT(overlapSeconds(cluster.trace(), kLaneVerticalComm), 0.0);
+    EXPECT_GT(overlapSeconds(cluster.trace().spans(), kLaneHorizontalComm), 0.0);
+    EXPECT_GT(overlapSeconds(cluster.trace().spans(), kLaneVerticalComm), 0.0);
 }
 
 } // namespace

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests of the telemetry layer: JSON escaping, the stats registry, the
+ * extended trace recorder (counters/instants/flows/metadata), resource
+ * accounting conservation, per-algorithm overlap metrics, tuner search
+ * traces, thread safety and cross-thread-count determinism.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "model/transformer.hpp"
+#include "net/topology.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "tuner/autotuner.hpp"
+#include "tuner/search_trace.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+
+#include "json_checker.hpp"
+
+namespace meshslice {
+namespace {
+
+using testing::countOccurrences;
+using testing::jsonValid;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(escapeJson("plain"), "plain");
+    EXPECT_EQ(escapeJson("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapeJson("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeJson("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(escapeJson(std::string("a\x01z")), "a\\u0001z");
+    EXPECT_TRUE(jsonValid(jsonString("quote \" slash \\ nl \n")));
+}
+
+TEST(Json, NumbersAreAlwaysValidJson)
+{
+    EXPECT_TRUE(jsonValid(jsonNumber(1.5)));
+    EXPECT_TRUE(jsonValid(jsonNumber(-0.0)));
+    EXPECT_TRUE(jsonValid(jsonNumber(1e300)));
+    // Non-finite values must not leak bare NaN/inf tokens.
+    EXPECT_EQ(jsonNumber(0.0 / 0.0), "null");
+    EXPECT_EQ(jsonNumber(1.0 / 0.0), "null");
+}
+
+TEST(Stats, DisabledRegistryIsNoOp)
+{
+    StatsRegistry reg;
+    reg.add("a/b", 1.0);
+    reg.observe("a/c", 2.0);
+    reg.observeHistogram("a/d", 3.0);
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_EQ(reg.counter("a/b"), 0.0);
+}
+
+TEST(Stats, CountersGaugesAccumulatorsHistograms)
+{
+    StatsRegistry reg;
+    reg.enable(true);
+    reg.add("c", 1.0);
+    reg.add("c", 2.5);
+    EXPECT_DOUBLE_EQ(reg.counter("c"), 3.5);
+    reg.set("g", 7.0);
+    reg.set("g", 5.0); // gauge keeps the last value
+    EXPECT_DOUBLE_EQ(reg.counter("g"), 5.0);
+
+    reg.observe("acc", 1.0);
+    reg.observe("acc", 3.0);
+    const StatSnapshot acc = reg.snapshotOf("acc");
+    EXPECT_EQ(acc.kind, StatKind::kAccumulator);
+    EXPECT_EQ(acc.count, 2u);
+    EXPECT_DOUBLE_EQ(acc.value, 4.0);
+    EXPECT_DOUBLE_EQ(acc.min, 1.0);
+    EXPECT_DOUBLE_EQ(acc.max, 3.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+
+    reg.observeHistogram("h", 0.5); // bucket 0: < 1
+    reg.observeHistogram("h", 1.5); // bucket 1: [1, 2)
+    reg.observeHistogram("h", 6.0); // bucket 3: [4, 8)
+    const StatSnapshot h = reg.snapshotOf("h");
+    EXPECT_EQ(h.kind, StatKind::kHistogram);
+    ASSERT_GE(h.buckets.size(), 4u);
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[3], 1u);
+
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Stats, SnapshotIsSortedAndJsonIsValid)
+{
+    StatsRegistry reg;
+    reg.enable(true);
+    reg.add("z/last", 1.0);
+    reg.add("a/first", 2.0);
+    reg.observe("a/mid/acc", 3.0);
+    reg.observeHistogram("m/hist", 9.0);
+    const std::vector<StatSnapshot> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    for (size_t i = 1; i < snap.size(); ++i)
+        EXPECT_LT(snap[i - 1].name, snap[i].name);
+
+    const std::string json = reg.toJson();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"first\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(Trace, RoundTripCountsAndEscaping)
+{
+    TraceRecorder tr;
+    tr.setProcessName(0, "chip \"0\" \\ escaped");
+    tr.setThreadName(0, 0, "lane\n0");
+    tr.enable(true);
+    tr.record("span \"quoted\" \\name", "compute", 0, 0, 0.0, 1e-3);
+    tr.record("plain", "comm", 1, 1, 1e-3, 2e-3);
+    tr.recordCounter("cluster", 0, 0.0, {{"a", 1.0}, {"b", 2.0}});
+    tr.recordInstant("marker", "sync", 0, 0, 5e-4);
+    const std::uint64_t id = tr.newFlowId();
+    tr.recordFlow("feeds", "dep", id, 0, 1, 1e-4, /*start=*/true);
+    tr.recordFlow("feeds", "dep", id, 0, 0, 2e-4, /*start=*/false);
+
+    const std::string path = "/tmp/meshslice_stats_trace_test.json";
+    tr.writeJson(path);
+    const std::string json = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"X\""), tr.spanCount());
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"C\""), tr.counterCount());
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"i\""), tr.instantCount());
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"s\"") +
+                  countOccurrences(json, "\"ph\":\"f\""),
+              tr.flowCount());
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"M\""), 2u);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+/** A small traced+statted MeshSlice run shared by several tests. */
+GemmRunResult
+runInstrumentedMeshSlice(Cluster &cluster, int rows, int cols)
+{
+    TorusMesh mesh(cluster, rows, cols);
+    GemmExecutor exec(mesh);
+    Gemm2DSpec spec;
+    spec.m = 8192;
+    spec.k = 4096;
+    spec.n = 4096;
+    spec.rows = rows;
+    spec.cols = cols;
+    spec.sliceCount = 2;
+    return exec.run(Algorithm::kMeshSlice, spec);
+}
+
+TEST(Stats, ResourceAccountingConservation)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 4);
+    cluster.stats().enable(true);
+    const GemmRunResult res = runInstrumentedMeshSlice(cluster, 2, 2);
+    EXPECT_GT(res.time, 0.0);
+
+    cluster.collectResourceStats(cluster.stats());
+    int checked = 0;
+    for (const StatSnapshot &s : cluster.stats().snapshot()) {
+        const size_t tail = s.name.rfind("/busy_s");
+        if (tail == std::string::npos || tail + 7 != s.name.size())
+            continue;
+        const std::string base = s.name.substr(0, tail);
+        const double busy = s.value;
+        const double idle = cluster.stats().counter(base + "/idle_s");
+        const double observed =
+            cluster.stats().counter(base + "/observed_s");
+        // Conservation: independently-tracked busy + idle seconds must
+        // add up to the resource's observed wall time.
+        EXPECT_NEAR(busy + idle, observed,
+                    1e-9 * std::max(1.0, observed))
+            << base;
+        EXPECT_GE(busy, 0.0) << base;
+        EXPECT_GE(idle, 0.0) << base;
+        ++checked;
+    }
+    // 4 chips x (core + HBM) + the torus links all get accounted.
+    EXPECT_GE(checked, 8);
+    // The cores did real work during the GeMM.
+    EXPECT_GT(cluster.stats().counter("chip0/core/busy_s"), 0.0);
+}
+
+TEST(Stats, ExecutorPublishesOverlapMetrics)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 4);
+    cluster.stats().enable(true);
+    const GemmRunResult res = runInstrumentedMeshSlice(cluster, 2, 2);
+
+    EXPECT_GT(res.computeBusy, 0.0);
+    EXPECT_GE(res.exposedComm, 0.0);
+    EXPECT_GE(res.computeBoundFraction(), 0.0);
+    EXPECT_LE(res.computeBoundFraction(), 1.0);
+    EXPECT_GE(res.overlapEfficiency(), 0.0);
+    EXPECT_LE(res.overlapEfficiency(), 1.0);
+    EXPECT_NEAR(res.computeBoundFraction() + res.commBoundFraction(),
+                1.0, 1e-12);
+
+    EXPECT_DOUBLE_EQ(cluster.stats().counter("algo/MeshSlice/runs"), 1.0);
+    EXPECT_NEAR(cluster.stats().counter("algo/MeshSlice/time_s"),
+                res.time, 1e-12);
+    // The collective phase breakdown also landed in the registry.
+    EXPECT_GT(cluster.stats().counter("collective/allgather/count"), 0.0);
+    const double total =
+        cluster.stats().counter("collective/allgather/total_s");
+    const double parts =
+        cluster.stats().counter("collective/allgather/launch_s") +
+        cluster.stats().counter("collective/allgather/transfer_s") +
+        cluster.stats().counter("collective/allgather/sync_s");
+    EXPECT_NEAR(parts, total, 1e-9 * std::max(1.0, total));
+}
+
+TEST(Stats, MeshSliceOverlapsMoreThanCollective)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Gemm2DSpec spec;
+    spec.m = 8192;
+    spec.k = 4096;
+    spec.n = 4096;
+    spec.rows = 2;
+    spec.cols = 2;
+    spec.sliceCount = 4;
+
+    Cluster c1(cfg, 4);
+    TorusMesh m1(c1, 2, 2);
+    const GemmRunResult slice =
+        GemmExecutor(m1).run(Algorithm::kMeshSlice, spec);
+    Cluster c2(cfg, 4);
+    TorusMesh m2(c2, 2, 2);
+    const GemmRunResult coll =
+        GemmExecutor(m2).run(Algorithm::kCollective, spec);
+
+    // The Collective baseline serializes comm and compute, so compared
+    // with MeshSlice more of its wall time is exposed communication
+    // and less of its issued comm is hidden. (Its efficiency is not
+    // zero: the two directions' prologue AGs overlap each other.)
+    EXPECT_GT(slice.overlapEfficiency(), coll.overlapEfficiency());
+    EXPECT_GT(slice.computeBoundFraction(), coll.computeBoundFraction());
+    EXPECT_GT(coll.exposedComm, slice.exposedComm);
+}
+
+TEST(Stats, ThreadSafeUnderConcurrentHammering)
+{
+    StatsRegistry reg;
+    reg.enable(true);
+    TraceRecorder tr;
+    tr.enable(true);
+    const std::int64_t n = 20000;
+    parallelFor(n, 64, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+            reg.add("hammer/count", 1.0);
+            reg.observe("hammer/value", static_cast<double>(i % 7));
+            reg.observeHistogram("hammer/hist",
+                                 static_cast<double>(i % 1024));
+            tr.record("span", "compute", static_cast<int>(i % 4), 0,
+                      0.0, 1.0);
+            if (i % 64 == 0)
+                tr.recordInstant("tick", "sync", 0, 0, 0.0);
+        }
+    });
+    EXPECT_DOUBLE_EQ(reg.counter("hammer/count"),
+                     static_cast<double>(n));
+    EXPECT_EQ(reg.snapshotOf("hammer/value").count,
+              static_cast<std::uint64_t>(n));
+    EXPECT_EQ(reg.snapshotOf("hammer/hist").count,
+              static_cast<std::uint64_t>(n));
+    EXPECT_EQ(tr.spanCount(), static_cast<size_t>(n));
+}
+
+TEST(Stats, BitIdenticalAcrossThreadCounts)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const TransformerConfig model = gpt3Config();
+    const int chips = 16;
+    const TrainingConfig train = TrainingConfig::weakScaling(chips);
+
+    const auto run_once = [&]() -> std::string {
+        const CostModel cost = CostModel::calibrated(cfg);
+        const LlmAutotuner tuner(cost);
+        const AutotuneResult plan = tuner.tuneForAlgorithm(
+            Algorithm::kMeshSlice, model, train, chips, true);
+        Cluster cluster(cfg, chips);
+        cluster.stats().enable(true);
+        TorusMesh mesh(cluster, plan.rows, plan.cols);
+        GemmExecutor exec(mesh);
+        for (const GemmPlan &p : plan.allPlans())
+            exec.run(Algorithm::kMeshSlice,
+                     makeSpec(p.gemm, p.dataflow, plan.rows, plan.cols,
+                              p.sliceCount, cfg.bytesPerElement));
+        cluster.collectResourceStats(cluster.stats());
+        return cluster.stats().toJson();
+    };
+
+    ThreadPool::setGlobalThreads(1);
+    const std::string serial = run_once();
+    ThreadPool::setGlobalThreads(8);
+    const std::string parallel = run_once();
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+    EXPECT_TRUE(jsonValid(serial));
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(SearchTrace, EmitsOneValidJsonlLinePerCandidate)
+{
+    const std::string path = "/tmp/meshslice_search_trace_test.jsonl";
+    ASSERT_TRUE(SearchTrace::global().open(path));
+
+    const ChipConfig cfg = tpuV4Config();
+    const CostModel cost = CostModel::calibrated(cfg);
+    Gemm2DSpec spec;
+    spec.m = 8192;
+    spec.k = 8192;
+    spec.n = 8192;
+    spec.rows = 4;
+    spec.cols = 4;
+    (void)cost.tuneSliceCount(Algorithm::kMeshSlice, spec);
+
+    const LlmAutotuner tuner(cost);
+    (void)tuner.tuneForAlgorithm(Algorithm::kMeshSlice, gpt3Config(),
+                                 TrainingConfig::weakScaling(16), 16,
+                                 true);
+    const long records = SearchTrace::global().recordCount();
+    SearchTrace::global().close();
+    EXPECT_GT(records, 0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    long lines = 0;
+    bool saw_slice = false, saw_shape = false;
+    for (std::string line; std::getline(in, line);) {
+        if (line.empty())
+            continue;
+        EXPECT_TRUE(jsonValid(line)) << line;
+        if (line.find("\"phase\":\"slice\"") != std::string::npos)
+            saw_slice = true;
+        if (line.find("\"phase\":\"shape\"") != std::string::npos)
+            saw_shape = true;
+        ++lines;
+    }
+    EXPECT_EQ(lines, records);
+    EXPECT_TRUE(saw_slice);
+    EXPECT_TRUE(saw_shape);
+    std::remove(path.c_str());
+
+    // Closed sink: instrumented call sites become no-ops again.
+    (void)cost.tuneSliceCount(Algorithm::kMeshSlice, spec);
+    EXPECT_EQ(SearchTrace::global().recordCount(), records);
+}
+
+TEST(Stats, ClusterCountersTrackIssuedWork)
+{
+    const ChipConfig cfg = tpuV4Config();
+    Cluster cluster(cfg, 4);
+    cluster.trace().enable(true);
+    cluster.stats().enable(true);
+    const GemmRunResult res = runInstrumentedMeshSlice(cluster, 2, 2);
+    EXPECT_GT(res.flops, 0.0);
+    EXPECT_GT(cluster.commBytesIssued(), 0);
+    EXPECT_GT(cluster.trace().counterCount(), 0u);
+    EXPECT_GT(cluster.stats().counter("gemm/count"), 0.0);
+    EXPECT_NEAR(cluster.stats().counter("gemm/flops"),
+                cluster.issuedFlops(), 1e-6 * cluster.issuedFlops());
+}
+
+} // namespace
+} // namespace meshslice

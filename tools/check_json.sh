@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the observability report in a scratch directory and validates
+# every JSON artifact it produces with `python3 -m json.tool`, plus a
+# per-line check of the JSONL search trace. Used by the `check_json`
+# ctest and the `check-json` build target.
+#
+# Usage: check_json.sh <path-to-observability_report> [chips]
+set -euo pipefail
+
+bin=$(readlink -f "$1")
+chips=${2:-16}
+python3=${PYTHON3:-python3}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+"$bin" "$chips" > report.out
+
+status=0
+for f in BENCH_observability.json observability_trace.json \
+         observability_stats.json; do
+    if [ ! -f "$f" ]; then
+        echo "FAIL $f was not produced"
+        status=1
+    elif "$python3" -m json.tool "$f" > /dev/null; then
+        echo "ok   $f"
+    else
+        echo "FAIL $f is not valid JSON"
+        status=1
+    fi
+done
+
+# JSONL: every non-empty line must be its own JSON document.
+if "$python3" - tuner_search.jsonl <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+lines = 0
+with open(path) as fh:
+    for lineno, line in enumerate(fh, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            json.loads(line)
+        except json.JSONDecodeError as exc:
+            sys.exit("%s:%d: %s" % (path, lineno, exc))
+        lines += 1
+if lines == 0:
+    sys.exit("%s: no records" % path)
+EOF
+then
+    echo "ok   tuner_search.jsonl"
+else
+    echo "FAIL tuner_search.jsonl"
+    status=1
+fi
+
+exit $status
