@@ -566,6 +566,12 @@ buildGemmSchedule(TaskGraph &graph, TorusMesh &mesh, Algorithm algo,
 GemmRunResult
 GemmExecutor::run(Algorithm algo, const Gemm2DSpec &spec)
 {
+    // Only MeshSlice consumes the slice count; the baselines ignore it,
+    // so don't hold them to its divisibility constraint.
+    Gemm2DSpec checked = spec;
+    if (algo != Algorithm::kMeshSlice)
+        checked.sliceCount = 1;
+    validateSpec(checked);
     Cluster &cluster = mesh_.cluster();
     GemmRunResult result;
     bool finished = false;
@@ -588,6 +594,7 @@ GemmExecutor::run(Algorithm algo, const Gemm2DSpec &spec)
 GemmRunResult
 runGemm1D(RingNetwork &net, const Gemm1DSpec &spec, Algorithm algo)
 {
+    validateSpec(spec);
     Cluster &cluster = net.cluster();
     const ChipConfig &cfg = cluster.config();
     const int chips = spec.chips;

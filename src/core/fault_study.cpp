@@ -1,0 +1,122 @@
+#include "core/fault_study.hpp"
+
+#include <string>
+
+#include "core/executor.hpp"
+#include "net/topology.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+/**
+ * Forward-pass 1D spec equivalent of a 2D GeMM spec: activations move
+ * for 1D TP, weights for FSDP (Sec 4.3).
+ */
+Gemm1DSpec
+to1DSpec(const Gemm2DSpec &spec, Algorithm algo)
+{
+    Gemm1DSpec s;
+    s.m = spec.m;
+    s.k = spec.k;
+    s.n = spec.n;
+    s.chips = spec.chips();
+    s.sliceCount = spec.sliceCount;
+    s.bytesPerElement = spec.bytesPerElement;
+    const Bytes e = spec.bytesPerElement;
+    if (algo == Algorithm::kOneDTP) {
+        s.commBytes = spec.m * spec.k * e;
+        s.commIsReduce = false;
+        s.local = GemmWork{spec.m, spec.k, spec.n / s.chips};
+    } else { // FSDP
+        s.commBytes = spec.k * spec.n * e;
+        s.commIsReduce = false;
+        s.local = GemmWork{spec.m / s.chips, spec.k, spec.n};
+    }
+    return s;
+}
+
+} // namespace
+
+const FaultStudyEntry *
+FaultStudyResult::find(Algorithm algo) const
+{
+    for (const FaultStudyEntry &e : entries)
+        if (e.algo == algo)
+            return &e;
+    return nullptr;
+}
+
+GemmRunResult
+runGemmUnderScenario(const ChipConfig &cfg, Algorithm algo,
+                     const Gemm2DSpec &spec, const FaultScenario *scenario)
+{
+    const bool is_1d =
+        algo == Algorithm::kOneDTP || algo == Algorithm::kFsdp;
+    Cluster cluster(cfg, spec.chips());
+    if (is_1d) {
+        RingNetwork ring(cluster);
+        FaultInjector injector(cluster.sim(), cluster.net(),
+                               scenario ? *scenario : FaultScenario{});
+        if (scenario) {
+            injector.arm();
+            cluster.attachFaults(&injector);
+        }
+        return runGemm1D(ring, to1DSpec(spec, algo), algo);
+    }
+    TorusMesh mesh(cluster, spec.rows, spec.cols);
+    FaultInjector injector(cluster.sim(), cluster.net(),
+                           scenario ? *scenario : FaultScenario{});
+    if (scenario) {
+        injector.arm();
+        cluster.attachFaults(&injector);
+    }
+    GemmExecutor executor(mesh);
+    return executor.run(algo, spec);
+}
+
+FaultStudyResult
+runFaultStudy(const ChipConfig &cfg, const Gemm2DSpec &spec,
+              const FaultScenario &scenario,
+              const std::vector<Algorithm> &algos, StatsRegistry *stats)
+{
+    FaultStudyResult result;
+    for (Algorithm algo : algos) {
+        if (algo == Algorithm::kCannon && spec.rows != spec.cols)
+            continue; // Cannon needs a square mesh
+        FaultStudyEntry entry;
+        entry.algo = algo;
+        entry.nominal = runGemmUnderScenario(cfg, algo, spec, nullptr);
+        entry.faulted = runGemmUnderScenario(cfg, algo, spec, &scenario);
+        entry.slowdown = entry.nominal.time > 0.0
+                             ? entry.faulted.time / entry.nominal.time
+                             : 1.0;
+        entry.exposedCommDelta =
+            entry.faulted.exposedComm - entry.nominal.exposedComm;
+        entry.overlapDelta = entry.faulted.overlapEfficiency() -
+                             entry.nominal.overlapEfficiency();
+        if (stats && stats->enabled()) {
+            const std::string base =
+                std::string("fault_study/") + algorithmName(algo);
+            stats->set(base + "/nominal_s", entry.nominal.time);
+            stats->set(base + "/faulted_s", entry.faulted.time);
+            stats->set(base + "/slowdown", entry.slowdown);
+            stats->set(base + "/exposed_comm_nominal_s",
+                       entry.nominal.exposedComm);
+            stats->set(base + "/exposed_comm_faulted_s",
+                       entry.faulted.exposedComm);
+            stats->set(base + "/exposed_comm_delta_s",
+                       entry.exposedCommDelta);
+            stats->set(base + "/overlap_nominal",
+                       entry.nominal.overlapEfficiency());
+            stats->set(base + "/overlap_faulted",
+                       entry.faulted.overlapEfficiency());
+            stats->set(base + "/overlap_delta", entry.overlapDelta);
+        }
+        result.entries.push_back(entry);
+    }
+    return result;
+}
+
+} // namespace meshslice

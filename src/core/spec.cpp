@@ -141,6 +141,83 @@ slicedDim(const Gemm2DSpec &spec)
     panic("slicedDim: bad dataflow");
 }
 
+namespace {
+
+void
+requireDivides(const char *what, std::int64_t dim, std::int64_t by,
+               const char *by_name, const std::string &spec)
+{
+    if (by > 0 && dim % by != 0)
+        fatal("Gemm2DSpec %s: %s=%lld is not divisible by %s=%lld "
+              "(the partition would truncate work)",
+              spec.c_str(), what, static_cast<long long>(dim), by_name,
+              static_cast<long long>(by));
+}
+
+} // namespace
+
+void
+validateSpec(const Gemm2DSpec &spec)
+{
+    const std::string s = spec.str();
+    if (spec.m <= 0 || spec.k <= 0 || spec.n <= 0)
+        fatal("Gemm2DSpec %s: dimensions must be positive", s.c_str());
+    if (spec.rows < 1 || spec.cols < 1)
+        fatal("Gemm2DSpec %s: mesh shape %dx%d must be at least 1x1",
+              s.c_str(), spec.rows, spec.cols);
+    if (spec.sliceCount < 1)
+        fatal("Gemm2DSpec %s: slice count %d must be >= 1", s.c_str(),
+              spec.sliceCount);
+    if (spec.bytesPerElement <= 0)
+        fatal("Gemm2DSpec %s: bytesPerElement %d must be positive",
+              s.c_str(), spec.bytesPerElement);
+    // Divisibility of the localSliceWork partition, per Fig 1 dataflow.
+    switch (spec.dataflow) {
+      case Dataflow::kOS:
+        requireDivides("M", spec.m, spec.rows, "rows", s);
+        requireDivides("N", spec.n, spec.cols, "cols", s);
+        requireDivides("K", spec.k, spec.sliceCount, "sliceCount", s);
+        break;
+      case Dataflow::kLS:
+        requireDivides("M", spec.m, spec.rows, "rows", s);
+        requireDivides("K", spec.k, spec.cols, "cols", s);
+        requireDivides("N", spec.n, spec.sliceCount, "sliceCount", s);
+        break;
+      case Dataflow::kRS:
+        requireDivides("M", spec.m, spec.sliceCount, "sliceCount", s);
+        requireDivides("K", spec.k, spec.rows, "rows", s);
+        requireDivides("N", spec.n, spec.cols, "cols", s);
+        break;
+    }
+}
+
+void
+validateSpec(const Gemm1DSpec &spec)
+{
+    if (spec.m <= 0 || spec.k <= 0 || spec.n <= 0)
+        fatal("Gemm1DSpec [M=%lld,K=%lld,N=%lld]: dimensions must be "
+              "positive",
+              static_cast<long long>(spec.m),
+              static_cast<long long>(spec.k),
+              static_cast<long long>(spec.n));
+    if (spec.chips < 1)
+        fatal("Gemm1DSpec: chip count %d must be >= 1", spec.chips);
+    if (spec.sliceCount < 1)
+        fatal("Gemm1DSpec: slice count %d must be >= 1", spec.sliceCount);
+    if (spec.bytesPerElement <= 0)
+        fatal("Gemm1DSpec: bytesPerElement %d must be positive",
+              spec.bytesPerElement);
+    if (spec.commBytes < 0)
+        fatal("Gemm1DSpec: commBytes %lld must be non-negative",
+              static_cast<long long>(spec.commBytes));
+    if (spec.local.m <= 0 || spec.local.k <= 0 || spec.local.n <= 0)
+        fatal("Gemm1DSpec: local GeMM work [%lld,%lld,%lld] must be "
+              "positive (was the builder skipped?)",
+              static_cast<long long>(spec.local.m),
+              static_cast<long long>(spec.local.k),
+              static_cast<long long>(spec.local.n));
+}
+
 std::vector<int>
 validSliceCounts(const ChipConfig &cfg, const Gemm2DSpec &spec, int max_s)
 {

@@ -79,6 +79,15 @@ struct Gemm2DSpec
     std::string str() const;
 };
 
+/**
+ * Reject malformed 2D specs via `fatal()`: non-positive dimensions,
+ * mesh factors or slice counts, and dimensions the dataflow's mesh /
+ * slice partition does not divide evenly (which would silently drop
+ * work to integer truncation). Called by `GemmExecutor::run`; safe to
+ * call early from user-facing spec builders.
+ */
+void validateSpec(const Gemm2DSpec &spec);
+
 /** One moving matrix: its full size and the collective it uses. */
 struct FlowSide
 {
@@ -136,6 +145,10 @@ struct Gemm1DSpec
                static_cast<double>(n);
     }
 };
+
+/** The 1D analogue of `validateSpec(Gemm2DSpec)` (used by
+ *  `runGemm1D`). */
+void validateSpec(const Gemm1DSpec &spec);
 
 /** Outcome of one simulated distributed GeMM. */
 struct GemmRunResult

@@ -1,0 +1,46 @@
+#include "hw/chip_config.hpp"
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+void
+validateChipConfig(const ChipConfig &cfg)
+{
+    if (cfg.peakFlops <= 0.0)
+        fatal("ChipConfig: peakFlops must be positive (got %g FLOP/s)",
+              cfg.peakFlops);
+    if (cfg.hbmBandwidth <= 0.0)
+        fatal("ChipConfig: hbmBandwidth must be positive (got %g B/s)",
+              cfg.hbmBandwidth);
+    if (cfg.iciLinkBandwidth <= 0.0)
+        fatal("ChipConfig: iciLinkBandwidth must be positive (got %g B/s)",
+              cfg.iciLinkBandwidth);
+    if (cfg.syncLatency < 0.0)
+        fatal("ChipConfig: syncLatency must be >= 0 (got %g s)",
+              cfg.syncLatency);
+    if (cfg.launchOverhead < 0.0)
+        fatal("ChipConfig: launchOverhead must be >= 0 (got %g s)",
+              cfg.launchOverhead);
+    if (cfg.systolicDim <= 0)
+        fatal("ChipConfig: systolicDim must be positive (got %lld)",
+              static_cast<long long>(cfg.systolicDim));
+    if (cfg.memBlockCols <= 0)
+        fatal("ChipConfig: memBlockCols must be positive (got %lld)",
+              static_cast<long long>(cfg.memBlockCols));
+    if (cfg.scratchpadBytes <= 0)
+        fatal("ChipConfig: scratchpadBytes must be positive (got %lld)",
+              static_cast<long long>(cfg.scratchpadBytes));
+    if (cfg.hbmCapacity <= 0)
+        fatal("ChipConfig: hbmCapacity must be positive (got %lld)",
+              static_cast<long long>(cfg.hbmCapacity));
+    if (cfg.bytesPerElement <= 0)
+        fatal("ChipConfig: bytesPerElement must be positive (got %d)",
+              cfg.bytesPerElement);
+    if (cfg.logicalMeshContention < 1.0)
+        fatal("ChipConfig: logicalMeshContention must be >= 1 (got %g); "
+              "1.0 models a physical torus, larger values model logical "
+              "meshes sharing a network", cfg.logicalMeshContention);
+}
+
+} // namespace meshslice

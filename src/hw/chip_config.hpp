@@ -93,6 +93,14 @@ tpuV4Config()
     return ChipConfig{};
 }
 
+/**
+ * Reject configurations that would make the simulator produce nonsense
+ * (non-positive rates/latencies, zero block sizes, ...). Calls `fatal()`
+ * with the offending field; returns normally on a sane config. Run by
+ * the `Cluster` constructor, so every simulation entry point is covered.
+ */
+void validateChipConfig(const ChipConfig &cfg);
+
 } // namespace meshslice
 
 #endif // MESHSLICE_HW_CHIP_CONFIG_HPP_

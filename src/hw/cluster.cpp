@@ -26,8 +26,9 @@ statsPathOf(const std::string &resource_name)
 Cluster::Cluster(const ChipConfig &cfg, int num_chips)
     : cfg_(cfg), net_(sim_)
 {
+    validateChipConfig(cfg_);
     if (num_chips <= 0)
-        panic("Cluster: need at least one chip");
+        fatal("Cluster: need at least one chip (got %d)", num_chips);
     chips_.reserve(static_cast<size_t>(num_chips));
     for (int c = 0; c < num_chips; ++c) {
         ChipResources res;

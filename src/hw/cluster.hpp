@@ -19,6 +19,7 @@
 
 #include "hw/chip_config.hpp"
 #include "hw/compute_model.hpp"
+#include "sim/fault.hpp"
 #include "sim/fluid.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -54,6 +55,17 @@ class Cluster
 
     ResourceId coreOf(int chip) const { return chips_.at(chip).core; }
     ResourceId hbmOf(int chip) const { return chips_.at(chip).hbm; }
+
+    /**
+     * Attach a fault injector (non-owning; may be nullptr to detach).
+     * Collectives consult it for launch jitter and link availability;
+     * a cluster with no injector attached takes the exact code paths
+     * of the fault-free simulator.
+     */
+    void attachFaults(FaultInjector *injector) { faults_ = injector; }
+
+    /** The attached injector, or nullptr (the fault-free fast path). */
+    FaultInjector *faults() const { return faults_; }
 
     /** Register a directed link resource (used by topology builders). */
     ResourceId addLink(const std::string &name);
@@ -109,6 +121,7 @@ class Cluster
     TraceRecorder trace_;
     StatsRegistry stats_;
     std::vector<ChipResources> chips_;
+    FaultInjector *faults_ = nullptr;
     Flops issuedFlops_ = 0.0;
     Bytes commBytesIssued_ = 0;
 };

@@ -56,6 +56,39 @@ completeEmpty(Cluster &cluster, CommDone done)
 }
 
 /**
+ * True if every directed link of @p ring's @p forward orientation is
+ * currently up. A collective direction is usable only as a whole: ring
+ * steps move all chips in lockstep, so one dead link kills the chain.
+ */
+bool
+chainUsable(Cluster &cluster, const Ring &ring, bool forward)
+{
+    const std::vector<ResourceId> &links = forward ? ring.fwd : ring.bwd;
+    for (ResourceId id : links)
+        if (!cluster.net().isAvailable(id))
+            return false;
+    return true;
+}
+
+/**
+ * Diagnose a ring with no usable direction. Dead links are listed by
+ * name so the user can match them against the fault scenario.
+ */
+[[noreturn]] void
+failUnroutable(Cluster &cluster, const Ring &ring, const char *op)
+{
+    std::string dead;
+    for (const std::vector<ResourceId> *links : {&ring.fwd, &ring.bwd})
+        for (ResourceId id : *links)
+            if (!cluster.net().isAvailable(id))
+                dead += " " + cluster.net().resourceName(id);
+    fatal("%s: ring has no usable direction — dead link(s):%s. The "
+          "collective cannot route; rebuild the ring around the failure "
+          "(TorusMesh::rowRingWithout/colRingWithout) or revise the "
+          "fault scenario.", op, dead.c_str());
+}
+
+/**
  * Shared machinery: runs a number of direction chains concurrently,
  * each a sequence of synchronized steps, after a single launch delay;
  * reports assembled stats and self-deletes.
@@ -79,6 +112,12 @@ class RingOpBase
     {
         activeChains_ = chains;
         stats_.launch = cluster_.config().launchOverhead;
+        // Host launch jitter from the fault scenario (0 when no
+        // injector is attached, or when the scenario has none — the
+        // PRNG is not even consulted then, keeping the empty scenario
+        // bit-identical to a run without an injector).
+        if (FaultInjector *inj = cluster_.faults())
+            stats_.launch += inj->nextLaunchJitter();
         cluster_.sim().scheduleAfter(stats_.launch, [this] {
             const int chains = activeChains_;
             for (int chain = 0; chain < chains; ++chain)
@@ -213,12 +252,20 @@ class ShardCollectiveOp : public RingOpBase
           shard_(shard), dstHbmDemand_(dst_hbm_demand)
     {
         const int total_steps = ring.size() - 1;
-        if (cluster.config().bidirectionalIci) {
+        // Degraded-ring fallback (paper Fig 3 degenerate case): a dead
+        // directed link kills its whole chain, so with one surviving
+        // orientation the op runs unidirectionally over P-1 steps.
+        const bool fwd_ok = chainUsable(cluster, ring, true);
+        const bool bwd_ok = chainUsable(cluster, ring, false);
+        if (!fwd_ok && !bwd_ok)
+            failUnroutable(cluster, ring, name);
+        if (cluster.config().bidirectionalIci && fwd_ok && bwd_ok) {
             stepsPerChain_[0] = (total_steps + 1) / 2;
             stepsPerChain_[1] = total_steps / 2;
         } else {
             stepsPerChain_[0] = total_steps;
             stepsPerChain_[1] = 0;
+            chainForward_[0] = fwd_ok;
         }
         stats_.syncCount = stepsPerChain_[0];
         stats_.bytesPerLink = shard_ * stepsPerChain_[0];
@@ -235,7 +282,7 @@ class ShardCollectiveOp : public RingOpBase
     void
     startStep(int chain, int step) override
     {
-        const bool forward = (chain == 0);
+        const bool forward = chainForward_[chain];
         Join *join = stepJoin(chain, step, ring_.size());
         for (int pos = 0; pos < ring_.size(); ++pos)
             transfer(pos, forward, shard_, dstHbmDemand_, join);
@@ -245,6 +292,7 @@ class ShardCollectiveOp : public RingOpBase
     Bytes shard_;
     double dstHbmDemand_;
     int stepsPerChain_[2] = {0, 0};
+    bool chainForward_[2] = {true, false};
 };
 
 /**
@@ -266,12 +314,20 @@ class PipelinedChainOp : public RingOpBase
         packets_ = std::max(1, packets);
         packetBytes_ = std::max<Bytes>(1, total_bytes / packets_);
         const int total_hops = ring.size() - 1;
-        if (cluster.config().bidirectionalIci && total_hops > 1) {
+        const bool fwd_ok = chainUsable(cluster, ring, true);
+        const bool bwd_ok = chainUsable(cluster, ring, false);
+        if (!fwd_ok && !bwd_ok)
+            failUnroutable(cluster, ring, name);
+        if (cluster.config().bidirectionalIci && total_hops > 1 &&
+            fwd_ok && bwd_ok) {
             hops_[0] = (total_hops + 1) / 2;
             hops_[1] = total_hops / 2;
         } else {
+            // Single surviving arc: stream every packet the long way
+            // round (P-1 hops) on the usable orientation.
             hops_[0] = total_hops;
             hops_[1] = 0;
+            chainForward_[0] = fwd_ok;
         }
         stats_.syncCount = hops_[0] + packets_ - 1;
         stats_.bytesPerLink = packetBytes_ * packets_;
@@ -289,7 +345,7 @@ class PipelinedChainOp : public RingOpBase
     startStep(int chain, int stage) override
     {
         const int hops = hops_[chain];
-        const bool forward = (chain == 0);
+        const bool forward = chainForward_[chain];
         // Active packet-hops in this stage.
         const int p_lo = std::max(0, stage - (hops - 1));
         const int p_hi = std::min(packets_ - 1, stage);
@@ -311,6 +367,7 @@ class PipelinedChainOp : public RingOpBase
     int packets_ = 1;
     Bytes packetBytes_ = 0;
     int hops_[2] = {0, 0};
+    bool chainForward_[2] = {true, false};
 };
 
 /** One synchronized rotation of all chips' blocks. */
@@ -323,8 +380,18 @@ class ShiftOp : public RingOpBase
                      std::move(done)),
           block_(block), forward_(forward)
     {
-        stats_.syncCount = 1;
-        stats_.bytesPerLink = block;
+        // Degraded-ring fallback: if the requested orientation has a
+        // dead link, one rotation forward equals P-1 rotations
+        // backward, so the shift still completes (at P-1x the cost) on
+        // the surviving orientation.
+        if (!chainUsable(cluster, ring, forward_)) {
+            if (!chainUsable(cluster, ring, !forward_))
+                failUnroutable(cluster, ring, name_);
+            forward_ = !forward_;
+            steps_ = ring.size() - 1;
+        }
+        stats_.syncCount = steps_;
+        stats_.bytesPerLink = block * steps_;
         launch(1);
     }
 
@@ -332,7 +399,7 @@ class ShiftOp : public RingOpBase
     int
     stepCount(int) const override
     {
-        return 1;
+        return steps_;
     }
 
     void
@@ -346,6 +413,7 @@ class ShiftOp : public RingOpBase
   private:
     Bytes block_;
     bool forward_;
+    int steps_ = 1;
 };
 
 } // namespace

@@ -58,6 +58,23 @@ class TorusMesh
     /** Ring across the rows of column @p c (vertical communication). */
     const Ring &colRing(int c) const { return colRings_.at(c); }
 
+    /**
+     * Rebuild the row ring of row @p r without the (failed) chip in
+     * column @p c_fail: the surviving cols-1 chips keep their direct
+     * links, and the one hop that used to pass through the failed chip
+     * is replaced in each direction by a *detour* link — a fresh fluid
+     * resource at 1/3 of the ICI link bandwidth, modelling the
+     * 3-hop store-and-forward route through an adjacent row (down,
+     * across, up). Requires rows >= 2 (otherwise there is no adjacent
+     * row to route through and the ring is unroutable — a clean
+     * `fatal()`, never a hang). Call once per failure; each call
+     * registers new detour resources.
+     */
+    Ring rowRingWithout(int r, int c_fail);
+
+    /** Column-ring analogue of `rowRingWithout` (requires cols >= 2). */
+    Ring colRingWithout(int c, int r_fail);
+
     const std::vector<Ring> &rowRings() const { return rowRings_; }
     const std::vector<Ring> &colRings() const { return colRings_; }
 

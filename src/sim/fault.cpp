@@ -1,0 +1,618 @@
+#include "sim/fault.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+/**
+ * splitmix64: tiny, portable, and — unlike `std::uniform_real_distribution`
+ * over a standard engine — guaranteed to produce the same stream on every
+ * implementation, which the bit-identical-replay contract depends on.
+ */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Uniform double in [0, 1) from the top 53 bits of a splitmix64 draw. */
+double
+uniform01(std::uint64_t &state)
+{
+    return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (objects/arrays/strings/numbers/bools/null) for
+// `FaultScenario::fromJson`. Errors go through `fatal` with a byte
+// offset so a broken scenario file points at the problem.
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+    Kind kind = kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, const std::string &context)
+        : text_(text), context_(context)
+    {
+    }
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *msg)
+    {
+        fatal("FaultScenario: %s at byte %zu of %s", msg, pos_,
+              context_.c_str());
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strprintf("expected '%c'", c).c_str());
+        ++pos_;
+    }
+
+    bool
+    consumeKeyword(const char *kw)
+    {
+        size_t len = std::string(kw).size();
+        if (text_.compare(pos_, len, kw) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::kString;
+            v.str = parseString();
+            return v;
+          }
+          case 't':
+          case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::kBool;
+            if (consumeKeyword("true"))
+                v.boolean = true;
+            else if (consumeKeyword("false"))
+                v.boolean = false;
+            else
+                fail("bad keyword");
+            return v;
+          }
+          case 'n': {
+            if (!consumeKeyword("null"))
+                fail("bad keyword");
+            return JsonValue{};
+          }
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::kObject;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.obj.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::kArray;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.arr.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                if (cp >= 0xd800 && cp <= 0xdfff)
+                    fail("surrogate \\u escapes are not supported");
+                // Encode as UTF-8.
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        double num = std::strtod(begin, &end);
+        if (end == begin)
+            fail("expected a JSON value");
+        pos_ += static_cast<size_t>(end - begin);
+        JsonValue v;
+        v.kind = JsonValue::kNumber;
+        v.number = num;
+        return v;
+    }
+
+    const std::string &text_;
+    const std::string &context_;
+    size_t pos_ = 0;
+};
+
+double
+requireNumber(const JsonValue &obj, const char *key, double fallback,
+              const std::string &ctx)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return fallback;
+    if (v->kind != JsonValue::kNumber)
+        fatal("FaultScenario: key \"%s\" must be a number in %s", key,
+              ctx.c_str());
+    return v->number;
+}
+
+std::string
+requireString(const JsonValue &obj, const char *key, const std::string &ctx)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->kind != JsonValue::kString)
+        fatal("FaultScenario: key \"%s\" must be a string in %s", key,
+              ctx.c_str());
+    return v->str;
+}
+
+void
+rejectUnknownKeys(const JsonValue &obj, std::initializer_list<const char *>
+                  known, const char *what, const std::string &ctx)
+{
+    for (const auto &[key, value] : obj.obj) {
+        bool found = false;
+        for (const char *k : known)
+            if (key == k)
+                found = true;
+        if (!found)
+            fatal("FaultScenario: unknown key \"%s\" in %s of %s "
+                  "(typo in the scenario file?)",
+                  key.c_str(), what, ctx.c_str());
+    }
+}
+
+void
+validateWindow(double factor, Time start, Time duration, const char *what,
+               const std::string &who)
+{
+    if (!(factor >= 0.0 && factor <= 1.0))
+        fatal("FaultScenario: %s %s has factor %g outside [0, 1]", what,
+              who.c_str(), factor);
+    if (!(start >= 0.0) || !std::isfinite(start))
+        fatal("FaultScenario: %s %s has negative or non-finite start %g s",
+              what, who.c_str(), start);
+    if (std::isnan(duration))
+        fatal("FaultScenario: %s %s has NaN duration", what, who.c_str());
+}
+
+} // namespace
+
+bool
+FaultScenario::empty() const
+{
+    return maxLaunchJitter == 0.0 && faults.empty() && stragglers.empty();
+}
+
+std::string
+FaultScenario::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"seed\": " << seed << ",\n";
+    out << "  \"max_launch_jitter_s\": " << jsonNumber(maxLaunchJitter)
+        << ",\n";
+    out << "  \"faults\": [";
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const CapacityFault &f = faults[i];
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"pattern\": " << jsonString(f.pattern)
+            << ", \"factor\": " << jsonNumber(f.factor)
+            << ", \"start_s\": " << jsonNumber(f.start)
+            << ", \"duration_s\": " << jsonNumber(f.duration) << "}";
+    }
+    out << (faults.empty() ? "]" : "\n  ]") << ",\n";
+    out << "  \"stragglers\": [";
+    for (size_t i = 0; i < stragglers.size(); ++i) {
+        const StragglerFault &s = stragglers[i];
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"chip\": " << s.chip
+            << ", \"compute_factor\": " << jsonNumber(s.computeFactor)
+            << ", \"hbm_factor\": " << jsonNumber(s.hbmFactor)
+            << ", \"start_s\": " << jsonNumber(s.start)
+            << ", \"duration_s\": " << jsonNumber(s.duration) << "}";
+    }
+    out << (stragglers.empty() ? "]" : "\n  ]") << "\n";
+    out << "}\n";
+    return out.str();
+}
+
+FaultScenario
+FaultScenario::fromJson(const std::string &text, const std::string &context)
+{
+    JsonParser parser(text, context);
+    JsonValue root = parser.parseDocument();
+    if (root.kind != JsonValue::kObject)
+        fatal("FaultScenario: top-level JSON value in %s must be an object",
+              context.c_str());
+    rejectUnknownKeys(root,
+                      {"seed", "max_launch_jitter_s", "faults", "stragglers"},
+                      "the scenario", context);
+
+    FaultScenario scenario;
+    const double seed = requireNumber(root, "seed", 1.0, context);
+    if (seed < 0.0 || seed != std::floor(seed))
+        fatal("FaultScenario: \"seed\" must be a non-negative integer "
+              "in %s", context.c_str());
+    scenario.seed = static_cast<std::uint64_t>(seed);
+    scenario.maxLaunchJitter =
+        requireNumber(root, "max_launch_jitter_s", 0.0, context);
+    if (scenario.maxLaunchJitter < 0.0 ||
+        !std::isfinite(scenario.maxLaunchJitter))
+        fatal("FaultScenario: \"max_launch_jitter_s\" must be finite and "
+              ">= 0 in %s", context.c_str());
+
+    if (const JsonValue *arr = root.find("faults")) {
+        if (arr->kind != JsonValue::kArray)
+            fatal("FaultScenario: \"faults\" must be an array in %s",
+                  context.c_str());
+        for (const JsonValue &entry : arr->arr) {
+            if (entry.kind != JsonValue::kObject)
+                fatal("FaultScenario: every entry of \"faults\" must be "
+                      "an object in %s", context.c_str());
+            rejectUnknownKeys(entry,
+                              {"pattern", "factor", "start_s", "duration_s"},
+                              "a fault entry", context);
+            CapacityFault f;
+            f.pattern = requireString(entry, "pattern", context);
+            f.factor = requireNumber(entry, "factor", 1.0, context);
+            f.start = requireNumber(entry, "start_s", 0.0, context);
+            f.duration = requireNumber(entry, "duration_s", -1.0, context);
+            validateWindow(f.factor, f.start, f.duration, "fault",
+                           "\"" + f.pattern + "\"");
+            if (f.pattern.empty())
+                fatal("FaultScenario: fault pattern must be non-empty "
+                      "in %s (an empty pattern matches everything, which "
+                      "is never what you want)", context.c_str());
+            scenario.faults.push_back(std::move(f));
+        }
+    }
+
+    if (const JsonValue *arr = root.find("stragglers")) {
+        if (arr->kind != JsonValue::kArray)
+            fatal("FaultScenario: \"stragglers\" must be an array in %s",
+                  context.c_str());
+        for (const JsonValue &entry : arr->arr) {
+            if (entry.kind != JsonValue::kObject)
+                fatal("FaultScenario: every entry of \"stragglers\" must "
+                      "be an object in %s", context.c_str());
+            rejectUnknownKeys(entry,
+                              {"chip", "compute_factor", "hbm_factor",
+                               "start_s", "duration_s"},
+                              "a straggler entry", context);
+            StragglerFault s;
+            const double chip = requireNumber(entry, "chip", -1.0, context);
+            if (chip < 0.0 || chip != std::floor(chip))
+                fatal("FaultScenario: straggler \"chip\" must be a "
+                      "non-negative integer in %s", context.c_str());
+            s.chip = static_cast<int>(chip);
+            s.computeFactor =
+                requireNumber(entry, "compute_factor", 1.0, context);
+            s.hbmFactor = requireNumber(entry, "hbm_factor", 1.0, context);
+            s.start = requireNumber(entry, "start_s", 0.0, context);
+            s.duration = requireNumber(entry, "duration_s", -1.0, context);
+            validateWindow(s.computeFactor, s.start, s.duration, "straggler",
+                           strprintf("chip %d", s.chip));
+            validateWindow(s.hbmFactor, s.start, s.duration, "straggler",
+                           strprintf("chip %d", s.chip));
+            scenario.stragglers.push_back(s);
+        }
+    }
+    return scenario;
+}
+
+FaultScenario
+FaultScenario::fromJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("FaultScenario: cannot open scenario file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad())
+        fatal("FaultScenario: I/O error reading scenario file '%s'",
+              path.c_str());
+    return fromJson(text.str(), path);
+}
+
+FaultInjector::FaultInjector(Simulator &sim, FluidNetwork &net,
+                             FaultScenario scenario)
+    : sim_(sim), net_(net), scenario_(std::move(scenario)),
+      rngState_(scenario_.seed)
+{
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        panic("FaultInjector: arm() called twice");
+    armed_ = true;
+
+    // Expand stragglers into plain capacity faults on the chip's two
+    // resources, then validate everything (programmatic scenarios skip
+    // the JSON-side checks).
+    std::vector<CapacityFault> expanded = scenario_.faults;
+    for (const StragglerFault &s : scenario_.stragglers) {
+        if (s.chip < 0)
+            fatal("FaultInjector: straggler chip index %d is negative",
+                  s.chip);
+        CapacityFault core;
+        core.pattern = strprintf("chip%d.core", s.chip);
+        core.factor = s.computeFactor;
+        core.start = s.start;
+        core.duration = s.duration;
+        CapacityFault hbm = core;
+        hbm.pattern = strprintf("chip%d.hbm", s.chip);
+        hbm.factor = s.hbmFactor;
+        expanded.push_back(std::move(core));
+        expanded.push_back(std::move(hbm));
+    }
+    for (const CapacityFault &f : expanded) {
+        if (f.pattern.empty())
+            fatal("FaultInjector: fault pattern must be non-empty");
+        validateWindow(f.factor, f.start, f.duration, "fault",
+                       "\"" + f.pattern + "\"");
+    }
+    if (scenario_.maxLaunchJitter < 0.0)
+        fatal("FaultInjector: maxLaunchJitter must be >= 0");
+
+    // Per-resource fault lists (a pattern may hit many resources; a
+    // resource may be hit by many faults — overlaps multiply).
+    const size_t num_resources = net_.resourceCount();
+    std::vector<std::vector<const CapacityFault *>> hits(num_resources);
+    std::vector<bool> matched(expanded.size(), false);
+    for (size_t r = 0; r < num_resources; ++r) {
+        const std::string &name =
+            net_.resourceName(static_cast<ResourceId>(r));
+        for (size_t f = 0; f < expanded.size(); ++f) {
+            if (name.find(expanded[f].pattern) != std::string::npos) {
+                hits[r].push_back(&expanded[f]);
+                matched[f] = true;
+            }
+        }
+    }
+    for (size_t f = 0; f < expanded.size(); ++f) {
+        if (!matched[f])
+            fatal("FaultInjector: fault pattern \"%s\" matches no "
+                  "resource — check the scenario against the cluster's "
+                  "resource names (chip<i>.core, chip<i>.hbm, "
+                  "link.<dir>...)", expanded[f].pattern.c_str());
+    }
+
+    // For every affected resource, schedule one update per window
+    // boundary. Each update recomputes the resource's effective state
+    // from scratch (product of the factors of all windows containing
+    // the boundary time), so overlapping windows compose correctly in
+    // any order.
+    for (size_t r = 0; r < num_resources; ++r) {
+        if (hits[r].empty())
+            continue;
+        const ResourceId id = static_cast<ResourceId>(r);
+        std::vector<Time> boundaries;
+        for (const CapacityFault *f : hits[r]) {
+            boundaries.push_back(f->start);
+            if (f->duration >= 0.0)
+                boundaries.push_back(f->start + f->duration);
+            ++armedWindows_;
+        }
+        // Capture the fault list by value: `expanded` dies with arm().
+        std::vector<CapacityFault> local;
+        local.reserve(hits[r].size());
+        for (const CapacityFault *f : hits[r])
+            local.push_back(*f);
+        auto apply = [this, id, local] {
+            const Time now = sim_.now();
+            double product = 1.0;
+            bool down = false;
+            for (const CapacityFault &f : local) {
+                const bool active =
+                    now >= f.start &&
+                    (f.duration < 0.0 || now < f.start + f.duration);
+                if (!active)
+                    continue;
+                if (f.factor == 0.0)
+                    down = true;
+                else
+                    product *= f.factor;
+            }
+            net_.setAvailable(id, !down);
+            if (!down)
+                net_.setCapacity(id, net_.nominalCapacity(id) * product);
+        };
+        for (Time when : boundaries) {
+            // Boundaries at (or before) the current time apply
+            // immediately: ops launched at t=now must already see the
+            // degraded state when they make their routing decision —
+            // a zero-delay event would run after their constructors.
+            if (when <= sim_.now())
+                apply();
+            else
+                sim_.schedule(when, apply);
+        }
+    }
+}
+
+Time
+FaultInjector::nextLaunchJitter()
+{
+    // No draw for the empty case: keeps the zero-jitter scenario
+    // bit-identical to a run with no injector attached at all.
+    if (scenario_.maxLaunchJitter == 0.0)
+        return 0.0;
+    return uniform01(rngState_) * scenario_.maxLaunchJitter;
+}
+
+} // namespace meshslice

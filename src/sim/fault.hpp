@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic fault & straggler injection.
+ *
+ * A `FaultScenario` is a declarative description of everything that can
+ * go wrong in a run: ICI links running below nominal bandwidth for a
+ * window, links going fully down, straggler chips (scaled compute / HBM
+ * capacity), and per-op host launch jitter. A `FaultInjector` turns the
+ * scenario into capacity-modulation events on a `FluidNetwork` — all
+ * scheduling happens up front from `arm()`, and the jitter stream is a
+ * seeded counter-free PRNG, so a scenario replays **bit-identically**
+ * for a given seed regardless of host, thread count, or wall clock.
+ *
+ * Faults address resources by *name pattern* (substring match against
+ * the fluid network's registered names, e.g. `"link.E"` hits every
+ * east-going link and `"chip3."` hits chip 3's core and HBM). This
+ * keeps the injector in the sim layer: it needs no knowledge of the
+ * torus, only of the resource naming convention.
+ *
+ * Semantics (documented in DESIGN.md §4d):
+ *  - `factor` scales the resource's *nominal* capacity; overlapping
+ *    windows on the same resource multiply.
+ *  - `factor == 0` means the resource is down for the window: flows
+ *    demanding it park (progress frozen) and resume on recovery. If
+ *    nothing else can make progress the simulator's watchdog aborts
+ *    with a flow dump rather than hanging or finishing early.
+ *  - `duration < 0` means the fault persists to the end of the run.
+ *  - launch jitter is a uniform draw in [0, maxLaunchJitter) added to
+ *    every collective's host launch overhead. With
+ *    `maxLaunchJitter == 0` the PRNG is never consulted, so an empty
+ *    scenario is bit-identical to running with no injector at all.
+ */
+#ifndef MESHSLICE_SIM_FAULT_HPP_
+#define MESHSLICE_SIM_FAULT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fluid.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace meshslice {
+
+/**
+ * One capacity-modulation window applied to every resource whose name
+ * contains `pattern`.
+ */
+struct CapacityFault
+{
+    /** Substring matched against resource names ("link.E", "chip3."). */
+    std::string pattern;
+    /** Capacity multiplier in [0, 1]; exactly 0 takes the resource down. */
+    double factor = 1.0;
+    /** Window start (simulated seconds). */
+    Time start = 0.0;
+    /** Window length; negative = persists to the end of the run. */
+    Time duration = -1.0;
+};
+
+/**
+ * A straggler chip: its core and HBM run below nominal for a window.
+ * Sugar over two `CapacityFault`s on "chip<i>.core" / "chip<i>.hbm".
+ */
+struct StragglerFault
+{
+    int chip = -1;
+    double computeFactor = 1.0;
+    double hbmFactor = 1.0;
+    Time start = 0.0;
+    Time duration = -1.0;
+};
+
+/**
+ * Declarative, seed-replayable description of a degraded cluster.
+ * Construct programmatically or parse from JSON (`fromJson`).
+ */
+struct FaultScenario
+{
+    /** Seed for the launch-jitter stream (and only that stream). */
+    std::uint64_t seed = 1;
+    /** Upper bound of the per-op uniform launch jitter (seconds). */
+    Time maxLaunchJitter = 0.0;
+    std::vector<CapacityFault> faults;
+    std::vector<StragglerFault> stragglers;
+
+    /** True when the scenario perturbs nothing at all. */
+    bool empty() const;
+
+    /** Serialize to a standalone JSON document (schema in DESIGN.md). */
+    std::string toJson() const;
+
+    /**
+     * Parse the JSON emitted by `toJson` (all keys optional). Calls
+     * `fatal()` with position information on malformed input or
+     * out-of-range values. @p context names the source in errors
+     * (e.g. a file path).
+     */
+    static FaultScenario fromJson(const std::string &text,
+                                  const std::string &context = "<string>");
+
+    /** `fromJson` on the contents of @p path; fatal if unreadable. */
+    static FaultScenario fromJsonFile(const std::string &path);
+};
+
+/**
+ * Applies a `FaultScenario` to a live `FluidNetwork`.
+ *
+ * `arm()` resolves every fault's pattern against the network's resource
+ * names and schedules capacity updates at each window boundary; at each
+ * boundary the *product* of all active factors on a resource decides
+ * its capacity (0 → down). Collectives consult `nextLaunchJitter()` on
+ * every op launch.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(Simulator &sim, FluidNetwork &net, FaultScenario scenario);
+
+    /**
+     * Resolve patterns and schedule all capacity events. Call exactly
+     * once, after every resource is registered and before `run()`.
+     * A pattern matching no resource is a fatal error (most likely a
+     * typo in the scenario, and silently ignoring it would make a
+     * "robust" result meaningless).
+     */
+    void arm();
+
+    /**
+     * Next host launch jitter draw (seconds, uniform in
+     * [0, maxLaunchJitter)). Returns 0.0 *without consuming a PRNG
+     * draw* when the scenario has no jitter, preserving bit-identical
+     * behaviour of the empty scenario.
+     */
+    Time nextLaunchJitter();
+
+    const FaultScenario &scenario() const { return scenario_; }
+
+    /** Number of (resource, window) pairs scheduled by `arm()`. */
+    int armedWindowCount() const { return armedWindows_; }
+
+  private:
+    Simulator &sim_;
+    FluidNetwork &net_;
+    FaultScenario scenario_;
+    std::uint64_t rngState_;
+    int armedWindows_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_SIM_FAULT_HPP_

@@ -12,7 +12,18 @@ namespace {
 /// Relative tolerance for "resource is oversubscribed" checks.
 constexpr double kOverloadEps = 1e-9;
 
+/// Relative tolerance for "capacity is below nominal" (degraded).
+constexpr double kDegradedEps = 1e-12;
+
 } // namespace
+
+FluidNetwork::FluidNetwork(Simulator &sim) : sim_(sim)
+{
+    // Watchdog: flows parked on a down resource have no completion
+    // event; if the queue drains while any flow is outstanding the
+    // simulation stalled rather than finished.
+    sim_.addQuiescenceCheck([this] { return stallDiagnostic(); });
+}
 
 ResourceId
 FluidNetwork::addResource(std::string name, double capacity)
@@ -23,6 +34,7 @@ FluidNetwork::addResource(std::string name, double capacity)
     Resource res;
     res.name = std::move(name);
     res.capacity = capacity;
+    res.nominalCapacity = capacity;
     res.createdAt = sim_.now();
     res.lastUpdate = sim_.now();
     resources_.push_back(std::move(res));
@@ -34,14 +46,76 @@ FluidNetwork::setCapacity(ResourceId id, double capacity)
 {
     if (capacity <= 0.0)
         panic("FluidNetwork: capacity must be positive");
+    // Settle the elapsed segment at the old capacity so busy/idle/
+    // degraded seconds are attributed to the window they belong to.
+    advanceResourceAccounting();
     resources_.at(static_cast<size_t>(id)).capacity = capacity;
     markDirty();
+}
+
+void
+FluidNetwork::setAvailable(ResourceId id, bool available)
+{
+    advanceResourceAccounting();
+    resources_.at(static_cast<size_t>(id)).available = available;
+    markDirty();
+}
+
+bool
+FluidNetwork::isAvailable(ResourceId id) const
+{
+    return resources_.at(static_cast<size_t>(id)).available;
 }
 
 double
 FluidNetwork::capacity(ResourceId id) const
 {
     return resources_.at(static_cast<size_t>(id)).capacity;
+}
+
+double
+FluidNetwork::nominalCapacity(ResourceId id) const
+{
+    return resources_.at(static_cast<size_t>(id)).nominalCapacity;
+}
+
+const std::string &
+FluidNetwork::resourceName(ResourceId id) const
+{
+    return resources_.at(static_cast<size_t>(id)).name;
+}
+
+std::string
+FluidNetwork::stallDiagnostic() const
+{
+    if (flows_.empty())
+        return "";
+    std::string out = strprintf("%zu flow(s) still outstanding:\n",
+                                flows_.size());
+    // Ordered by id for a deterministic dump.
+    std::vector<FlowId> ids;
+    ids.reserve(flows_.size());
+    for (const auto &entry : flows_)
+        ids.push_back(entry.first);
+    std::sort(ids.begin(), ids.end());
+    for (FlowId id : ids) {
+        const Flow &flow = flows_.at(id);
+        out += strprintf("  flow %lld: remaining %.6g units, rate %.6g "
+                         "units/s, demands:",
+                         static_cast<long long>(id), flow.remaining,
+                         flow.rate);
+        for (const Demand &d : flow.demands) {
+            const Resource &res =
+                resources_[static_cast<size_t>(d.resource)];
+            out += strprintf(" %s%s", res.name.c_str(),
+                             res.available ? "" : " [DOWN]");
+        }
+        out += '\n';
+    }
+    out += "hint: a collective is likely waiting on a dead link with no "
+           "fallback; check the fault scenario or rebuild the ring "
+           "around the failure.";
+    return out;
 }
 
 FlowId
@@ -86,6 +160,8 @@ FluidNetwork::resourceStats(ResourceId id) const
     ResourceStats stats;
     stats.name = res.name;
     stats.capacity = res.capacity;
+    stats.nominalCapacity = res.nominalCapacity;
+    stats.available = res.available;
     double dt = sim_.now() - res.lastUpdate;
     const double frac = std::min(1.0, res.load / res.capacity);
     stats.totalConsumed = res.totalConsumed + res.load * dt;
@@ -94,6 +170,10 @@ FluidNetwork::resourceStats(ResourceId id) const
     stats.contentionTime = res.contentionTime;
     if (res.soloLoad > res.capacity * (1.0 + kOverloadEps))
         stats.contentionTime += dt;
+    stats.degradedTime = res.degradedTime;
+    if (!res.available ||
+        res.capacity < res.nominalCapacity * (1.0 - kDegradedEps))
+        stats.degradedTime += dt;
     stats.createdAt = res.createdAt;
     stats.activeFlows = res.activeFlows;
     return stats;
@@ -139,6 +219,9 @@ FluidNetwork::advanceResourceAccounting()
             res.idleTime += (1.0 - frac) * dt;
             if (res.soloLoad > res.capacity * (1.0 + kOverloadEps))
                 res.contentionTime += dt;
+            if (!res.available ||
+                res.capacity < res.nominalCapacity * (1.0 - kDegradedEps))
+                res.degradedTime += dt;
         }
         res.lastUpdate = sim_.now();
     }
@@ -176,27 +259,40 @@ FluidNetwork::recompute()
     }
 
     // Solo rates: each flow limited by every resource's full capacity.
+    // Flows demanding a *down* resource park at rate zero: they keep
+    // their progress, get no completion event, and resume when the
+    // resource comes back up.
     std::vector<double> rate(ids.size());
+    std::vector<bool> parked(ids.size(), false);
     for (size_t i = 0; i < ids.size(); ++i) {
         const Flow &flow = flows_[ids[i]];
         double r = 1e300;
         for (const auto &d : flow.demands) {
-            double cap = resources_[static_cast<size_t>(d.resource)].capacity;
-            r = std::min(r, cap / d.perUnit);
+            const Resource &res =
+                resources_[static_cast<size_t>(d.resource)];
+            if (!res.available) {
+                parked[i] = true;
+                break;
+            }
+            r = std::min(r, res.capacity / d.perUnit);
         }
-        rate[i] = r;
+        rate[i] = parked[i] ? 0.0 : r;
     }
     // Snapshot of the uncontended rates (the waterfill mutates `rate`),
     // for the per-resource contention attribution.
     const std::vector<double> solo_rate = rate;
 
     // Per-resource membership: (flow index, demand coefficient).
+    // Parked flows consume nothing and stay out of the waterfill.
     std::vector<std::vector<std::pair<size_t, double>>> members(
         resources_.size());
-    for (size_t i = 0; i < ids.size(); ++i)
+    for (size_t i = 0; i < ids.size(); ++i) {
+        if (parked[i])
+            continue;
         for (const auto &d : flows_[ids[i]].demands)
             members[static_cast<size_t>(d.resource)].emplace_back(i,
                                                                   d.perUnit);
+    }
 
     // Saturate-and-waterfill: repeatedly pick the most oversubscribed
     // resource and cut its heaviest consumers to an equal consumption
@@ -262,6 +358,14 @@ FluidNetwork::recompute()
     }
     for (size_t i = 0; i < ids.size(); ++i) {
         Flow &flow = flows_[ids[i]];
+        if (parked[i]) {
+            // Freeze: keep progress, drop the completion event. The
+            // invalid EventId forces a reschedule once the flow resumes.
+            sim_.cancel(flow.completion);
+            flow.completion = EventId{};
+            flow.rate = 0.0;
+            continue;
+        }
         if (rate[i] <= 0.0)
             panic("FluidNetwork: flow starved (zero rate)");
         bool changed =

@@ -53,6 +53,16 @@ struct ResourceStats
 {
     std::string name;
     double capacity = 0.0;
+    /** Capacity the resource was registered with (fault-free value). */
+    double nominalCapacity = 0.0;
+    /**
+     * Seconds during which the resource ran below its nominal capacity
+     * (a fault injector degraded it) or was unavailable entirely. This
+     * is where "degraded-seconds" land for robustness reports.
+     */
+    double degradedTime = 0.0;
+    /** False while the resource is down (flows demanding it park). */
+    bool available = true;
     /** Total units consumed so far (integral of load over time). */
     double totalConsumed = 0.0;
     /** Integral of load/capacity over time (busy-seconds). */
@@ -86,15 +96,46 @@ struct ResourceStats
 class FluidNetwork
 {
   public:
-    explicit FluidNetwork(Simulator &sim) : sim_(sim) {}
+    explicit FluidNetwork(Simulator &sim);
 
     /** Create a resource with @p capacity units/second. */
     ResourceId addResource(std::string name, double capacity);
 
-    /** Change a resource's capacity (takes effect at next recompute). */
+    /**
+     * Change a resource's capacity (takes effect at next recompute).
+     * Accounting of the elapsed segment is settled at the *old*
+     * capacity first, so time-varying capacities attribute busy/idle/
+     * degraded seconds to the correct windows and the conservation law
+     * `busy + idle == wall` keeps holding.
+     */
     void setCapacity(ResourceId id, double capacity);
 
+    /**
+     * Mark a resource up/down. Flows demanding a down resource park at
+     * rate zero (they freeze, keeping their progress) and resume when
+     * the resource comes back. If the simulation drains its event
+     * queue while flows are parked, the watchdog aborts with a
+     * diagnostic dump instead of silently finishing early.
+     */
+    void setAvailable(ResourceId id, bool available);
+
+    /** True unless `setAvailable(id, false)` is in effect. */
+    bool isAvailable(ResourceId id) const;
+
     double capacity(ResourceId id) const;
+
+    /** The capacity the resource was registered with. */
+    double nominalCapacity(ResourceId id) const;
+
+    /** Registered name of @p id (e.g. "link.E.b0.r0.c1"). */
+    const std::string &resourceName(ResourceId id) const;
+
+    /**
+     * Diagnostic dump of flows that can never finish (parked on a down
+     * resource) plus any other still-active flows; "" when no flow is
+     * outstanding. Installed as the simulator's quiescence check.
+     */
+    std::string stallDiagnostic() const;
 
     /**
      * Start a flow of @p size units with the given demand vector.
@@ -123,6 +164,8 @@ class FluidNetwork
     {
         std::string name;
         double capacity = 0.0;
+        double nominalCapacity = 0.0;
+        bool available = true;
         double load = 0.0; // current total consumption rate
         /** Sum of the flows' *solo* (uncontended) consumption rates;
          *  load < soloLoad means rate-sharing is cutting someone. */
@@ -131,6 +174,7 @@ class FluidNetwork
         double busyTime = 0.0;
         double idleTime = 0.0;
         double contentionTime = 0.0;
+        double degradedTime = 0.0;
         Time createdAt = 0.0;
         Time lastUpdate = 0.0;
         int activeFlows = 0;

@@ -57,7 +57,30 @@ Simulator::runUntil(Time deadline)
         ++processed_;
         fn();
     }
+    // The queue fully drained (we did not stop at the deadline): give
+    // the watchdog checks a chance to veto "finished" — outstanding
+    // work with no runnable event is a stall, not a completion.
+    checkQuiescence();
     return now_;
+}
+
+void
+Simulator::addQuiescenceCheck(QuiescenceCheck check)
+{
+    quiescenceChecks_.push_back(std::move(check));
+}
+
+void
+Simulator::checkQuiescence() const
+{
+    for (const QuiescenceCheck &check : quiescenceChecks_) {
+        const std::string diagnostic = check();
+        if (!diagnostic.empty())
+            fatal("Simulator watchdog: event queue drained at t=%.9f s "
+                  "with stalled work outstanding (no runnable event can "
+                  "ever complete it).\n%s",
+                  now_, diagnostic.c_str());
+    }
 }
 
 } // namespace meshslice

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "util/units.hpp"
 
@@ -59,6 +61,20 @@ class Simulator
     /** Run until @p deadline or until the queue drains. */
     Time runUntil(Time deadline);
 
+    /**
+     * Stalled-work watchdog check, run by `run`/`runUntil` whenever the
+     * event queue fully drains. Each registered check returns a
+     * diagnostic string describing work that is still outstanding (or
+     * "" if none). A non-empty diagnostic means the event loop stalled
+     * — e.g. a fluid flow parked on a dead link with no fallback, whose
+     * completion can never fire — and the simulator aborts via
+     * `fatal()` with the dump instead of silently finishing early.
+     */
+    using QuiescenceCheck = std::function<std::string()>;
+
+    /** Register a watchdog check (the fluid network installs one). */
+    void addQuiescenceCheck(QuiescenceCheck check);
+
     /** Number of events executed so far. */
     std::uint64_t eventsProcessed() const { return processed_; }
 
@@ -68,10 +84,13 @@ class Simulator
   private:
     using Key = std::pair<Time, std::uint64_t>;
 
+    void checkQuiescence() const;
+
     Time now_ = 0.0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t processed_ = 0;
     std::map<Key, Callback> queue_;
+    std::vector<QuiescenceCheck> quiescenceChecks_;
 };
 
 } // namespace meshslice

@@ -256,6 +256,10 @@ StatsRegistry::writeJson(const std::string &path) const
     if (!os)
         fatal("StatsRegistry: cannot open '%s' for writing", path.c_str());
     os << toJson();
+    os.flush();
+    if (!os)
+        fatal("StatsRegistry: write to '%s' failed (disk full?)",
+              path.c_str());
 }
 
 void

@@ -176,6 +176,10 @@ TraceRecorder::writeJson(const std::string &path) const
            << ",\"ts\":" << jsonNumber(f.ts * 1e6) << "}";
     }
     os << "\n]}\n";
+    os.flush();
+    if (!os)
+        fatal("TraceRecorder: write to '%s' failed (disk full?)",
+              path.c_str());
 }
 
 } // namespace meshslice

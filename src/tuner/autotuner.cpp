@@ -323,4 +323,92 @@ LlmAutotuner::tunePhase2(Algorithm algo, std::vector<FcLayerPlan> layers,
     return out;
 }
 
+std::vector<AutotuneResult>
+LlmAutotuner::rankShapes(Algorithm algo, const TransformerConfig &model,
+                         const TrainingConfig &train, int chips, int k,
+                         bool optimize_dataflow) const
+{
+    if (k <= 0)
+        fatal("LlmAutotuner::rankShapes: k must be positive (got %d)", k);
+    const std::vector<FcLayerPlan> layers =
+        buildPhase1(algo, model, train, optimize_dataflow);
+
+    std::vector<std::pair<int, int>> shapes;
+    for (auto [rows, cols] : meshShapesOf(chips)) {
+        if (algo == Algorithm::kCannon && rows != cols)
+            continue;
+        bool feasible = true;
+        for (const FcLayerPlan &layer : layers) {
+            for (const GemmPlan &plan : layer.passes)
+                if (!shapeFeasible(plan.gemm, static_cast<int>(rows),
+                                   static_cast<int>(cols))) {
+                    feasible = false;
+                    break;
+                }
+            if (!feasible)
+                break;
+        }
+        if (feasible)
+            shapes.emplace_back(static_cast<int>(rows),
+                                static_cast<int>(cols));
+    }
+    if (shapes.empty())
+        panic("LlmAutotuner: no feasible mesh shape for %d chips", chips);
+
+    // Evaluate every candidate (deterministically indexed, so the
+    // parallel fill is bit-identical to the serial loop).
+    std::vector<ShapeEval> evals(shapes.size());
+    parallelFor(static_cast<std::int64_t>(shapes.size()), 1,
+                [&](std::int64_t begin, std::int64_t end) {
+                    for (std::int64_t i = begin; i < end; ++i) {
+                        ShapeEval ev;
+                        ev.rows = shapes[static_cast<size_t>(i)].first;
+                        ev.cols = shapes[static_cast<size_t>(i)].second;
+                        ev.blockFcTime = 0.0;
+                        for (const FcLayerPlan &layer : layers)
+                            for (const GemmPlan &plan : layer.passes) {
+                                const Gemm2DSpec spec =
+                                    makeSpec(plan.gemm, plan.dataflow,
+                                             ev.rows, ev.cols);
+                                auto [s, t] =
+                                    cost_.tuneSliceCount(algo, spec);
+                                ev.perGemm.emplace_back(s, t);
+                                ev.blockFcTime += t;
+                            }
+                        evals[static_cast<size_t>(i)] = std::move(ev);
+                    }
+                });
+
+    // meshShapesOf yields increasing rows; stable sort on time keeps
+    // the lowest-rows candidate first on ties, matching tunePhase2.
+    std::stable_sort(evals.begin(), evals.end(),
+                     [](const ShapeEval &a, const ShapeEval &b) {
+                         return a.blockFcTime < b.blockFcTime;
+                     });
+
+    std::vector<AutotuneResult> out;
+    for (const ShapeEval &ev : evals) {
+        if (static_cast<int>(out.size()) >= k)
+            break;
+        if (ev.blockFcTime >= 1e300)
+            continue; // no slice count fit in memory at this shape
+        AutotuneResult res;
+        res.rows = ev.rows;
+        res.cols = ev.cols;
+        res.blockFcTime = ev.blockFcTime;
+        res.layers = layers;
+        size_t g = 0;
+        for (FcLayerPlan &layer : res.layers)
+            for (GemmPlan &plan : layer.passes) {
+                plan.sliceCount = ev.perGemm[g].first;
+                plan.estTime = ev.perGemm[g].second;
+                ++g;
+            }
+        out.push_back(std::move(res));
+    }
+    if (out.empty())
+        panic("LlmAutotuner: no feasible mesh shape for %d chips", chips);
+    return out;
+}
+
 } // namespace meshslice

@@ -98,6 +98,21 @@ class LlmAutotuner
                                     bool optimize_dataflow = true) const;
 
     /**
+     * Phase-2 candidate ranking: the top @p k feasible mesh shapes by
+     * nominal estimated block FC time, each returned as a complete
+     * plan (tuned slice counts included). Entry 0 is the shape
+     * `tuneForAlgorithm` would pick. Deterministic order: estimated
+     * time, ties broken by lower row count. Used by the robust tuner
+     * to shortlist candidates for scenario re-evaluation.
+     */
+    std::vector<AutotuneResult> rankShapes(Algorithm algo,
+                                           const TransformerConfig &model,
+                                           const TrainingConfig &train,
+                                           int chips, int k,
+                                           bool optimize_dataflow
+                                           = true) const;
+
+    /**
      * Phase 1 plus slice-count tuning at a *fixed* mesh shape (used by
      * the mesh-shape and slice-count sweeps of Fig 13/14). If
      * @p force_s > 0, every GeMM uses that slice count instead of the

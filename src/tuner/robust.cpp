@@ -1,0 +1,178 @@
+#include "tuner/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fault_study.hpp"
+#include "tuner/search_trace.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+uniform01(std::uint64_t &state)
+{
+    return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+void
+traceRobustEval(Algorithm algo, int chips, const RobustCandidate &cand,
+                int scenario_index, Time sim_time)
+{
+    SearchTrace::global().record(strprintf(
+        "{\"phase\":\"robust\",\"algo\":%s,\"chips\":%d,\"rows\":%d,"
+        "\"cols\":%d,\"scenario\":%d,\"sim_s\":%s}",
+        jsonString(algorithmName(algo)).c_str(), chips, cand.plan.rows,
+        cand.plan.cols, scenario_index, jsonNumber(sim_time).c_str()));
+}
+
+void
+traceRobustPick(Algorithm algo, int chips, const RobustTuneResult &result)
+{
+    const RobustCandidate &picked = result.picked();
+    const RobustCandidate &nominal = result.nominal();
+    SearchTrace::global().record(strprintf(
+        "{\"phase\":\"robust_pick\",\"algo\":%s,\"chips\":%d,"
+        "\"rows\":%d,\"cols\":%d,\"objective_s\":%s,"
+        "\"nominal_rows\":%d,\"nominal_cols\":%d,"
+        "\"nominal_objective_s\":%s,\"pick_differs\":%s}",
+        jsonString(algorithmName(algo)).c_str(), chips, picked.plan.rows,
+        picked.plan.cols, jsonNumber(picked.objective).c_str(),
+        nominal.plan.rows, nominal.plan.cols,
+        jsonNumber(nominal.objective).c_str(),
+        result.pickDiffers() ? "true" : "false"));
+}
+
+} // namespace
+
+Time
+robustObjective(std::vector<Time> times, double q)
+{
+    if (times.empty())
+        return 0.0;
+    std::sort(times.begin(), times.end());
+    if (q >= 1.0)
+        return times.back();
+    if (q <= 0.0)
+        return times.front();
+    const double pos = q * static_cast<double>(times.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(pos));
+    const size_t hi = std::min(times.size() - 1, lo + 1);
+    const double frac = pos - std::floor(pos);
+    return times[lo] * (1.0 - frac) + times[hi] * frac;
+}
+
+std::vector<FaultScenario>
+sampleScenarios(const RobustTuneConfig &cfg, int chips)
+{
+    if (chips <= 0)
+        fatal("sampleScenarios: need a positive chip count (got %d)",
+              chips);
+    if (cfg.numScenarios <= 0)
+        fatal("sampleScenarios: numScenarios must be positive (got %d)",
+              cfg.numScenarios);
+    if (!(cfg.linkDegradeFactor > 0.0 && cfg.linkDegradeFactor <= 1.0))
+        fatal("sampleScenarios: linkDegradeFactor %g outside (0, 1]",
+              cfg.linkDegradeFactor);
+    static const char *kDirections[4] = {"link.E", "link.W", "link.S",
+                                         "link.N"};
+    std::vector<FaultScenario> out;
+    std::uint64_t rng = cfg.seed;
+    for (int i = 0; i < cfg.numScenarios; ++i) {
+        FaultScenario s;
+        s.seed = cfg.seed + static_cast<std::uint64_t>(i);
+        s.maxLaunchJitter = cfg.maxLaunchJitter;
+        for (int f = 0; f < cfg.faultsPerScenario; ++f) {
+            CapacityFault fault;
+            fault.pattern = kDirections[splitmix64(rng) % 4];
+            fault.factor = cfg.linkDegradeFactor;
+            fault.start = 0.0;
+            fault.duration = -1.0; // persistent
+            s.faults.push_back(std::move(fault));
+        }
+        if (uniform01(rng) < cfg.stragglerProb) {
+            StragglerFault straggler;
+            straggler.chip = static_cast<int>(
+                splitmix64(rng) % static_cast<std::uint64_t>(chips));
+            straggler.computeFactor = cfg.stragglerFactor;
+            straggler.hbmFactor = cfg.stragglerFactor;
+            s.stragglers.push_back(straggler);
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+RobustTuneResult
+tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
+           const TransformerConfig &model, const TrainingConfig &train,
+           int chips, const RobustTuneConfig &cfg, bool optimize_dataflow)
+{
+    if (!(cfg.quantile > 0.0 && cfg.quantile <= 1.0))
+        fatal("tuneRobust: quantile %g outside (0, 1]", cfg.quantile);
+
+    RobustTuneResult result;
+    result.scenarios = cfg.scenarios.empty() ? sampleScenarios(cfg, chips)
+                                             : cfg.scenarios;
+
+    const std::vector<AutotuneResult> shortlist = tuner.rankShapes(
+        algo, model, train, chips, cfg.topK, optimize_dataflow);
+    const ChipConfig &chip = tuner.cost().chip();
+
+    for (const AutotuneResult &plan : shortlist) {
+        RobustCandidate cand;
+        cand.plan = plan;
+        cand.nominalEst = plan.blockFcTime;
+
+        std::vector<GemmPlan> gemms = plan.allPlans();
+        if (cfg.maxGemmsPerEval > 0 &&
+            static_cast<int>(gemms.size()) > cfg.maxGemmsPerEval)
+            gemms.resize(static_cast<size_t>(cfg.maxGemmsPerEval));
+
+        for (size_t i = 0; i < result.scenarios.size(); ++i) {
+            Time step = 0.0;
+            for (const GemmPlan &g : gemms) {
+                const Gemm2DSpec spec =
+                    makeSpec(g.gemm, g.dataflow, plan.rows, plan.cols,
+                             g.sliceCount, chip.bytesPerElement);
+                step += runGemmUnderScenario(chip, algo, spec,
+                                             &result.scenarios[i])
+                            .time;
+            }
+            cand.scenarioTimes.push_back(step);
+            if (SearchTrace::global().enabled())
+                traceRobustEval(algo, chips, cand, static_cast<int>(i),
+                                step);
+        }
+        cand.objective = robustObjective(cand.scenarioTimes, cfg.quantile);
+        result.candidates.push_back(std::move(cand));
+    }
+
+    // Pick the best objective; candidates are in nominal rank order,
+    // so strict improvement is required to move off the nominal pick
+    // (deterministic, and a tie keeps the fault-free optimum).
+    for (size_t i = 1; i < result.candidates.size(); ++i)
+        if (result.candidates[i].objective <
+            result.candidates[static_cast<size_t>(result.pickedIndex)]
+                .objective)
+            result.pickedIndex = static_cast<int>(i);
+
+    if (SearchTrace::global().enabled())
+        traceRobustPick(algo, chips, result);
+    return result;
+}
+
+} // namespace meshslice

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Robustness-aware autotuning (opt-in).
+ *
+ * The nominal two-phase autotuner picks the mesh shape / slice counts
+ * minimizing the *fault-free* estimated step time. Real clusters are
+ * not fault-free, and overlap schedules are highly sensitive to
+ * interference (T3, PAPERS.md): the nominally-best shape can be the
+ * one whose critical rings die hardest under a slow link. The robust
+ * tuner re-evaluates the top-K phase-2 candidates by *simulation*
+ * under N fault scenarios (sampled from a seeded distribution, or
+ * supplied explicitly) and picks by worst-case — or a configurable
+ * quantile of — simulated step time instead of the nominal estimate.
+ *
+ * Every (candidate, scenario) evaluation and the final pick are
+ * emitted through `SearchTrace` as `"phase":"robust"` /
+ * `"phase":"robust_pick"` JSONL records.
+ */
+#ifndef MESHSLICE_TUNER_ROBUST_HPP_
+#define MESHSLICE_TUNER_ROBUST_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "tuner/autotuner.hpp"
+
+namespace meshslice {
+
+/** Knobs of the robust objective. */
+struct RobustTuneConfig
+{
+    /** Phase-2 candidates re-evaluated under the scenarios. */
+    int topK = 3;
+    /** Scenarios sampled when `scenarios` is empty. */
+    int numScenarios = 4;
+    /** Seed of the scenario sampler (and of each scenario's jitter). */
+    std::uint64_t seed = 1;
+    /** Bandwidth factor of a sampled degraded link-direction class. */
+    double linkDegradeFactor = 0.5;
+    /** Link-direction degradations per sampled scenario. */
+    int faultsPerScenario = 1;
+    /** Probability a sampled scenario includes a straggler chip. */
+    double stragglerProb = 0.5;
+    /** Core/HBM factor of a sampled straggler. */
+    double stragglerFactor = 0.7;
+    /** Launch jitter bound of sampled scenarios (0 = none). */
+    Time maxLaunchJitter = 0.0;
+    /**
+     * Objective quantile over the per-scenario simulated times:
+     * 1.0 = worst case (default), 0.95 = p95, ...
+     */
+    double quantile = 1.0;
+    /**
+     * Cap on how many of the 12 planned GeMMs are simulated per
+     * (candidate, scenario) evaluation; 0 = all. Lower = faster,
+     * coarser.
+     */
+    int maxGemmsPerEval = 0;
+    /**
+     * Explicit scenarios. When non-empty, used verbatim (and
+     * `numScenarios`/sampling knobs are ignored).
+     */
+    std::vector<FaultScenario> scenarios;
+};
+
+/** One shortlisted candidate's robust evaluation. */
+struct RobustCandidate
+{
+    AutotuneResult plan;   ///< shape + tuned slice counts
+    Time nominalEst = 0.0; ///< phase-2 (fault-free) estimate
+    /** Simulated step time under each scenario, scenario order. */
+    std::vector<Time> scenarioTimes;
+    /** `quantile` of `scenarioTimes` (the robust objective). */
+    Time objective = 0.0;
+};
+
+/** Robust tuning outcome. */
+struct RobustTuneResult
+{
+    /** The scenarios evaluated (sampled or supplied). */
+    std::vector<FaultScenario> scenarios;
+    /** Candidates in nominal rank order (entry 0 = nominal pick). */
+    std::vector<RobustCandidate> candidates;
+    /** Index (into `candidates`) of the robust pick. */
+    int pickedIndex = 0;
+
+    const RobustCandidate &picked() const
+    {
+        return candidates.at(static_cast<size_t>(pickedIndex));
+    }
+    const RobustCandidate &nominal() const { return candidates.at(0); }
+
+    /** True when robustness changed the decision (the interesting
+     *  case: the nominal optimum is fragile). */
+    bool pickDiffers() const { return pickedIndex != 0; }
+};
+
+/**
+ * Sample @p cfg.numScenarios deterministic scenarios for a cluster of
+ * @p chips chips. Each scenario degrades `faultsPerScenario` random
+ * link-direction classes (E/W/S/N — shape-independent patterns, so
+ * the same scenario is meaningful for every candidate mesh) and, with
+ * `stragglerProb`, one random straggler chip; scenario i gets jitter
+ * seed `seed + i`. Bit-identical for a given (cfg, chips).
+ */
+std::vector<FaultScenario> sampleScenarios(const RobustTuneConfig &cfg,
+                                           int chips);
+
+/**
+ * Robust phase-2: shortlist `cfg.topK` shapes with @p tuner, simulate
+ * each under the scenarios, pick by the quantile objective.
+ */
+RobustTuneResult tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
+                            const TransformerConfig &model,
+                            const TrainingConfig &train, int chips,
+                            const RobustTuneConfig &cfg,
+                            bool optimize_dataflow = true);
+
+/** The objective: @p q-quantile of @p times (1.0 = max). */
+Time robustObjective(std::vector<Time> times, double q);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_TUNER_ROBUST_HPP_

@@ -1,5 +1,7 @@
 #include "tuner/search_trace.hpp"
 
+#include "util/logging.hpp"
+
 namespace meshslice {
 
 SearchTrace &
@@ -23,6 +25,7 @@ SearchTrace::open(const std::string &path)
         file_ = nullptr;
     }
     file_ = std::fopen(path.c_str(), "w");
+    path_ = file_ != nullptr ? path : std::string();
     count_.store(0, std::memory_order_relaxed);
     enabled_.store(file_ != nullptr, std::memory_order_relaxed);
     return file_ != nullptr;
@@ -34,8 +37,16 @@ SearchTrace::close()
     std::lock_guard<std::mutex> lock(mu_);
     enabled_.store(false, std::memory_order_relaxed);
     if (file_ != nullptr) {
+        // Surface write errors (short writes are caught in record();
+        // this catches buffered data lost at flush time). warn, not
+        // fatal: close() also runs from the destructor at exit, where
+        // calling exit() again is undefined.
+        if (std::fflush(file_) != 0 || std::ferror(file_) != 0)
+            warn("SearchTrace: write to '%s' failed (disk full?)",
+                 path_.c_str());
         std::fclose(file_);
         file_ = nullptr;
+        path_.clear();
     }
 }
 
@@ -45,8 +56,11 @@ SearchTrace::record(const std::string &json_line)
     std::lock_guard<std::mutex> lock(mu_);
     if (file_ == nullptr)
         return;
-    std::fwrite(json_line.data(), 1, json_line.size(), file_);
-    std::fputc('\n', file_);
+    if (std::fwrite(json_line.data(), 1, json_line.size(), file_)
+            != json_line.size()
+        || std::fputc('\n', file_) == EOF)
+        fatal("SearchTrace: write to '%s' failed (disk full?)",
+              path_.c_str());
     count_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -66,6 +66,7 @@ class SearchTrace
     std::atomic<long> count_{0};
     mutable std::mutex mu_;
     std::FILE *file_ = nullptr;
+    std::string path_; ///< of the open sink (for error messages)
 };
 
 } // namespace meshslice

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Runs the observability report in a scratch directory and validates
-# every JSON artifact it produces with `python3 -m json.tool`, plus a
-# per-line check of the JSONL search trace. Used by the `check_json`
-# ctest and the `check-json` build target.
+# Runs the observability report (and, when given, the robustness
+# report) in a scratch directory and validates every JSON artifact
+# they produce with `python3 -m json.tool`, plus per-line checks of
+# the JSONL search traces. Used by the `check_json` ctest and the
+# `check-json` build target.
 #
-# Usage: check_json.sh <path-to-observability_report> [chips]
+# Usage: check_json.sh <observability_report> [robustness_report] [chips]
 set -euo pipefail
 
 bin=$(readlink -f "$1")
-chips=${2:-16}
+robust_bin=""
+if [ "$#" -ge 2 ] && [ -x "$2" ]; then
+    robust_bin=$(readlink -f "$2")
+    chips=${3:-16}
+else
+    chips=${2:-16}
+fi
 python3=${PYTHON3:-python3}
 
 workdir=$(mktemp -d)
@@ -18,8 +25,8 @@ cd "$workdir"
 "$bin" "$chips" > report.out
 
 status=0
-for f in BENCH_observability.json observability_trace.json \
-         observability_stats.json; do
+check_file() {
+    local f=$1
     if [ ! -f "$f" ]; then
         echo "FAIL $f was not produced"
         status=1
@@ -29,10 +36,12 @@ for f in BENCH_observability.json observability_trace.json \
         echo "FAIL $f is not valid JSON"
         status=1
     fi
-done
+}
 
 # JSONL: every non-empty line must be its own JSON document.
-if "$python3" - tuner_search.jsonl <<'EOF'
+check_jsonl() {
+    local f=$1
+    if "$python3" - "$f" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
@@ -50,11 +59,26 @@ with open(path) as fh:
 if lines == 0:
     sys.exit("%s: no records" % path)
 EOF
-then
-    echo "ok   tuner_search.jsonl"
-else
-    echo "FAIL tuner_search.jsonl"
-    status=1
+    then
+        echo "ok   $f"
+    else
+        echo "FAIL $f"
+        status=1
+    fi
+}
+
+for f in BENCH_observability.json observability_trace.json \
+         observability_stats.json; do
+    check_file "$f"
+done
+check_jsonl tuner_search.jsonl
+
+if [ -n "$robust_bin" ]; then
+    "$robust_bin" "$chips" > robust_report.out
+    for f in BENCH_robustness.json robustness_scenario.json; do
+        check_file "$f"
+    done
+    check_jsonl robust_search.jsonl
 fi
 
 exit $status

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Full CI sweep: builds the Release, ThreadSanitizer and
+# AddressSanitizer configurations, runs ctest on each, and validates
+# every BENCH_*.json artifact (observability + robustness reports) via
+# the `check-json` target of the Release build.
+#
+# Usage: tools/run_ci.sh [build-root]
+#   build-root defaults to ./build-ci; one subdirectory per config.
+#
+# Environment:
+#   CTEST_PARALLEL  parallel test jobs (default: nproc)
+#   CONFIGS         space-separated subset of "release thread address"
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+root=${1:-"$repo/build-ci"}
+jobs=${CTEST_PARALLEL:-$(nproc)}
+configs=${CONFIGS:-"release thread address"}
+
+failures=()
+
+build_and_test() {
+    local name=$1
+    shift
+    local dir="$root/$name"
+    echo "=== [$name] configure ==="
+    cmake -S "$repo" -B "$dir" "$@" > "$dir-configure.log" 2>&1 ||
+        { echo "configure failed (see $dir-configure.log)"; return 1; }
+    echo "=== [$name] build ==="
+    cmake --build "$dir" -j "$jobs" > "$dir-build.log" 2>&1 ||
+        { echo "build failed (see $dir-build.log)"; return 1; }
+    echo "=== [$name] ctest ==="
+    (cd "$dir" && ctest -j "$jobs" --output-on-failure)
+}
+
+mkdir -p "$root"
+
+for config in $configs; do
+    case "$config" in
+      release)
+        if build_and_test release \
+               -DCMAKE_BUILD_TYPE=Release -DMESHSLICE_SANITIZE=; then
+            echo "=== [release] check-json (BENCH_*.json artifacts) ==="
+            cmake --build "$root/release" --target check-json ||
+                failures+=("release/check-json")
+        else
+            failures+=("release")
+        fi
+        ;;
+      thread)
+        # TSan slows the simulator ~10x; the suite still finishes in
+        # minutes. MESHSLICE_THREADS is left alone so the thread pool
+        # actually exercises cross-thread access.
+        build_and_test thread \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DMESHSLICE_SANITIZE=thread || failures+=("thread")
+        ;;
+      address)
+        build_and_test address \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DMESHSLICE_SANITIZE=address || failures+=("address")
+        ;;
+      *)
+        echo "unknown config '$config' (want: release thread address)"
+        failures+=("$config")
+        ;;
+    esac
+done
+
+echo
+if [ ${#failures[@]} -gt 0 ]; then
+    echo "CI FAILED: ${failures[*]}"
+    exit 1
+fi
+echo "CI OK: all configs passed ($configs)"
