@@ -1,6 +1,8 @@
 #include "bench/common.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,6 +11,80 @@
 #include "util/logging.hpp"
 
 namespace meshslice {
+
+namespace {
+
+[[noreturn]] void
+usageError(const char *prog, const char *why, const char *what)
+{
+    fatal("%s: %s '%s'\nusage: %s [chips] [--seed N] [--mtbf SECONDS] "
+          "[--out PATH]", prog, why, what, prog);
+}
+
+} // namespace
+
+BenchArgs
+BenchArgs::parse(int argc, char **argv, int default_chips)
+{
+    BenchArgs args;
+    args.chips = default_chips;
+    const char *prog = argc > 0 ? argv[0] : "bench";
+    bool chips_set = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            if (chips_set)
+                usageError(prog, "unexpected extra positional argument",
+                           arg.c_str());
+            char *end = nullptr;
+            const long v = std::strtol(arg.c_str(), &end, 10);
+            if (!end || *end != '\0' || v <= 0)
+                usageError(prog, "chip count must be a positive integer, "
+                           "got", arg.c_str());
+            args.chips = static_cast<int>(v);
+            chips_set = true;
+            continue;
+        }
+        // --flag=value or --flag value.
+        std::string name = arg;
+        std::string value;
+        bool inline_value = false;
+        if (const size_t eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            inline_value = true;
+        }
+        if (name != "--seed" && name != "--mtbf" && name != "--out")
+            usageError(prog, "unknown flag", name.c_str());
+        if (!inline_value) {
+            if (i + 1 >= argc)
+                usageError(prog, "missing value for flag", name.c_str());
+            value = argv[++i];
+        }
+        if (name == "--seed") {
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(value.c_str(), &end, 10);
+            if (!end || *end != '\0' || value.empty() || value[0] == '-')
+                usageError(prog, "--seed must be a non-negative integer, "
+                           "got", value.c_str());
+            args.seed = static_cast<std::uint64_t>(v);
+        } else if (name == "--mtbf") {
+            char *end = nullptr;
+            const double v = std::strtod(value.c_str(), &end);
+            if (!end || *end != '\0' || !(v > 0.0) || !std::isfinite(v))
+                usageError(prog, "--mtbf must be a positive number of "
+                           "seconds, got", value.c_str());
+            args.mtbf = v;
+        } else { // --out (the name set is checked above)
+            if (value.empty())
+                usageError(prog, "--out needs a non-empty path, got",
+                           value.c_str());
+            args.out = value;
+        }
+    }
+    return args;
+}
 
 Time
 estimate1DTime(const CostModel &cost, const Gemm1DSpec &spec)

@@ -9,6 +9,7 @@
 #ifndef MESHSLICE_BENCH_COMMON_HPP_
 #define MESHSLICE_BENCH_COMMON_HPP_
 
+#include <cstdint>
 #include <string>
 
 #include "core/executor.hpp"
@@ -16,6 +17,32 @@
 #include "tuner/autotuner.hpp"
 
 namespace meshslice {
+
+/**
+ * Shared CLI of the report-style benchmarks:
+ *
+ *   <report> [chips] [--seed N] [--mtbf SECONDS] [--out PATH]
+ *
+ * The leading positional argument is the chip count (back-compatible
+ * with the original `report <chips>` form). `--seed` re-bases every
+ * scenario seed the report derives, `--mtbf` overrides the per-chip
+ * MTBF of the recovery models (reports that have no failure process
+ * accept and ignore it, so wrapper scripts can pass one flag set to
+ * every report), and `--out` redirects the BENCH_*.json artifact.
+ * Both `--flag value` and `--flag=value` spellings work; an unknown
+ * flag is fatal with a usage message.
+ */
+struct BenchArgs
+{
+    int chips = 16;
+    std::uint64_t seed = 7;
+    /** Per-chip MTBF override in seconds; 0 = the report's default. */
+    Time mtbf = 0.0;
+    /** BENCH_*.json path override; empty = the report's default. */
+    std::string out;
+
+    static BenchArgs parse(int argc, char **argv, int default_chips = 16);
+};
 
 /** Aggregate of one block's FC layers under one algorithm. */
 struct FcSimResult

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Elastic mesh re-sharding after a fail-stop failure.
+ *
+ * When a chip dies permanently, the surviving R'xC' mesh (one row or
+ * one column smaller) must take over the work of the old RxC mesh:
+ * every `DistMatrix` operand is re-partitioned onto the survivor
+ * shapes and the blocks that changed owner move over the ICI. This
+ * module provides both halves of that story:
+ *
+ *  - the *functional* re-shard (`reshard`): a bit-exact redistribution
+ *    of real shard data, so tests can prove a MeshSlice GeMM on the
+ *    survivor mesh still matches the single-chip reference; and
+ *  - the *modeled* re-shard (`planReshard` / `reshardTime`): the exact
+ *    block-movement traffic (per-move SendRecv bytes, per-chip
+ *    ingress/egress) and a first-order time estimate, which the
+ *    recovery-aware tuner charges when comparing mesh shapes.
+ *
+ * Ownership convention matches `DistMatrix`: the global matrix is cut
+ * into equal blocks, shard (i, j) lives on the chip at mesh coordinate
+ * (i, j). Survivors keep their physical chip ids; only their mesh
+ * coordinates are renumbered (row-major, skipping the dead row/col).
+ */
+#ifndef MESHSLICE_GEMM_RESHARD_HPP_
+#define MESHSLICE_GEMM_RESHARD_HPP_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gemm/dist_matrix.hpp"
+#include "util/units.hpp"
+
+namespace meshslice {
+
+struct ChipConfig;
+
+/**
+ * The survivor mesh after exactly one row *or* one column of an RxC
+ * mesh is retired (the row/column containing the dead chip — 2D
+ * collectives need full rows/columns, so the whole line is drained
+ * even though only one chip died; its healthy peers become spares).
+ */
+struct SurvivorMesh
+{
+    /** The mesh shape before the failure. */
+    MeshShape from;
+    /** Index of the retired row, or -1 when a column was retired. */
+    int failedRow = -1;
+    /** Index of the retired column, or -1 when a row was retired. */
+    int failedCol = -1;
+
+    /** Shape of the surviving mesh (one row or column fewer). */
+    MeshShape to() const;
+
+    /**
+     * Old mesh coordinate of the survivor at new coordinate (p, q):
+     * rows/cols renumber past the retired line.
+     */
+    std::pair<int, int> oldCoord(int p, int q) const;
+
+    /** Old linear chip id (r * from.cols + c) of survivor (p, q). */
+    int oldChipAt(int p, int q) const;
+
+    /** Fatal unless exactly one of failedRow/failedCol is in range
+     *  and the survivor mesh is non-empty. */
+    void validate() const;
+};
+
+/** One block movement of a re-shard (modeled SendRecv). */
+struct ReshardMove
+{
+    /** Old linear chip ids. `srcChip` may be in the retired line:
+     *  its blocks still hold the state that must reach survivors. */
+    int srcChip = -1;
+    int dstChip = -1;
+    Bytes bytes = 0;
+};
+
+/** The complete traffic picture of one re-shard. */
+struct ReshardPlan
+{
+    MeshShape from;
+    MeshShape to;
+    /** Cross-chip movements, ordered by (dst, src) for determinism. */
+    std::vector<ReshardMove> moves;
+    /** Sum of `moves[].bytes` (bytes that cross the ICI). */
+    Bytes totalBytes = 0;
+    /** Bytes whose owner did not change (pure local relabeling). */
+    Bytes localBytes = 0;
+    /** Heaviest per-chip receive / send totals — what the first-order
+     *  time model is limited by. */
+    Bytes maxChipIngress = 0;
+    Bytes maxChipEgress = 0;
+};
+
+/**
+ * Exact block-movement plan for re-sharding a global (rows x cols)
+ * matrix of @p bytes_per_element-byte elements from `sv.from` onto
+ * `sv.to()`. Dimensions must divide evenly by both mesh shapes (the
+ * same invariant `DistMatrix::scatter` enforces).
+ */
+ReshardPlan planReshard(std::int64_t rows, std::int64_t cols,
+                        int bytes_per_element, const SurvivorMesh &sv);
+
+/**
+ * Functional re-shard: returns @p m redistributed onto the survivor
+ * mesh. Pure data movement — every element is copied bit-exactly, so
+ * `reshard(m, sv).gather()` equals `m.gather()` exactly.
+ */
+DistMatrix reshard(const DistMatrix &m, const SurvivorMesh &sv);
+
+/**
+ * Continuous (mesh-only) approximation of the moved fraction: the
+ * measure of the unit square whose owner changes between the two
+ * partitions, times @p total_bytes. Equals `planReshard(...).totalBytes`
+ * exactly whenever the dimensions divide both meshes — the discrete
+ * plan is the ground truth, this form is what closed-form tuner
+ * sweeps use when no matrix is in scope.
+ */
+double reshardBytesModel(double total_bytes, const SurvivorMesh &sv);
+
+/**
+ * First-order re-shard time for @p plan: one launch, then every chip
+ * streams its ingress/egress through its 4 torus links in parallel
+ * (the bottleneck chip sets the pace), then one barrier.
+ */
+Time reshardTime(const ChipConfig &cfg, const ReshardPlan &plan);
+
+/**
+ * Companion of `reshardBytesModel` for closed-form sweeps: the
+ * first-order re-shard time when only the modeled moved-byte total is
+ * known. Assumes the moved bytes spread evenly over the survivors'
+ * ingress (the balanced approximation of `reshardTime`'s bottleneck).
+ */
+Time reshardTimeModel(const ChipConfig &cfg, double moved_bytes,
+                      int survivor_chips);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_GEMM_RESHARD_HPP_

@@ -20,10 +20,13 @@ checkUniform(const std::vector<Matrix> &mats, const char *what)
 } // namespace
 
 std::vector<Matrix>
-ringAllGatherFunctional(const std::vector<Matrix> &shards)
+ringAllGatherFunctional(const std::vector<Matrix> &shards,
+                        RingStepTrace *steps)
 {
     checkUniform(shards, "ringAllGatherFunctional");
     const int p = static_cast<int>(shards.size());
+    if (steps)
+        steps->clear();
 
     // slots[i][j] = shard j as currently known by chip i.
     std::vector<std::vector<Matrix>> slots(
@@ -34,6 +37,9 @@ ringAllGatherFunctional(const std::vector<Matrix> &shards)
     // P-1 synchronized steps; in step t chip i forwards the shard it
     // received t steps ago (its own at t=0) to its +1 neighbour.
     for (int t = 0; t < p - 1; ++t) {
+        if (steps)
+            steps->push_back(shards.front().rows() *
+                             shards.front().cols());
         std::vector<std::pair<int, Matrix>> in_flight(
             static_cast<size_t>(p));
         for (int i = 0; i < p; ++i) {
@@ -56,13 +62,16 @@ ringAllGatherFunctional(const std::vector<Matrix> &shards)
 }
 
 std::vector<Matrix>
-ringReduceScatterFunctional(const std::vector<Matrix> &partials)
+ringReduceScatterFunctional(const std::vector<Matrix> &partials,
+                            RingStepTrace *steps)
 {
     checkUniform(partials, "ringReduceScatterFunctional");
     const int p = static_cast<int>(partials.size());
     if (partials.front().rows() % p != 0)
         panic("ringReduceScatterFunctional: rows %% P != 0");
     const std::int64_t block = partials.front().rows() / p;
+    if (steps)
+        steps->clear();
 
     // chunks[i][c] = chip i's running partial sum of block c.
     std::vector<std::vector<Matrix>> chunks(static_cast<size_t>(p));
@@ -75,6 +84,8 @@ ringReduceScatterFunctional(const std::vector<Matrix> &partials)
     // P-1 steps: chip i sends its running sum of chunk (i - t) and the
     // receiver accumulates it into its own copy.
     for (int t = 0; t < p - 1; ++t) {
+        if (steps)
+            steps->push_back(block * partials.front().cols());
         std::vector<std::pair<int, Matrix>> in_flight(
             static_cast<size_t>(p));
         for (int i = 0; i < p; ++i) {

@@ -13,6 +13,7 @@
 #ifndef MESHSLICE_GEMM_RING_COLLECTIVES_HPP_
 #define MESHSLICE_GEMM_RING_COLLECTIVES_HPP_
 
+#include <cstdint>
 #include <vector>
 
 #include "gemm/matrix.hpp"
@@ -20,21 +21,34 @@
 namespace meshslice {
 
 /**
+ * Optional per-step transcript of a functional shard collective: one
+ * entry per synchronized step, holding the element count of the block
+ * *each* chip transferred in that step (the pattern is uniform — every
+ * chip moves one equal-size block per step). Tests cross-check this
+ * against the timing layer's step count and per-step transfer sizes
+ * so the two paths cannot drift apart, in particular under the
+ * degraded unidirectional fallback.
+ */
+using RingStepTrace = std::vector<std::int64_t>;
+
+/**
  * Ring AllGather via P-1 neighbour shifts: chip i contributes
  * `shards[i]`; returns per-chip results, each the row-concatenation
- * shards[0] .. shards[P-1].
+ * shards[0] .. shards[P-1]. @p steps, when non-null, is cleared and
+ * filled with the per-step per-chip transferred element counts.
  */
 std::vector<Matrix> ringAllGatherFunctional(
-    const std::vector<Matrix> &shards);
+    const std::vector<Matrix> &shards, RingStepTrace *steps = nullptr);
 
 /**
  * Ring ReduceScatter via P-1 neighbour shifts with accumulation:
  * chip i contributes `partials[i]` (all the same shape, logically P
  * stacked blocks of rows); returns per-chip reduced blocks: result[i]
- * = sum over j of block i of partials[j].
+ * = sum over j of block i of partials[j]. @p steps as in
+ * `ringAllGatherFunctional`.
  */
 std::vector<Matrix> ringReduceScatterFunctional(
-    const std::vector<Matrix> &partials);
+    const std::vector<Matrix> &partials, RingStepTrace *steps = nullptr);
 
 /**
  * Pipelined ring broadcast from `root`: the payload is cut into

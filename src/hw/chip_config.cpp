@@ -16,6 +16,9 @@ validateChipConfig(const ChipConfig &cfg)
     if (cfg.iciLinkBandwidth <= 0.0)
         fatal("ChipConfig: iciLinkBandwidth must be positive (got %g B/s)",
               cfg.iciLinkBandwidth);
+    if (cfg.hostDmaBandwidth <= 0.0)
+        fatal("ChipConfig: hostDmaBandwidth must be positive (got %g B/s)",
+              cfg.hostDmaBandwidth);
     if (cfg.syncLatency < 0.0)
         fatal("ChipConfig: syncLatency must be >= 0 (got %g s)",
               cfg.syncLatency);

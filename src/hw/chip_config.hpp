@@ -29,6 +29,16 @@ struct ChipConfig
     /** Bandwidth of one ICI link direction. */
     Rate iciLinkBandwidth = GBps(45.0);
 
+    /**
+     * HBM→host DMA bandwidth per chip (PCIe / DMA engine). This is
+     * what a checkpoint write is limited by: all chips drain their
+     * optimizer/weight state to host storage in parallel, so the
+     * checkpoint cost is bytesPerChip / hostDmaBandwidth. TPUv4 hosts
+     * connect 4 chips over PCIe Gen3 x16 (~16 GB/s shared ≈ a few
+     * GB/s per chip under fan-in); 4 GB/s is the defensible default.
+     */
+    Rate hostDmaBandwidth = GBps(4.0);
+
     /** Per-hop synchronization latency of a collective step. */
     Time syncLatency = us(5.0);
 

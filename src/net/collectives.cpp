@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 #include <utility>
+#include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/join.hpp"
 #include "util/logging.hpp"
 
@@ -118,11 +120,113 @@ class RingOpBase
         // bit-identical to a run without an injector).
         if (FaultInjector *inj = cluster_.faults())
             stats_.launch += inj->nextLaunchJitter();
-        cluster_.sim().scheduleAfter(stats_.launch, [this] {
+        launchEvent_ = cluster_.sim().scheduleAfter(stats_.launch, [this] {
             const int chains = activeChains_;
             for (int chain = 0; chain < chains; ++chain)
                 startStep(chain, 0);
         });
+    }
+
+    /**
+     * Arm the fail-stop abort watch: if the fault scenario kills any
+     * resource this op depends on (a ring chip's HBM or a link of an
+     * orientation in use), schedule an abort at kill time + the
+     * scenario's detection latency. Guarded by `hasKills()` so a
+     * kill-free run schedules nothing extra and stays bit-identical
+     * to a run without an injector. Call after `watchLinks_` is set.
+     */
+    void
+    armFailStopWatch()
+    {
+        FaultInjector *inj = cluster_.faults();
+        if (!inj || !inj->hasKills())
+            return;
+        std::vector<ResourceId> watch;
+        watch.reserve(ring_.chips.size() + watchLinks_.size());
+        for (int chip : ring_.chips)
+            watch.push_back(cluster_.hbmOf(chip));
+        watch.insert(watch.end(), watchLinks_.begin(), watchLinks_.end());
+        const Time kill = inj->earliestKillAfter(cluster_.sim().now(),
+                                                 watch);
+        if (kill < 0.0)
+            return;
+        watchArmed_ = true;
+        abortEvent_ = cluster_.sim().schedule(
+            kill + inj->detectionLatency(), [this] { abortFailStop(); });
+    }
+
+    /**
+     * The detection timeout fired: a resource this op depends on has
+     * failed permanently. Tear down everything in flight (launch
+     * event, pending step joins, sync waits, live transfers), then
+     * surface a typed `CollectiveError` through the failure handler —
+     * or `fatal()` naming the corpse when no handler is installed.
+     */
+    void
+    abortFailStop()
+    {
+        FaultInjector *inj = cluster_.faults();
+        CollectiveError err;
+        err.op = name_;
+        err.detectedAt = cluster_.sim().now();
+        // Prefer a dead chip: that is what the retry evicts. A dead
+        // link at fwd[i]/bwd[i] is also cured by evicting chips[i]
+        // (the detour ring drops fwd[i-1..i] and bwd[i..i+1]).
+        for (int pos = 0; pos < ring_.size() && err.deadRingPos < 0;
+             ++pos) {
+            const ResourceId hbm = cluster_.hbmOf(
+                ring_.chips[static_cast<size_t>(pos)]);
+            if (inj && inj->isKilled(hbm)) {
+                err.deadChip = ring_.chips[static_cast<size_t>(pos)];
+                err.deadRingPos = pos;
+                err.deadResource = cluster_.net().resourceName(hbm);
+            }
+        }
+        for (int i = 0; i < ring_.size() && err.deadRingPos < 0; ++i) {
+            const ResourceId fwd = ring_.fwd[static_cast<size_t>(i)];
+            const ResourceId bwd = ring_.bwd[static_cast<size_t>(i)];
+            const ResourceId dead_link =
+                inj && inj->isKilled(fwd)
+                    ? fwd
+                    : (inj && inj->isKilled(bwd) ? bwd : ResourceId{-1});
+            if (dead_link >= 0) {
+                err.deadChip = ring_.chips[static_cast<size_t>(i)];
+                err.deadRingPos = i;
+                err.deadResource = cluster_.net().resourceName(dead_link);
+            }
+        }
+        if (err.deadRingPos < 0)
+            panic("%s: fail-stop abort fired but no killed resource was "
+                  "found in the ring", name_);
+
+        cluster_.sim().cancel(launchEvent_);
+        for (int chain = 0; chain < 2; ++chain) {
+            cluster_.sim().cancel(chainSync_[chain]);
+            delete chainJoin_[chain]; // pending join; its flows die below
+            chainJoin_[chain] = nullptr;
+        }
+        for (FlowId id : startedFlows_)
+            cluster_.net().cancelFlow(id); // no-op for completed flows
+        StatsRegistry &st = cluster_.stats();
+        if (st.enabled())
+            st.add(std::string("collective/") + name_ + "/abort", 1.0);
+        if (cluster_.trace().enabled() && !ring_.chips.empty()) {
+            cluster_.trace().recordInstant(std::string(name_) + ".abort",
+                                           "fault", ring_.chips[0], lane_,
+                                           cluster_.sim().now());
+        }
+        if (!fail_)
+            fatal("%s: %s failed permanently (kill detected at %g s) and "
+                  "the collective cannot complete; no recovery handler "
+                  "installed — use the recoverable variant to retry on a "
+                  "ring rebuilt without chip %d "
+                  "(TorusMesh::rowRingWithout/colRingWithout), or revise "
+                  "the fault scenario",
+                  name_, err.deadResource.c_str(), err.detectedAt,
+                  err.deadChip);
+        CommFail fail = std::move(fail_);
+        delete this;
+        fail(err);
     }
 
     /** Subclass: begin step @p step of @p chain; call stepFlows(). */
@@ -144,7 +248,9 @@ class RingOpBase
             panic("RingOpBase: step with no flows");
         }
         const Time step_begin = cluster_.sim().now();
-        return Join::create(flow_count, [this, chain, step, step_begin] {
+        Join *join = Join::create(flow_count, [this, chain, step,
+                                               step_begin] {
+            chainJoin_[chain] = nullptr; // the join is self-deleting now
             const Time step_dur = cluster_.sim().now() - step_begin;
             StatsRegistry &st = cluster_.stats();
             if (st.enabled()) {
@@ -157,14 +263,18 @@ class RingOpBase
                     lane_, cluster_.sim().now());
             }
             const Time sync = cluster_.config().syncLatency;
-            cluster_.sim().scheduleAfter(sync, [this, chain, step] {
-                if (step + 1 < stepCount(chain)) {
-                    startStep(chain, step + 1);
-                } else if (--activeChains_ == 0) {
-                    finish();
-                }
-            });
+            chainSync_[chain] =
+                cluster_.sim().scheduleAfter(sync, [this, chain, step] {
+                    chainSync_[chain] = EventId{};
+                    if (step + 1 < stepCount(chain)) {
+                        startStep(chain, step + 1);
+                    } else if (--activeChains_ == 0) {
+                        finish();
+                    }
+                });
         });
+        chainJoin_[chain] = join;
+        return join;
     }
 
     /** Transfer one block over `ring.fwd/bwd[pos]` with HBM demands. */
@@ -180,16 +290,21 @@ class RingOpBase
             forward ? ring_.fwd[static_cast<size_t>(pos)]
                     : ring_.bwd[static_cast<size_t>(pos)];
         cluster_.noteCommBytes(bytes);
-        cluster_.net().startFlow(
+        const FlowId fid = cluster_.net().startFlow(
             static_cast<double>(bytes),
             {Demand{link, 1.0}, Demand{cluster_.hbmOf(src), 1.0},
              Demand{cluster_.hbmOf(dst), dst_hbm_demand}},
             [join] { join->signal(); });
+        if (watchArmed_)
+            startedFlows_.push_back(fid); // abort cancels these
     }
 
     void
     finish()
     {
+        // The op completed before any watched kill could strand it.
+        if (watchArmed_)
+            cluster_.sim().cancel(abortEvent_);
         stats_.total = cluster_.sim().now() - begin_;
         stats_.sync = cluster_.config().syncLatency * stats_.syncCount;
         stats_.transfer = stats_.total - stats_.launch - stats_.sync;
@@ -233,9 +348,22 @@ class RingOpBase
     int lane_;
     const char *name_;
     CommDone done_;
+    /** Failure continuation; null = unrecoverable (fatal on abort). */
+    CommFail fail_;
     Time begin_;
     CommStats stats_;
     int activeChains_ = 0;
+    /** Orientation links in use, for the fail-stop watch (subclass). */
+    std::vector<ResourceId> watchLinks_;
+    /** True once `armFailStopWatch` scheduled an abort. */
+    bool watchArmed_ = false;
+    EventId launchEvent_;
+    EventId abortEvent_;
+    /** Per-chain pending step join / sync event, for abort teardown. */
+    Join *chainJoin_[2] = {nullptr, nullptr};
+    EventId chainSync_[2];
+    /** Every flow this op started (only tracked when watch armed). */
+    std::vector<FlowId> startedFlows_;
 };
 
 /**
@@ -247,18 +375,42 @@ class ShardCollectiveOp : public RingOpBase
   public:
     ShardCollectiveOp(Cluster &cluster, const Ring &ring, Bytes shard,
                       double dst_hbm_demand, int lane, const char *name,
-                      CommDone done)
+                      CommDone done, CommFail fail = nullptr)
         : RingOpBase(cluster, ring, lane, name, std::move(done)),
           shard_(shard), dstHbmDemand_(dst_hbm_demand)
     {
+        fail_ = std::move(fail);
         const int total_steps = ring.size() - 1;
         // Degraded-ring fallback (paper Fig 3 degenerate case): a dead
         // directed link kills its whole chain, so with one surviving
         // orientation the op runs unidirectionally over P-1 steps.
         const bool fwd_ok = chainUsable(cluster, ring, true);
         const bool bwd_ok = chainUsable(cluster, ring, false);
-        if (!fwd_ok && !bwd_ok)
+        if (!fwd_ok && !bwd_ok) {
+            // When the ring is unroutable because of a *kill* and a
+            // recovery handler is installed, surface the typed error
+            // after the detection latency instead of a fatal: the
+            // caller will rebuild the ring around the corpse. A
+            // both-directions capacity window stays fatal (it is a
+            // transient the caller should have waited out).
+            FaultInjector *inj = cluster.faults();
+            if (fail_ && inj && inj->hasKills()) {
+                bool link_killed = false;
+                for (const std::vector<ResourceId> *links :
+                     {&ring.fwd, &ring.bwd})
+                    for (ResourceId id : *links)
+                        if (inj->isKilled(id))
+                            link_killed = true;
+                if (link_killed) {
+                    watchArmed_ = true;
+                    abortEvent_ = cluster.sim().schedule(
+                        cluster.sim().now() + inj->detectionLatency(),
+                        [this] { abortFailStop(); });
+                    return; // nothing launches; abort path owns us
+                }
+            }
             failUnroutable(cluster, ring, name);
+        }
         if (cluster.config().bidirectionalIci && fwd_ok && bwd_ok) {
             stepsPerChain_[0] = (total_steps + 1) / 2;
             stepsPerChain_[1] = total_steps / 2;
@@ -269,6 +421,15 @@ class ShardCollectiveOp : public RingOpBase
         }
         stats_.syncCount = stepsPerChain_[0];
         stats_.bytesPerLink = shard_ * stepsPerChain_[0];
+        // Fail-stop watch over the orientations actually in use (plus
+        // every ring chip's HBM, added by armFailStopWatch itself).
+        if (stepsPerChain_[1] > 0 || chainForward_[0])
+            watchLinks_.insert(watchLinks_.end(), ring.fwd.begin(),
+                               ring.fwd.end());
+        if (stepsPerChain_[1] > 0 || !chainForward_[0])
+            watchLinks_.insert(watchLinks_.end(), ring.bwd.begin(),
+                               ring.bwd.end());
+        armFailStopWatch();
         launch(stepsPerChain_[1] > 0 ? 2 : 1);
     }
 
@@ -442,6 +603,109 @@ ringReduceScatter(Cluster &cluster, const Ring &ring, Bytes shard_bytes,
     // the doubled destination-HBM demand.
     new ShardCollectiveOp(cluster, ring, shard_bytes, 2.0, lane,
                           "reducescatter", std::move(done));
+}
+
+void
+ringAllGatherRecoverable(Cluster &cluster, const Ring &ring,
+                         Bytes shard_bytes, int lane, CommDone done,
+                         CommFail fail)
+{
+    if (ring.size() <= 1 || shard_bytes <= 0) {
+        completeEmpty(cluster, std::move(done));
+        return;
+    }
+    new ShardCollectiveOp(cluster, ring, shard_bytes, 1.0, lane,
+                          "allgather", std::move(done), std::move(fail));
+}
+
+void
+ringReduceScatterRecoverable(Cluster &cluster, const Ring &ring,
+                             Bytes shard_bytes, int lane, CommDone done,
+                             CommFail fail)
+{
+    if (ring.size() <= 1 || shard_bytes <= 0) {
+        completeEmpty(cluster, std::move(done));
+        return;
+    }
+    new ShardCollectiveOp(cluster, ring, shard_bytes, 2.0, lane,
+                          "reducescatter", std::move(done),
+                          std::move(fail));
+}
+
+namespace {
+
+void
+startShardCollective(Cluster &cluster, RingCollectiveKind kind,
+                     const Ring &ring, Bytes shard_bytes, int lane,
+                     CommDone done, CommFail fail)
+{
+    if (kind == RingCollectiveKind::kAllGather)
+        ringAllGatherRecoverable(cluster, ring, shard_bytes, lane,
+                                 std::move(done), std::move(fail));
+    else
+        ringReduceScatterRecoverable(cluster, ring, shard_bytes, lane,
+                                     std::move(done), std::move(fail));
+}
+
+} // namespace
+
+void
+runRecoverableCollective(TorusMesh &mesh, RingCollectiveKind kind,
+                         bool row_ring, int index, Bytes shard_bytes,
+                         int lane, RecoveryDone done)
+{
+    TorusMesh *mesh_p = &mesh;
+    Cluster &cluster = mesh.cluster();
+    const Time begin = cluster.sim().now();
+
+    CommDone first_ok = [mesh_p, begin, done](const CommStats &stats) {
+        RecoveryOutcome out;
+        out.stats = stats;
+        out.totalTime = mesh_p->cluster().sim().now() - begin;
+        done(out);
+    };
+    CommFail first_fail = [mesh_p, kind, row_ring, index, shard_bytes,
+                           lane, begin, done](const CollectiveError &err) {
+        Cluster &cl = mesh_p->cluster();
+        if (err.deadRingPos < 0)
+            panic("runRecoverableCollective: error without a ring "
+                  "position to evict");
+        StatsRegistry &st = cl.stats();
+        if (st.enabled())
+            st.add("collective/" + err.op + "/retry", 1.0);
+        // Rebuild the ring around the corpse: the surviving chips keep
+        // their direct links, the hop through the dead chip becomes a
+        // store-and-forward detour (rowRingWithout/colRingWithout).
+        Ring rebuilt =
+            row_ring ? mesh_p->rowRingWithout(index, err.deadRingPos)
+                     : mesh_p->colRingWithout(index, err.deadRingPos);
+        CommDone retry_ok = [mesh_p, begin, err,
+                             done](const CommStats &stats) {
+            RecoveryOutcome out;
+            out.stats = stats;
+            out.retried = true;
+            out.error = err;
+            out.totalTime = mesh_p->cluster().sim().now() - begin;
+            done(out);
+        };
+        // One retry is the recovery budget: a second fail-stop during
+        // the retry means the survivor set changed again mid-recovery,
+        // which is checkpoint-restart territory, not ring surgery.
+        CommFail retry_fail = [](const CollectiveError &err2) {
+            fatal("%s: retry on the rebuilt ring also hit a dead "
+                  "resource (%s, detected at %g s) — one retry is the "
+                  "recovery budget; restart from the last checkpoint "
+                  "on the surviving mesh",
+                  err2.op.c_str(), err2.deadResource.c_str(),
+                  err2.detectedAt);
+        };
+        startShardCollective(cl, kind, rebuilt, shard_bytes, lane,
+                             std::move(retry_ok), std::move(retry_fail));
+    };
+
+    const Ring &ring = row_ring ? mesh.rowRing(index) : mesh.colRing(index);
+    startShardCollective(cluster, kind, ring, shard_bytes, lane,
+                         std::move(first_ok), std::move(first_fail));
 }
 
 void

@@ -23,6 +23,7 @@
 #define MESHSLICE_NET_COLLECTIVES_HPP_
 
 #include <functional>
+#include <string>
 
 #include "hw/cluster.hpp"
 #include "net/topology.hpp"
@@ -51,6 +52,35 @@ struct CommStats
 };
 
 using CommDone = std::function<void(const CommStats &)>;
+
+/**
+ * Typed description of a fail-stop failure a collective ran into: a
+ * chip or link in its ring was **killed** (permanent failure from the
+ * fault scenario) and the op aborted after the scenario's detection
+ * latency instead of completing. Carries everything a recovery layer
+ * needs to rebuild the ring and retry.
+ */
+struct CollectiveError
+{
+    /** Collective that aborted ("allgather", "reducescatter", ...). */
+    std::string op;
+    /** Name of the dead resource ("chip5.hbm", "link.E.b0.r1.c2"). */
+    std::string deadResource;
+    /** Dead chip id, or -1 when only a link died. */
+    int deadChip = -1;
+    /**
+     * Ring position to evict for the retry: pass it to
+     * `TorusMesh::rowRingWithout` / `colRingWithout` as the failed
+     * column / row. Always >= 0 for errors surfaced by the
+     * recoverable collectives.
+     */
+    int deadRingPos = -1;
+    /** Simulated time the failure was detected (kill + detection). */
+    Time detectedAt = 0.0;
+};
+
+/** Failure continuation of a recoverable collective. */
+using CommFail = std::function<void(const CollectiveError &)>;
 
 /**
  * AllGather on @p ring: every chip contributes @p shard_bytes and ends
@@ -95,6 +125,67 @@ void ringAllReduce(Cluster &cluster, const Ring &ring, Bytes total_bytes,
  */
 void ringShift(Cluster &cluster, const Ring &ring, Bytes block_bytes,
                bool forward, int lane, CommDone done);
+
+/**
+ * Fail-stop-aware AllGather: like `ringAllGather`, but when the fault
+ * scenario **kills** a chip or link the op depends on, the op aborts
+ * `detectionLatency` seconds after the kill — cancelling its in-flight
+ * transfers and pending steps — and reports a `CollectiveError`
+ * through @p fail instead of stranding flows until the watchdog. With
+ * a null @p fail (or a scenario without kills) behaviour is identical
+ * to `ringAllGather`, including bit-identical event sequences.
+ */
+void ringAllGatherRecoverable(Cluster &cluster, const Ring &ring,
+                              Bytes shard_bytes, int lane, CommDone done,
+                              CommFail fail);
+
+/** Fail-stop-aware ReduceScatter (see `ringAllGatherRecoverable`). */
+void ringReduceScatterRecoverable(Cluster &cluster, const Ring &ring,
+                                  Bytes shard_bytes, int lane,
+                                  CommDone done, CommFail fail);
+
+/** Which shard collective `runRecoverableCollective` should run. */
+enum class RingCollectiveKind
+{
+    kAllGather,
+    kReduceScatter,
+};
+
+/** Result of `runRecoverableCollective`: stats of the attempt that
+ *  succeeded, plus the failure (if any) that forced the retry. */
+struct RecoveryOutcome
+{
+    /** Stats of the successful attempt (the retry's, if it retried). */
+    CommStats stats;
+    /** True when the first attempt aborted and the op re-ran on a
+     *  ring rebuilt around the dead chip. */
+    bool retried = false;
+    /** The error of the aborted first attempt (valid iff `retried`). */
+    CollectiveError error;
+    /** Wall-clock from the first launch to final completion — includes
+     *  the failed attempt, the detection latency, and the retry. */
+    Time totalTime = 0.0;
+};
+
+using RecoveryDone = std::function<void(const RecoveryOutcome &)>;
+
+/**
+ * Timeout/retry state machine around a recoverable shard collective
+ * (the runtime's fail-stop recovery protocol):
+ *
+ *   attempt #1 on the mesh's row/col ring
+ *     └─ CollectiveError after the detection timeout
+ *          └─ rebuild the ring without the dead position
+ *             (`rowRingWithout` / `colRingWithout` detour rings)
+ *               └─ attempt #2 — a second failure is fatal (named
+ *                  resource), matching "retry once" semantics.
+ *
+ * @p row_ring selects `mesh.rowRing(index)` vs `mesh.colRing(index)`.
+ * @p mesh must outlive the completion (rings are rebuilt through it).
+ */
+void runRecoverableCollective(TorusMesh &mesh, RingCollectiveKind kind,
+                              bool row_ring, int index, Bytes shard_bytes,
+                              int lane, RecoveryDone done);
 
 /**
  * Number of synchronized steps an AG/RdS performs on a P-ring under the

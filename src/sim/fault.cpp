@@ -1,5 +1,6 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -353,7 +354,11 @@ validateWindow(double factor, Time start, Time duration, const char *what,
 bool
 FaultScenario::empty() const
 {
-    return maxLaunchJitter == 0.0 && faults.empty() && stragglers.empty();
+    // `detectionLatency` is deliberately not consulted: with no kills
+    // it is inert, and a scenario that perturbs nothing must stay
+    // bit-identical to running with no injector at all.
+    return maxLaunchJitter == 0.0 && faults.empty() && stragglers.empty() &&
+           kills.empty();
 }
 
 std::string
@@ -384,7 +389,17 @@ FaultScenario::toJson() const
             << ", \"start_s\": " << jsonNumber(s.start)
             << ", \"duration_s\": " << jsonNumber(s.duration) << "}";
     }
-    out << (stragglers.empty() ? "]" : "\n  ]") << "\n";
+    out << (stragglers.empty() ? "]" : "\n  ]") << ",\n";
+    out << "  \"kills\": [";
+    for (size_t i = 0; i < kills.size(); ++i) {
+        const KillFault &k = kills[i];
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"pattern\": " << jsonString(k.pattern)
+            << ", \"at_s\": " << jsonNumber(k.at) << "}";
+    }
+    out << (kills.empty() ? "]" : "\n  ]") << ",\n";
+    out << "  \"detection_latency_s\": " << jsonNumber(detectionLatency)
+        << "\n";
     out << "}\n";
     return out.str();
 }
@@ -398,7 +413,8 @@ FaultScenario::fromJson(const std::string &text, const std::string &context)
         fatal("FaultScenario: top-level JSON value in %s must be an object",
               context.c_str());
     rejectUnknownKeys(root,
-                      {"seed", "max_launch_jitter_s", "faults", "stragglers"},
+                      {"seed", "max_launch_jitter_s", "faults", "stragglers",
+                       "kills", "detection_latency_s"},
                       "the scenario", context);
 
     FaultScenario scenario;
@@ -470,6 +486,71 @@ FaultScenario::fromJson(const std::string &text, const std::string &context)
             scenario.stragglers.push_back(s);
         }
     }
+
+    if (const JsonValue *arr = root.find("kills")) {
+        if (arr->kind != JsonValue::kArray)
+            fatal("FaultScenario: \"kills\" must be an array in %s",
+                  context.c_str());
+        for (const JsonValue &entry : arr->arr) {
+            if (entry.kind != JsonValue::kObject)
+                fatal("FaultScenario: every entry of \"kills\" must be "
+                      "an object in %s", context.c_str());
+            rejectUnknownKeys(entry, {"pattern", "at_s"}, "a kill entry",
+                              context);
+            KillFault k;
+            k.pattern = requireString(entry, "pattern", context);
+            k.at = requireNumber(entry, "at_s", 0.0, context);
+            if (k.pattern.empty())
+                fatal("FaultScenario: kill pattern must be non-empty "
+                      "in %s", context.c_str());
+            if (!(k.at >= 0.0) || !std::isfinite(k.at))
+                fatal("FaultScenario: kill \"%s\" has negative or "
+                      "non-finite at_s %g in %s", k.pattern.c_str(), k.at,
+                      context.c_str());
+            scenario.kills.push_back(std::move(k));
+        }
+    }
+
+    scenario.detectionLatency =
+        requireNumber(root, "detection_latency_s",
+                      scenario.detectionLatency, context);
+    if (scenario.detectionLatency < 0.0 ||
+        !std::isfinite(scenario.detectionLatency))
+        fatal("FaultScenario: \"detection_latency_s\" must be finite and "
+              ">= 0 in %s", context.c_str());
+
+    // A kill and a capacity window aimed at (an overlapping set of)
+    // resources with intersecting times is almost certainly a scenario
+    // bug: the capacity window used to silently multiply into the dead
+    // resource's factor, which makes the "robust" numbers meaningless.
+    // Patterns are substring matches, so two patterns can hit the same
+    // resource only if one contains the other.
+    for (size_t ki = 0; ki < scenario.kills.size(); ++ki) {
+        const KillFault &k = scenario.kills[ki];
+        for (size_t fi = 0; fi < scenario.faults.size(); ++fi) {
+            const CapacityFault &f = scenario.faults[fi];
+            const bool patterns_collide =
+                k.pattern.find(f.pattern) != std::string::npos ||
+                f.pattern.find(k.pattern) != std::string::npos;
+            if (!patterns_collide)
+                continue;
+            // Kill is active on [at, inf); window on [start, end).
+            const bool times_overlap =
+                f.duration < 0.0 || f.start + f.duration > k.at;
+            if (times_overlap)
+                fatal("FaultScenario: kill #%zu (pattern \"%s\", at %g s) "
+                      "overlaps capacity fault #%zu (pattern \"%s\", "
+                      "window [%g s, %s)) in %s — a capacity window on a "
+                      "killed resource is contradictory; shorten the "
+                      "window or drop the kill",
+                      ki, k.pattern.c_str(), k.at, fi, f.pattern.c_str(),
+                      f.start,
+                      f.duration < 0.0
+                          ? "inf"
+                          : strprintf("%g s", f.start + f.duration).c_str(),
+                      context.c_str());
+        }
+    }
     return scenario;
 }
 
@@ -528,6 +609,52 @@ FaultInjector::arm()
     }
     if (scenario_.maxLaunchJitter < 0.0)
         fatal("FaultInjector: maxLaunchJitter must be >= 0");
+    if (scenario_.detectionLatency < 0.0 ||
+        !std::isfinite(scenario_.detectionLatency))
+        fatal("FaultInjector: detectionLatency must be finite and >= 0");
+
+    // Resolve kills first: the capacity-window `apply` below consults
+    // `killAt_` so a window boundary can never resurrect a corpse.
+    const size_t resource_count = net_.resourceCount();
+    for (const KillFault &k : scenario_.kills) {
+        if (k.pattern.empty())
+            fatal("FaultInjector: kill pattern must be non-empty");
+        if (!(k.at >= 0.0) || !std::isfinite(k.at))
+            fatal("FaultInjector: kill \"%s\" has negative or non-finite "
+                  "time %g", k.pattern.c_str(), k.at);
+        bool matched_kill = false;
+        for (size_t r = 0; r < resource_count; ++r) {
+            const ResourceId id = static_cast<ResourceId>(r);
+            if (net_.resourceName(id).find(k.pattern) == std::string::npos)
+                continue;
+            matched_kill = true;
+            auto [it, inserted] = killAt_.emplace(id, k.at);
+            if (!inserted)
+                it->second = std::min(it->second, k.at); // first kill wins
+        }
+        if (!matched_kill)
+            fatal("FaultInjector: kill pattern \"%s\" matches no "
+                  "resource — check the scenario against the cluster's "
+                  "resource names (chip<i>.core, chip<i>.hbm, "
+                  "link.<dir>...)", k.pattern.c_str());
+    }
+    // Schedule in resource-id order so same-timestamp kills enqueue in
+    // a deterministic sequence (bit-identical replay contract).
+    {
+        std::vector<ResourceId> kill_ids;
+        kill_ids.reserve(killAt_.size());
+        for (const auto &[id, when] : killAt_)
+            kill_ids.push_back(id);
+        std::sort(kill_ids.begin(), kill_ids.end());
+        for (ResourceId id : kill_ids) {
+            const Time when = killAt_.at(id);
+            auto die = [this, id] { net_.setAvailable(id, false); };
+            if (when <= sim_.now())
+                die();
+            else
+                sim_.schedule(when, die);
+        }
+    }
 
     // Per-resource fault lists (a pattern may hit many resources; a
     // resource may be hit by many faults — overlaps multiply).
@@ -575,6 +702,13 @@ FaultInjector::arm()
             local.push_back(*f);
         auto apply = [this, id, local] {
             const Time now = sim_.now();
+            // Kill wins: a window boundary must never resurrect (or
+            // re-rate) a resource that failed permanently.
+            auto kill = killAt_.find(id);
+            if (kill != killAt_.end() && now >= kill->second) {
+                net_.setAvailable(id, false);
+                return;
+            }
             double product = 1.0;
             bool down = false;
             for (const CapacityFault &f : local) {
@@ -603,6 +737,37 @@ FaultInjector::arm()
                 sim_.schedule(when, apply);
         }
     }
+}
+
+bool
+FaultInjector::isKilled(ResourceId id) const
+{
+    auto it = killAt_.find(id);
+    return it != killAt_.end() && sim_.now() >= it->second;
+}
+
+Time
+FaultInjector::killTime(ResourceId id) const
+{
+    auto it = killAt_.find(id);
+    return it == killAt_.end() ? -1.0 : it->second;
+}
+
+Time
+FaultInjector::earliestKillAfter(
+    Time after, const std::vector<ResourceId> &resources) const
+{
+    Time best = -1.0;
+    for (ResourceId id : resources) {
+        auto it = killAt_.find(id);
+        if (it == killAt_.end())
+            continue;
+        // A kill already in effect is still relevant now.
+        const Time t = std::max(it->second, after);
+        if (best < 0.0 || t < best)
+            best = t;
+    }
+    return best;
 }
 
 Time

@@ -60,6 +60,25 @@ struct CapacityFault
 };
 
 /**
+ * A permanent **fail-stop** event: every resource whose name contains
+ * `pattern` goes down at `at` and never comes back. Unlike a
+ * `CapacityFault` with `factor == 0` (a *degradation window* the
+ * simulation waits out), a kill changes the failure semantics: work
+ * routed through a killed resource can never finish, so collectives
+ * must detect the failure (after the scenario's `detectionLatency`),
+ * abort, and retry on a ring rebuilt around the corpse — or the run
+ * is over. `"chip3."` kills chip 3 (core + HBM); `"link.E.b0.r1.c2"`
+ * kills one link direction.
+ */
+struct KillFault
+{
+    /** Substring matched against resource names. */
+    std::string pattern;
+    /** Simulated time of the permanent failure (seconds, >= 0). */
+    Time at = 0.0;
+};
+
+/**
  * A straggler chip: its core and HBM run below nominal for a window.
  * Sugar over two `CapacityFault`s on "chip<i>.core" / "chip<i>.hbm".
  */
@@ -84,6 +103,16 @@ struct FaultScenario
     Time maxLaunchJitter = 0.0;
     std::vector<CapacityFault> faults;
     std::vector<StragglerFault> stragglers;
+    /** Permanent fail-stop events (chips or links that die for good). */
+    std::vector<KillFault> kills;
+    /**
+     * Failure-detection latency: how long after a kill the runtime
+     * *notices* (heartbeat interval + consensus). Collectives touching
+     * a killed resource abort `detectionLatency` seconds after the
+     * kill (or after their launch, if they launch into a corpse).
+     * Inert when `kills` is empty.
+     */
+    Time detectionLatency = 0.5;
 
     /** True when the scenario perturbs nothing at all. */
     bool empty() const;
@@ -140,6 +169,30 @@ class FaultInjector
     /** Number of (resource, window) pairs scheduled by `arm()`. */
     int armedWindowCount() const { return armedWindows_; }
 
+    /** True iff the scenario has at least one kill event. Collectives
+     *  guard all fail-stop bookkeeping behind this so a kill-free run
+     *  stays bit-identical to a run with no injector at all. */
+    bool hasKills() const { return !scenario_.kills.empty(); }
+
+    /** True iff @p id is permanently dead at the current sim time. */
+    bool isKilled(ResourceId id) const;
+
+    /** Kill time of @p id, or a negative value if it is never killed. */
+    Time killTime(ResourceId id) const;
+
+    /**
+     * Earliest kill time `t` with `t >= after` among @p resources
+     * (a kill at or before `after` that already happened also counts:
+     * the failure is *still in effect*, so the earliest relevant time
+     * is `after` itself). Returns a negative value when none of the
+     * resources is ever killed.
+     */
+    Time earliestKillAfter(Time after,
+                           const std::vector<ResourceId> &resources) const;
+
+    /** The scenario's failure-detection latency (seconds). */
+    Time detectionLatency() const { return scenario_.detectionLatency; }
+
   private:
     Simulator &sim_;
     FluidNetwork &net_;
@@ -147,6 +200,8 @@ class FaultInjector
     std::uint64_t rngState_;
     int armedWindows_ = 0;
     bool armed_ = false;
+    /** resource id -> kill time, filled by arm(). */
+    std::unordered_map<ResourceId, Time> killAt_;
 };
 
 } // namespace meshslice

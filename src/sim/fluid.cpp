@@ -153,6 +153,25 @@ FluidNetwork::startFlow(double size, std::vector<Demand> demands,
     return id;
 }
 
+bool
+FluidNetwork::cancelFlow(FlowId id)
+{
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return false;
+    // Settle accounting so the work done before the abort stays
+    // attributed to the correct window, then drop the flow without
+    // invoking its completion callback.
+    advanceResourceAccounting();
+    advanceFlow(it->second);
+    sim_.cancel(it->second.completion);
+    for (const auto &d : it->second.demands)
+        resources_[static_cast<size_t>(d.resource)].activeFlows--;
+    flows_.erase(it);
+    markDirty();
+    return true;
+}
+
 ResourceStats
 FluidNetwork::resourceStats(ResourceId id) const
 {

@@ -148,6 +148,17 @@ class FluidNetwork
 
     bool isActive(FlowId id) const { return flows_.count(id) > 0; }
 
+    /**
+     * Abort an in-flight flow without running its completion callback.
+     * Progress made so far stays attributed to the resources (the
+     * elapsed segment is settled first), the pending completion event
+     * is cancelled, and the flow is removed — this is how a collective
+     * abandons transfers stranded on a chip that failed permanently.
+     * @return false if @p id is unknown or already finished (callers
+     * racing with natural completion need not care).
+     */
+    bool cancelFlow(FlowId id);
+
     size_t activeFlowCount() const { return flows_.size(); }
 
     /** Number of registered resources (ids are [0, resourceCount)). */

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/fault_study.hpp"
+#include "core/recovery_study.hpp"
+#include "gemm/reshard.hpp"
 #include "tuner/search_trace.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -54,6 +56,72 @@ traceRobustPick(Algorithm algo, int chips, const RobustTuneResult &result)
         nominal.plan.rows, nominal.plan.cols,
         jsonNumber(nominal.objective).c_str(),
         result.pickDiffers() ? "true" : "false"));
+}
+
+void
+traceRecoveryEval(Algorithm algo, int chips, const RecoveryCandidate &cand)
+{
+    SearchTrace::global().record(strprintf(
+        "{\"phase\":\"recovery\",\"algo\":%s,\"chips\":%d,\"rows\":%d,"
+        "\"cols\":%d,\"step_s\":%s,\"reshard_s\":%s,"
+        "\"reshard_bytes\":%s,\"tau_opt_s\":%s,\"goodput\":%s,"
+        "\"effective_step_s\":%s}",
+        jsonString(algorithmName(algo)).c_str(), chips, cand.plan.rows,
+        cand.plan.cols, jsonNumber(cand.stepTime).c_str(),
+        jsonNumber(cand.reshardTime).c_str(),
+        jsonNumber(cand.reshardBytes).c_str(),
+        jsonNumber(cand.checkpointInterval).c_str(),
+        jsonNumber(cand.goodput).c_str(),
+        jsonNumber(cand.effectiveStepTime).c_str()));
+}
+
+void
+traceRecoveryPick(Algorithm algo, int chips,
+                  const RecoveryTuneResult &result)
+{
+    const RecoveryCandidate &picked = result.picked();
+    const RecoveryCandidate &nominal = result.nominal();
+    SearchTrace::global().record(strprintf(
+        "{\"phase\":\"recovery_pick\",\"algo\":%s,\"chips\":%d,"
+        "\"rows\":%d,\"cols\":%d,\"effective_step_s\":%s,"
+        "\"nominal_rows\":%d,\"nominal_cols\":%d,"
+        "\"nominal_effective_step_s\":%s,\"pick_differs\":%s}",
+        jsonString(algorithmName(algo)).c_str(), chips, picked.plan.rows,
+        picked.plan.cols, jsonNumber(picked.effectiveStepTime).c_str(),
+        nominal.plan.rows, nominal.plan.cols,
+        jsonNumber(nominal.effectiveStepTime).c_str(),
+        result.pickDiffers() ? "true" : "false"));
+}
+
+/** Expected moved bytes + modeled time of one re-shard orientation
+ *  (retire a row / a column), averaged over the uniformly random
+ *  failed index. */
+struct ReshardEstimate
+{
+    double bytes = 0.0;
+    Time time = -1.0; ///< negative = orientation infeasible
+};
+
+ReshardEstimate
+expectedReshard(const ChipConfig &chip, int rows, int cols,
+                double total_state_bytes, bool retire_row)
+{
+    ReshardEstimate est;
+    const int n = retire_row ? rows : cols;
+    if (n < 2)
+        return est; // no survivor mesh in this orientation
+    double sum = 0.0;
+    for (int f = 0; f < n; ++f) {
+        SurvivorMesh sv;
+        sv.from = MeshShape{rows, cols};
+        (retire_row ? sv.failedRow : sv.failedCol) = f;
+        sum += reshardBytesModel(total_state_bytes, sv);
+    }
+    est.bytes = sum / static_cast<double>(n);
+    const int survivors =
+        retire_row ? (rows - 1) * cols : rows * (cols - 1);
+    est.time = reshardTimeModel(chip, est.bytes, survivors);
+    return est;
 }
 
 } // namespace
@@ -172,6 +240,87 @@ tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
 
     if (SearchTrace::global().enabled())
         traceRobustPick(algo, chips, result);
+    return result;
+}
+
+RecoveryTuneResult
+tuneWithRecovery(const LlmAutotuner &tuner, Algorithm algo,
+                 const TransformerConfig &model, const TrainingConfig &train,
+                 int chips, const RecoveryTuneConfig &cfg,
+                 bool optimize_dataflow)
+{
+    if (cfg.topK <= 0)
+        fatal("tuneWithRecovery: topK must be positive (got %d)",
+              cfg.topK);
+    if (!(cfg.chipMtbf > 0.0))
+        fatal("tuneWithRecovery: chipMtbf must be positive (got %g s) — "
+              "recovery-aware tuning prices failures, so a failure rate "
+              "is required", cfg.chipMtbf);
+    if (cfg.checkpointBytesPerChip <= 0)
+        fatal("tuneWithRecovery: checkpointBytesPerChip must be positive "
+              "(got %lld) — the checkpoint write cost anchors the "
+              "Young-Daly interval",
+              static_cast<long long>(cfg.checkpointBytesPerChip));
+
+    const std::vector<AutotuneResult> shortlist = tuner.rankShapes(
+        algo, model, train, chips, cfg.topK, optimize_dataflow);
+    const ChipConfig &chip = tuner.cost().chip();
+    const double total_state =
+        static_cast<double>(cfg.checkpointBytesPerChip) *
+        static_cast<double>(chips);
+
+    RecoveryTuneResult result;
+    for (const AutotuneResult &plan : shortlist) {
+        RecoveryCandidate cand;
+        cand.plan = plan;
+        cand.stepTime = plan.blockFcTime;
+
+        // Cheapest orientation of the single-failure re-shard: the
+        // recovery controller picks row vs column retirement after
+        // seeing the failure, so the tuner charges the better of the
+        // two expectations.
+        const ReshardEstimate by_row =
+            expectedReshard(chip, plan.rows, plan.cols, total_state, true);
+        const ReshardEstimate by_col =
+            expectedReshard(chip, plan.rows, plan.cols, total_state, false);
+        const ReshardEstimate *best = nullptr;
+        if (by_row.time >= 0.0)
+            best = &by_row;
+        if (by_col.time >= 0.0 && (!best || by_col.time < best->time))
+            best = &by_col;
+        if (!best)
+            fatal("tuneWithRecovery: a %dx%d mesh has no survivor mesh "
+                  "to re-shard onto after a failure", plan.rows,
+                  plan.cols);
+        cand.reshardBytes = best->bytes;
+        cand.reshardTime = best->time;
+
+        TrainingRunModel run;
+        run.checkpointBytesPerChip = cfg.checkpointBytesPerChip;
+        run.chipMtbf = cfg.chipMtbf;
+        run.chips = chips;
+        run.detectionLatency = cfg.detectionLatency;
+        run.restartTime = cfg.restartTime;
+        run.reshardTime = best->time;
+        const TrainingGoodput g = evaluateTrainingRun(chip, run);
+        cand.checkpointInterval = g.optimalInterval;
+        cand.goodput = g.goodput;
+        cand.effectiveStepTime = cand.stepTime / cand.goodput;
+        if (SearchTrace::global().enabled())
+            traceRecoveryEval(algo, chips, cand);
+        result.candidates.push_back(std::move(cand));
+    }
+
+    // Argmin of the joint objective; strict improvement is required to
+    // move off the nominal pick, so a tie keeps the fault-free optimum.
+    for (size_t i = 1; i < result.candidates.size(); ++i)
+        if (result.candidates[i].effectiveStepTime <
+            result.candidates[static_cast<size_t>(result.pickedIndex)]
+                .effectiveStepTime)
+            result.pickedIndex = static_cast<int>(i);
+
+    if (SearchTrace::global().enabled())
+        traceRecoveryPick(algo, chips, result);
     return result;
 }
 

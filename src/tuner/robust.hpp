@@ -120,6 +120,78 @@ RobustTuneResult tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
 /** The objective: @p q-quantile of @p times (1.0 = max). */
 Time robustObjective(std::vector<Time> times, double q);
 
+/**
+ * Knobs of recovery-aware tuning: solve the Young–Daly checkpoint
+ * interval *jointly* with the mesh shape. The nominal tuner ranks
+ * shapes by fault-free step time; at scale the tiebreaker is recovery
+ * economics — a shape with a slightly worse step time can win because
+ * its single-failure re-shard is cheaper (less state changes owner
+ * when a row/column is retired), which shrinks per-failure downtime
+ * and lifts goodput.
+ */
+struct RecoveryTuneConfig
+{
+    /** Per-chip MTBF (seconds), required > 0. */
+    Time chipMtbf = 0.0;
+    /** Checkpoint state per chip (weights + optimizer shards), > 0. */
+    Bytes checkpointBytesPerChip = 0;
+    /** Failure-detection latency (heartbeat + consensus). */
+    Time detectionLatency = 0.5;
+    /** Job restart overhead (scheduler + binary + checkpoint read). */
+    Time restartTime = 60.0;
+    /** Phase-2 candidates re-ranked by recovery economics. */
+    int topK = 3;
+};
+
+/** One shortlisted candidate's recovery evaluation. */
+struct RecoveryCandidate
+{
+    AutotuneResult plan;    ///< shape + tuned slice counts
+    Time stepTime = 0.0;    ///< nominal (fault-free) block FC time
+    Time reshardTime = 0.0; ///< cheapest expected single-failure re-shard
+    /** Modeled bytes changing owner in that re-shard (expectation over
+     *  the uniformly random failed row/column). */
+    double reshardBytes = 0.0;
+    Time checkpointInterval = 0.0; ///< Young–Daly τ* for this shape
+    double goodput = 0.0;          ///< g(τ*) at this shape's downtime
+    /** The joint objective: stepTime / goodput — wall-clock seconds
+     *  per useful step second once failures are priced in. */
+    Time effectiveStepTime = 0.0;
+};
+
+/** Recovery-aware tuning outcome. */
+struct RecoveryTuneResult
+{
+    /** Candidates in nominal rank order (entry 0 = nominal pick). */
+    std::vector<RecoveryCandidate> candidates;
+    /** Index (into `candidates`) of the recovery-aware pick. */
+    int pickedIndex = 0;
+
+    const RecoveryCandidate &picked() const
+    {
+        return candidates.at(static_cast<size_t>(pickedIndex));
+    }
+    const RecoveryCandidate &nominal() const { return candidates.at(0); }
+
+    /** True when recovery economics changed the decision. */
+    bool pickDiffers() const { return pickedIndex != 0; }
+};
+
+/**
+ * Shortlist `cfg.topK` shapes with @p tuner, price each one's
+ * checkpoint/restart economics (C from the chip's host-DMA bandwidth,
+ * M = chipMtbf / chips, D = detection + restart + that shape's
+ * expected re-shard), solve τ* per shape, and pick the minimum
+ * `effectiveStepTime`. Candidate and pick records are emitted through
+ * `SearchTrace` as `"phase":"recovery"` / `"phase":"recovery_pick"`.
+ */
+RecoveryTuneResult tuneWithRecovery(const LlmAutotuner &tuner,
+                                    Algorithm algo,
+                                    const TransformerConfig &model,
+                                    const TrainingConfig &train, int chips,
+                                    const RecoveryTuneConfig &cfg,
+                                    bool optimize_dataflow = true);
+
 } // namespace meshslice
 
 #endif // MESHSLICE_TUNER_ROBUST_HPP_

@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Tests of the fail-stop recovery subsystem: elastic re-shard
+ * correctness against hand-computed byte counts and a single-chip
+ * GeMM reference, the continuous-vs-discrete traffic model identity,
+ * the Young–Daly goodput model against a grid optimum, the collective
+ * timeout → abort → rebuild → retry transaction (including the
+ * bit-identical fault-free contract and thread-count invariance),
+ * kill-scenario JSON round-trip, the timing-vs-functional dead-link
+ * cross-check, and the death-test audit of every unrecoverable path
+ * (each fatal must name the dead resource or the broken invariant).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/recovery_study.hpp"
+#include "gemm/functional_gemm.hpp"
+#include "gemm/reshard.hpp"
+#include "gemm/ring_collectives.hpp"
+#include "net/collectives.hpp"
+#include "net/topology.hpp"
+#include "sim/fault.hpp"
+#include "util/parallel.hpp"
+
+namespace meshslice {
+namespace {
+
+constexpr double kTol = 2e-3; // float accumulation-order slack
+
+/** Round numbers for hand-checkable cost arithmetic (matches
+ *  test_collectives.cpp / test_fault.cpp). */
+ChipConfig
+simpleConfig()
+{
+    ChipConfig cfg;
+    cfg.iciLinkBandwidth = 100.0; // 100 B/s
+    cfg.hbmBandwidth = 1e9;       // never the bottleneck here
+    cfg.syncLatency = 1.0;        // 1 s
+    cfg.launchOverhead = 10.0;    // 10 s
+    cfg.bidirectionalIci = false;
+    return cfg;
+}
+
+/** Ring fixture with an optional armed fault scenario (the
+ *  test_fault.cpp idiom). */
+struct FaultedRing
+{
+    FaultedRing(const ChipConfig &cfg, int chips,
+                const FaultScenario &scenario)
+        : cluster(cfg, chips), net(cluster),
+          injector(cluster.sim(), cluster.net(), scenario)
+    {
+        injector.arm();
+        cluster.attachFaults(&injector);
+    }
+
+    CommStats
+    run(std::function<void(CommDone)> op)
+    {
+        CommStats out;
+        bool done = false;
+        op([&](const CommStats &stats) {
+            out = stats;
+            done = true;
+        });
+        cluster.sim().run();
+        EXPECT_TRUE(done);
+        return out;
+    }
+
+    Cluster cluster;
+    RingNetwork net;
+    FaultInjector injector;
+};
+
+// ---------------------------------------------------------------------
+// Elastic re-shard: hand-computed traffic.
+
+TEST(Reshard, RetireRowOf4x4HandComputedBytes)
+{
+    // 24x8 float32 matrix (768 B) on a 4x4 mesh, row 1 retired.
+    // Columns are untouched (both meshes cut 4 column blocks). Rows:
+    // old blocks of 6 {0:0-5, 1:6-11, 2:12-17, 3:18-23}, new blocks
+    // of 8 {0:0-7, 1:8-15, 2:16-23}; survivors renumber 0->0, 2->1,
+    // 3->2. Rows 6-11 (dead owner) and 16-17 (survivor 1's block but
+    // new owner 2) move: 8 of 24 rows = 1/3 of 768 B.
+    SurvivorMesh sv;
+    sv.from = {4, 4};
+    sv.failedRow = 1;
+    const ReshardPlan plan = planReshard(24, 8, 4, sv);
+    EXPECT_EQ(plan.to.rows, 3);
+    EXPECT_EQ(plan.to.cols, 4);
+    EXPECT_EQ(plan.totalBytes, 256);
+    EXPECT_EQ(plan.localBytes, 512);
+    Bytes sum = 0;
+    for (const ReshardMove &mv : plan.moves) {
+        EXPECT_NE(mv.srcChip, mv.dstChip);
+        EXPECT_GT(mv.bytes, 0);
+        sum += mv.bytes;
+    }
+    EXPECT_EQ(sum, plan.totalBytes);
+    // The continuous model agrees exactly when dims divide evenly.
+    EXPECT_NEAR(reshardBytesModel(768.0, sv), 256.0, 1e-9);
+}
+
+TEST(Reshard, RetireColOf4x4HandComputedBytes)
+{
+    // The transposed case: 8x24 matrix, column 1 retired. Same
+    // arithmetic along the column axis: 8 of 24 columns move.
+    SurvivorMesh sv;
+    sv.from = {4, 4};
+    sv.failedCol = 1;
+    const ReshardPlan plan = planReshard(8, 24, 4, sv);
+    EXPECT_EQ(plan.to.rows, 4);
+    EXPECT_EQ(plan.to.cols, 3);
+    EXPECT_EQ(plan.totalBytes, 256);
+    EXPECT_EQ(plan.localBytes, 512);
+    EXPECT_NEAR(reshardBytesModel(768.0, sv), 256.0, 1e-9);
+}
+
+TEST(Reshard, RetireColOf2x8HandComputedBytes)
+{
+    // 4x56 matrix (896 B) on a 2x8 mesh, column 3 retired. Old column
+    // blocks of 7, new blocks of 8; walking the 56 columns, 16 change
+    // owner (columns 7, 14-15, 21-27, 32-34, 40-41, 48): 2/7 of 896.
+    SurvivorMesh sv;
+    sv.from = {2, 8};
+    sv.failedCol = 3;
+    const ReshardPlan plan = planReshard(4, 56, 4, sv);
+    EXPECT_EQ(plan.to.rows, 2);
+    EXPECT_EQ(plan.to.cols, 7);
+    EXPECT_EQ(plan.totalBytes, 256);
+    EXPECT_EQ(plan.localBytes, 640);
+    EXPECT_NEAR(reshardBytesModel(896.0, sv), 256.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Elastic re-shard: functional correctness.
+
+struct ReshardCase
+{
+    MeshShape from;
+    int failedRow;
+    int failedCol;
+    std::int64_t dims; // square global matrices, divisible by both meshes
+};
+
+const ReshardCase kReshardCases[] = {
+    {{4, 4}, 1, -1, 48},  // 4x4 -> 3x4
+    {{4, 4}, -1, 1, 48},  // 4x4 -> 4x3
+    {{2, 8}, -1, 3, 56},  // 2x8 -> 2x7
+};
+
+TEST(Reshard, FunctionalReshardPreservesEveryElement)
+{
+    for (const ReshardCase &c : kReshardCases) {
+        SurvivorMesh sv;
+        sv.from = c.from;
+        sv.failedRow = c.failedRow;
+        sv.failedCol = c.failedCol;
+        const Matrix full = Matrix::random(c.dims, c.dims, 11);
+        const DistMatrix after =
+            reshard(DistMatrix::scatter(full, c.from), sv);
+        EXPECT_EQ(after.mesh().rows, sv.to().rows);
+        EXPECT_EQ(after.mesh().cols, sv.to().cols);
+        const Matrix round = after.gather();
+        ASSERT_EQ(round.rows(), full.rows());
+        ASSERT_EQ(round.cols(), full.cols());
+        // Pure data movement: bit-exact, not approximately equal.
+        EXPECT_EQ(round.maxAbsDiff(full), 0.0)
+            << c.from.rows << "x" << c.from.cols;
+    }
+}
+
+TEST(Reshard, GemmOnSurvivorMeshMatchesReference)
+{
+    // The whole point of re-sharding: after redistribution the
+    // survivor mesh must still compute the right product.
+    for (const ReshardCase &c : kReshardCases) {
+        SurvivorMesh sv;
+        sv.from = c.from;
+        sv.failedRow = c.failedRow;
+        sv.failedCol = c.failedCol;
+        const std::int64_t d = c.dims;
+        const Matrix a = Matrix::random(d, d, 21);
+        const Matrix b = Matrix::random(d, d, 22);
+        const Matrix ref = Matrix::gemm(a, b);
+        const DistMatrix a2 = reshard(DistMatrix::scatter(a, c.from), sv);
+        const DistMatrix b2 = reshard(DistMatrix::scatter(b, c.from), sv);
+        const DistMatrix prod = funcMeshSliceOS(a2, b2, 2, 2);
+        EXPECT_TRUE(prod.gather().allClose(ref, kTol))
+            << "max diff " << prod.gather().maxAbsDiff(ref) << " on "
+            << sv.to().rows << "x" << sv.to().cols;
+    }
+}
+
+TEST(Reshard, ContinuousModelMatchesDiscretePlanAcrossShapes)
+{
+    // Whenever the dimensions divide both meshes the measure-theoretic
+    // form must equal the enumerated plan exactly — the tuner's
+    // closed-form sweeps depend on this identity.
+    for (const ReshardCase &c : kReshardCases) {
+        SurvivorMesh sv;
+        sv.from = c.from;
+        sv.failedRow = c.failedRow;
+        sv.failedCol = c.failedCol;
+        const int e = 4;
+        const ReshardPlan plan = planReshard(c.dims, c.dims, e, sv);
+        const double total =
+            static_cast<double>(c.dims) * c.dims * e;
+        EXPECT_NEAR(reshardBytesModel(total, sv),
+                    static_cast<double>(plan.totalBytes),
+                    1e-9 * total + 1e-9);
+    }
+}
+
+TEST(Reshard, TimeModelIsFiniteAndOrdered)
+{
+    const ChipConfig cfg = tpuV4Config();
+    SurvivorMesh sv;
+    sv.from = {4, 4};
+    sv.failedRow = 1;
+    const ReshardPlan plan = planReshard(48, 48, 4, sv);
+    const Time exact = reshardTime(cfg, plan);
+    const Time modeled = reshardTimeModel(
+        cfg, static_cast<double>(plan.totalBytes), sv.to().chips());
+    EXPECT_GT(exact, 0.0);
+    EXPECT_GT(modeled, 0.0);
+    // The balanced approximation can only be optimistic relative to
+    // the bottleneck-chip form.
+    EXPECT_LE(modeled, exact + 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restart goodput: Young–Daly against a grid optimum.
+
+TEST(RecoveryStudy, YoungDalyMatchesGridOptimum)
+{
+    GoodputModel m;
+    m.checkpointWrite = 100.0;
+    m.mtbf = 86400.0;
+    m.downtime = 120.0;
+    const Time closed = youngDalyInterval(m);
+    // sqrt(C^2 + 2C(M+D)) by hand.
+    EXPECT_NEAR(closed,
+                std::sqrt(100.0 * 100.0 +
+                          2.0 * 100.0 * (86400.0 + 120.0)),
+                1e-9);
+    // Dense log-grid over [closed/32, closed*32]: the argmax must sit
+    // within one grid step of the closed form.
+    const int points = 4000;
+    Time best_tau = 0.0;
+    double best_g = -1.0;
+    for (int i = 0; i < points; ++i) {
+        const double frac = static_cast<double>(i) / (points - 1);
+        const Time tau =
+            closed / 32.0 * std::pow(32.0 * 32.0, frac);
+        const double g = goodputAt(m, tau);
+        if (g > best_g) {
+            best_g = g;
+            best_tau = tau;
+        }
+    }
+    const double step = std::pow(32.0 * 32.0, 1.0 / (points - 1));
+    EXPECT_LT(best_tau / closed, step * 1.0000001);
+    EXPECT_GT(best_tau / closed, 1.0 / step / 1.0000001);
+    // And the closed form is at least as good as its neighbourhood.
+    EXPECT_GE(goodputAt(m, closed) + 1e-12, goodputAt(m, closed * 0.9));
+    EXPECT_GE(goodputAt(m, closed) + 1e-12, goodputAt(m, closed * 1.1));
+}
+
+TEST(RecoveryStudy, GoodputMonotoneNonIncreasingAsMtbfShrinks)
+{
+    const ChipConfig cfg = tpuV4Config();
+    TrainingRunModel run;
+    run.checkpointBytesPerChip = GiB(4);
+    run.chips = 64;
+    run.restartTime = 60.0;
+    run.reshardTime = 2.0;
+    double prev = 1.0;
+    for (const double mtbf_days : {512.0, 128.0, 32.0, 8.0, 2.0, 0.5}) {
+        run.chipMtbf = mtbf_days * 86400.0;
+        const TrainingGoodput g = evaluateTrainingRun(cfg, run);
+        EXPECT_GT(g.goodput, 0.0);
+        EXPECT_LT(g.goodput, 1.0);
+        EXPECT_LE(g.goodput, prev * (1.0 + 1e-12)) << mtbf_days;
+        EXPECT_NEAR(g.jobMtbf, run.chipMtbf / run.chips, 1e-6);
+        prev = g.goodput;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collective timeout -> abort -> rebuild -> retry.
+
+FaultScenario
+killChipScenario(int chip, Time at = 1e-4)
+{
+    FaultScenario s;
+    s.kills.push_back(KillFault{
+        "chip" + std::to_string(chip) + ".hbm", at});
+    s.detectionLatency = 0.5;
+    return s;
+}
+
+TEST(RecoveryStudy, KilledChipTriggersExactlyOneRetry)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const FaultScenario kill = killChipScenario(1);
+    const CollectiveRecoveryResult nominal =
+        runCollectiveRecovery(cfg, 2, 4, MiB(8), nullptr);
+    const CollectiveRecoveryResult recovered =
+        runCollectiveRecovery(cfg, 2, 4, MiB(8), &kill);
+    EXPECT_FALSE(nominal.retried);
+    ASSERT_TRUE(recovered.retried);
+    EXPECT_EQ(recovered.error.deadChip, 1);
+    EXPECT_EQ(recovered.error.deadResource, "chip1.hbm");
+    EXPECT_GE(recovered.error.detectedAt,
+              kill.kills[0].at + kill.detectionLatency - 1e-12);
+    // The transaction pays at least the detection latency on top of a
+    // fault-free run.
+    EXPECT_GT(recovered.totalTime,
+              nominal.totalTime + kill.detectionLatency - 1e-12);
+}
+
+TEST(RecoveryStudy, FaultFreeRecoveryRunIsBitIdentical)
+{
+    // nullptr scenario, an armed-but-empty scenario, and a replay must
+    // agree on the full (events, final time, stats JSON) triple.
+    const ChipConfig cfg = tpuV4Config();
+    const FaultScenario empty;
+    ASSERT_TRUE(empty.empty());
+    const CollectiveRecoveryResult none =
+        runCollectiveRecovery(cfg, 4, 4, MiB(8), nullptr);
+    const CollectiveRecoveryResult with =
+        runCollectiveRecovery(cfg, 4, 4, MiB(8), &empty);
+    const CollectiveRecoveryResult replay =
+        runCollectiveRecovery(cfg, 4, 4, MiB(8), nullptr);
+    EXPECT_EQ(none.finalTime, with.finalTime);
+    EXPECT_EQ(none.eventsProcessed, with.eventsProcessed);
+    EXPECT_EQ(none.statsJson, with.statsJson);
+    EXPECT_EQ(none.finalTime, replay.finalTime);
+    EXPECT_EQ(none.eventsProcessed, replay.eventsProcessed);
+    EXPECT_EQ(none.statsJson, replay.statsJson);
+}
+
+TEST(RecoveryStudy, RecoveryRunInvariantUnderThreadCount)
+{
+    // The recovery simulation is a single event queue; the worker pool
+    // must not be able to perturb it (MESHSLICE_THREADS=1 vs 8).
+    const ChipConfig cfg = tpuV4Config();
+    const FaultScenario kill = killChipScenario(2);
+    ThreadPool::setGlobalThreads(1);
+    const CollectiveRecoveryResult serial =
+        runCollectiveRecovery(cfg, 2, 4, MiB(8), &kill);
+    ThreadPool::setGlobalThreads(8);
+    const CollectiveRecoveryResult threaded =
+        runCollectiveRecovery(cfg, 2, 4, MiB(8), &kill);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+    EXPECT_EQ(serial.finalTime, threaded.finalTime);
+    EXPECT_EQ(serial.eventsProcessed, threaded.eventsProcessed);
+    EXPECT_EQ(serial.statsJson, threaded.statsJson);
+    EXPECT_EQ(serial.retried, threaded.retried);
+}
+
+TEST(RecoveryStudy, KillScenarioJsonRoundTrips)
+{
+    FaultScenario s;
+    s.seed = 99;
+    s.kills.push_back(KillFault{"chip3.hbm", 0.25});
+    s.kills.push_back(KillFault{"link.E.b0.r1.c2", 1.5});
+    s.detectionLatency = 0.125;
+    const FaultScenario back =
+        FaultScenario::fromJson(s.toJson(), "round-trip");
+    EXPECT_EQ(back.seed, s.seed);
+    ASSERT_EQ(back.kills.size(), s.kills.size());
+    for (size_t i = 0; i < s.kills.size(); ++i) {
+        EXPECT_EQ(back.kills[i].pattern, s.kills[i].pattern);
+        EXPECT_EQ(back.kills[i].at, s.kills[i].at);
+    }
+    EXPECT_EQ(back.detectionLatency, s.detectionLatency);
+}
+
+// ---------------------------------------------------------------------
+// Timing vs functional: the same dead-link schedule.
+
+TEST(RecoveryStudy, DegradedTimingScheduleMatchesFunctionalSteps)
+{
+    // Bidirectional 4-ring AG with one dead CW link: the timing layer
+    // falls back to a single CCW chain of P-1 = 3 steps pushing the
+    // whole 1000 B shard each step. The functional AG implements the
+    // very same unidirectional schedule; its per-step transcript must
+    // agree on both the step count and the per-step transfer sizes.
+    ChipConfig cfg = simpleConfig();
+    cfg.bidirectionalIci = true;
+    FaultScenario dead_link;
+    dead_link.faults.push_back(CapacityFault{"link.CW.1", 0.0, 0.0, -1.0});
+    FaultedRing f(cfg, 4, dead_link);
+    const Bytes shard_bytes = 1000;
+    const CommStats stats = f.run([&](CommDone done) {
+        ringAllGather(f.cluster, f.net.ring(), shard_bytes, 0,
+                      std::move(done));
+    });
+    EXPECT_EQ(stats.syncCount, 3);
+    EXPECT_EQ(stats.bytesPerLink, 3000);
+
+    // Functional shards of the same byte size: 5x50 floats = 1000 B.
+    const int bytes_per_element = 4;
+    std::vector<Matrix> shards;
+    for (int i = 0; i < 4; ++i)
+        shards.push_back(Matrix::random(5, 50, 100 + i));
+    RingStepTrace steps;
+    const std::vector<Matrix> gathered =
+        ringAllGatherFunctional(shards, &steps);
+    ASSERT_EQ(static_cast<int>(steps.size()), stats.syncCount);
+    for (const std::int64_t elems : steps) {
+        EXPECT_EQ(elems * bytes_per_element,
+                  stats.bytesPerLink / stats.syncCount);
+    }
+    // And the functional result is the actual all-gather.
+    const Matrix expect = Matrix::vcat(shards);
+    for (const Matrix &per_chip : gathered)
+        EXPECT_EQ(per_chip.maxAbsDiff(expect), 0.0);
+}
+
+TEST(RecoveryStudy, DegradedReduceScatterMatchesFunctionalSteps)
+{
+    // Same cross-check for RdS: 3 steps, full shard per step.
+    ChipConfig cfg = simpleConfig();
+    cfg.bidirectionalIci = true;
+    FaultScenario dead_link;
+    dead_link.faults.push_back(CapacityFault{"link.CW.2", 0.0, 0.0, -1.0});
+    FaultedRing f(cfg, 4, dead_link);
+    const CommStats stats = f.run([&](CommDone done) {
+        ringReduceScatter(f.cluster, f.net.ring(), 1000, 0,
+                          std::move(done));
+    });
+    EXPECT_EQ(stats.syncCount, 3);
+    EXPECT_EQ(stats.bytesPerLink, 3000);
+    // Partials of 4 stacked 5x50 blocks: one 250-element (1000 B)
+    // block moves per chip per step.
+    std::vector<Matrix> partials;
+    for (int i = 0; i < 4; ++i)
+        partials.push_back(Matrix::random(20, 50, 200 + i));
+    RingStepTrace steps;
+    ringReduceScatterFunctional(partials, &steps);
+    ASSERT_EQ(static_cast<int>(steps.size()), stats.syncCount);
+    for (const std::int64_t elems : steps)
+        EXPECT_EQ(elems * 4, stats.bytesPerLink / stats.syncCount);
+}
+
+// ---------------------------------------------------------------------
+// Death-test audit: every unrecoverable path names its corpse.
+
+TEST(RecoveryDeathTest, NonRecoverableCollectiveNamesTheDeadChip)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Slow hand-arithmetic hardware (43 s per AG) so the collective is
+    // still in flight when the 0.5 s detection timeout fires.
+    const ChipConfig cfg = simpleConfig();
+    EXPECT_DEATH(
+        {
+            FaultedRing f(cfg, 4, killChipScenario(1));
+            f.run([&](CommDone done) {
+                ringAllGather(f.cluster, f.net.ring(), 1000, 0,
+                              std::move(done));
+            });
+        },
+        "failed permanently.*chip1\\.hbm|chip1\\.hbm.*failed permanently");
+}
+
+TEST(RecoveryDeathTest, SecondKillExhaustsTheRetryBudget)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const ChipConfig cfg = tpuV4Config();
+    FaultScenario two;
+    two.kills.push_back(KillFault{"chip1.hbm", 1e-4});
+    two.kills.push_back(KillFault{"chip2.hbm", 1e-4});
+    two.detectionLatency = 0.5;
+    EXPECT_DEATH(runCollectiveRecovery(cfg, 2, 4, MiB(8), &two),
+                 "one retry is the recovery budget");
+}
+
+TEST(RecoveryDeathTest, KillPatternMatchingNoResourceIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const ChipConfig cfg = tpuV4Config();
+    FaultScenario bogus;
+    bogus.kills.push_back(KillFault{"chip99.bogus", 0.0});
+    EXPECT_DEATH(runCollectiveRecovery(cfg, 2, 2, MiB(1), &bogus),
+                 "matche[sd] no resource");
+}
+
+TEST(RecoveryDeathTest, SurvivorMeshRejectsAmbiguousRetirement)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SurvivorMesh both;
+    both.from = {4, 4};
+    both.failedRow = 1;
+    both.failedCol = 1;
+    EXPECT_DEATH(planReshard(48, 48, 4, both),
+                 "exactly one of failedRow");
+}
+
+TEST(RecoveryDeathTest, SurvivorMeshRejectsEmptySurvivorSet)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SurvivorMesh none;
+    none.from = {1, 4};
+    none.failedRow = 0;
+    EXPECT_DEATH(planReshard(8, 8, 4, none), "no survivors would remain");
+}
+
+TEST(RecoveryDeathTest, KillOverlappingCapacityFaultIsRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    FaultScenario s;
+    s.kills.push_back(KillFault{"link.CW.1", 1.0});
+    s.faults.push_back(CapacityFault{"link.CW.1", 0.5, 0.0, -1.0});
+    const std::string json = s.toJson();
+    EXPECT_DEATH(FaultScenario::fromJson(json, "overlap-test"),
+                 "overlaps capacity fault");
+}
+
+} // namespace
+} // namespace meshslice

@@ -1,21 +1,33 @@
 #!/usr/bin/env bash
-# Runs the observability report (and, when given, the robustness
-# report) in a scratch directory and validates every JSON artifact
+# Runs the observability report (and, when given, the robustness and
+# recovery reports) in a scratch directory and validates every JSON artifact
 # they produce with `python3 -m json.tool`, plus per-line checks of
 # the JSONL search traces. Used by the `check_json` ctest and the
 # `check-json` build target.
 #
-# Usage: check_json.sh <observability_report> [robustness_report] [chips]
+# Usage: check_json.sh <observability_report> [robustness_report]
+#        [recovery_report] [chips]
 set -euo pipefail
 
 bin=$(readlink -f "$1")
+shift
 robust_bin=""
-if [ "$#" -ge 2 ] && [ -x "$2" ]; then
-    robust_bin=$(readlink -f "$2")
-    chips=${3:-16}
-else
-    chips=${2:-16}
-fi
+recovery_bin=""
+chips=16
+for arg in "$@"; do
+    if [ -f "$arg" ] && [ -x "$arg" ]; then
+        if [ -z "$robust_bin" ]; then
+            robust_bin=$(readlink -f "$arg")
+        elif [ -z "$recovery_bin" ]; then
+            recovery_bin=$(readlink -f "$arg")
+        else
+            echo "check_json.sh: too many report binaries: $arg" >&2
+            exit 2
+        fi
+    else
+        chips=$arg
+    fi
+done
 python3=${PYTHON3:-python3}
 
 workdir=$(mktemp -d)
@@ -79,6 +91,14 @@ if [ -n "$robust_bin" ]; then
         check_file "$f"
     done
     check_jsonl robust_search.jsonl
+fi
+
+if [ -n "$recovery_bin" ]; then
+    "$recovery_bin" "$chips" > recovery_report.out
+    for f in BENCH_recovery.json recovery_scenario.json; do
+        check_file "$f"
+    done
+    check_jsonl recovery_search.jsonl
 fi
 
 exit $status
