@@ -18,7 +18,7 @@ namespace {
 usageError(const char *prog, const char *why, const char *what)
 {
     fatal("%s: %s '%s'\nusage: %s [chips] [--seed N] [--mtbf SECONDS] "
-          "[--out PATH]", prog, why, what, prog);
+          "[--out PATH] [--smoke]", prog, why, what, prog);
 }
 
 } // namespace
@@ -53,6 +53,13 @@ BenchArgs::parse(int argc, char **argv, int default_chips)
             name = arg.substr(0, eq);
             value = arg.substr(eq + 1);
             inline_value = true;
+        }
+        if (name == "--smoke") {
+            if (inline_value)
+                usageError(prog, "--smoke takes no value, got",
+                           value.c_str());
+            args.smoke = true;
+            continue;
         }
         if (name != "--seed" && name != "--mtbf" && name != "--out")
             usageError(prog, "unknown flag", name.c_str());

@@ -21,7 +21,7 @@ namespace meshslice {
 /**
  * Shared CLI of the report-style benchmarks:
  *
- *   <report> [chips] [--seed N] [--mtbf SECONDS] [--out PATH]
+ *   <report> [chips] [--seed N] [--mtbf SECONDS] [--out PATH] [--smoke]
  *
  * The leading positional argument is the chip count (back-compatible
  * with the original `report <chips>` form). `--seed` re-bases every
@@ -29,8 +29,10 @@ namespace meshslice {
  * MTBF of the recovery models (reports that have no failure process
  * accept and ignore it, so wrapper scripts can pass one flag set to
  * every report), and `--out` redirects the BENCH_*.json artifact.
- * Both `--flag value` and `--flag=value` spellings work; an unknown
- * flag is fatal with a usage message.
+ * `--smoke` asks the report for a fast CI run: shrunken sweeps and
+ * shortlists, but the *same* JSON schema, so artifact validators can
+ * run against smoke output. Both `--flag value` and `--flag=value`
+ * spellings work; an unknown flag is fatal with a usage message.
  */
 struct BenchArgs
 {
@@ -40,6 +42,8 @@ struct BenchArgs
     Time mtbf = 0.0;
     /** BENCH_*.json path override; empty = the report's default. */
     std::string out;
+    /** Fast-CI mode: shrink sweeps, keep the JSON schema. */
+    bool smoke = false;
 
     static BenchArgs parse(int argc, char **argv, int default_chips = 16);
 };

@@ -4,8 +4,11 @@
  *
  * Runs the two-phase MeshSlice LLM autotuner (Sec 3.2) for GPT-3 and
  * Megatron-NLG on a 256-chip cluster and prints the chosen mesh shape,
- * per-layer dataflows and slice counts, then validates the chosen
- * configuration in the cluster simulator.
+ * per-layer dataflows and slice counts, validates the chosen
+ * configuration in the cluster simulator, then runs the phase-3 search
+ * that composes 2D TP with pipeline and data parallelism and prints
+ * the complete 3D plan: parallelism axes, schedule, memory footprint
+ * and the TP plan re-tuned at the micro-batch size.
  *
  * Usage: llm_autotune [chips]   (default 256)
  */
@@ -14,8 +17,29 @@
 
 #include "bench/common.hpp"
 #include "tuner/autotuner.hpp"
+#include "tuner/pipeline_tuner.hpp"
 
 using namespace meshslice;
+
+namespace {
+
+/** Per-GeMM table of one TP plan: dataflow, slice count, estimate. */
+void
+printTpPlan(const AutotuneResult &plan)
+{
+    std::printf("%-6s %-7s %-10s %-4s %-4s %12s\n", "layer", "stn",
+                "pass", "df", "S", "est (ms)");
+    const char *names[4] = {"qkv", "proj", "ffn1", "ffn2"};
+    for (const FcLayerPlan &layer : plan.layers)
+        for (const GemmPlan &p : layer.passes)
+            std::printf("%-6s %-7s %-10s %-4s %-4d %12.3f\n",
+                        names[layer.fcLayer],
+                        stationaryName(layer.stationary),
+                        p.gemm.name.c_str(), dataflowName(p.dataflow),
+                        p.sliceCount, p.estTime * 1e3);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -40,17 +64,7 @@ main(int argc, char **argv)
                     static_cast<long long>(train.seqLen));
         AutotuneResult plan = tuner.tune(model, train, chips);
         std::printf("chosen mesh shape: %dx%d\n", plan.rows, plan.cols);
-        std::printf("%-6s %-7s %-10s %-4s %-4s %12s\n", "layer", "stn",
-                    "pass", "df", "S", "est (ms)");
-        const char *names[4] = {"qkv", "proj", "ffn1", "ffn2"};
-        for (const FcLayerPlan &layer : plan.layers)
-            for (const GemmPlan &p : layer.passes)
-                std::printf("%-6s %-7s %-10s %-4s %-4d %12.3f\n",
-                            names[layer.fcLayer],
-                            stationaryName(layer.stationary),
-                            p.gemm.name.c_str(),
-                            dataflowName(p.dataflow), p.sliceCount,
-                            p.estTime * 1e3);
+        printTpPlan(plan);
         std::printf("estimated FC time per block: %.2f ms\n",
                     plan.blockFcTime * 1e3);
 
@@ -65,6 +79,39 @@ main(int argc, char **argv)
                     "%.2f ms -> %.2f s per training step (%lld blocks)\n",
                     e2e * 1e3, e2e * model.layers,
                     static_cast<long long>(model.layers));
+
+        // Phase 3: compose 2D TP with pipeline and data parallelism.
+        PipelineTuneConfig pcfg;
+        const PipelineTuneResult tuned =
+            tunePipeline(tuner, model, train, chips, pcfg);
+        const PipelineCandidate &pick = tuned.picked();
+        std::printf("\ncomplete 3D training plan (%d candidates, %d "
+                    "pruned):\n",
+                    static_cast<int>(tuned.candidates.size()),
+                    static_cast<int>(tuned.pruned.size()));
+        std::printf("  parallelism axes: pp=%d stages x dp=%d replicas "
+                    "x tp=%d chips (mesh %dx%d)\n",
+                    pick.axes.pp, pick.axes.dp, pick.axes.tpDegree(),
+                    pick.axes.tpRows, pick.axes.tpCols);
+        std::printf("  schedule: %s, %d micro-batches x %lld sequences"
+                    "%s%s\n",
+                    pipelineScheduleName(pick.axes.schedule),
+                    pick.axes.microBatches,
+                    static_cast<long long>(
+                        microBatchSequences(train, pick.axes)),
+                    pick.axes.chunks > 1 ? ", interleaved chunks" : "",
+                    pick.axes.recompute ? ", activation recompute" : "");
+        std::printf("  stage memory: %.2f GiB/chip (HBM %.2f GiB), "
+                    "peak stash %d micro-batches\n",
+                    static_cast<double>(pick.stageMemoryBytes) / GiB(1.0),
+                    static_cast<double>(cfg.hbmCapacity) / GiB(1.0),
+                    pick.peakStash);
+        std::printf("  step time: %.3f s simulated (%.3f s analytic: "
+                    "%.3f s pipeline + %.3f s exposed DP)\n",
+                    pick.simTotal, pick.estTotal, pick.estPipeline,
+                    pick.estDp);
+        std::printf("  TP plan at the micro-batch size:\n");
+        printTpPlan(pick.tpPlan);
     }
     return 0;
 }

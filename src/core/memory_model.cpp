@@ -115,4 +115,36 @@ fitsInMemory(const ChipConfig &cfg, Algorithm algo,
     return gemmMemoryFootprint(algo, spec).total() <= cfg.hbmCapacity;
 }
 
+PipelineMemoryFootprint
+pipelineStageMemory(const PipelineStageMemorySpec &spec)
+{
+    if (spec.residentBytes < 0 || spec.activationBytes < 0 ||
+        spec.boundaryBytes < 0)
+        fatal("pipelineStageMemory: negative byte counts (resident %lld, "
+              "activation %lld, boundary %lld)",
+              static_cast<long long>(spec.residentBytes),
+              static_cast<long long>(spec.activationBytes),
+              static_cast<long long>(spec.boundaryBytes));
+    if (spec.peakInFlight <= 0)
+        fatal("pipelineStageMemory: peak in-flight count must be "
+              "positive (got %d) — every schedule stashes at least the "
+              "micro-batch it is working on", spec.peakInFlight);
+    PipelineMemoryFootprint fp;
+    fp.resident = spec.residentBytes;
+    const Bytes per_mb =
+        spec.recompute ? spec.boundaryBytes : spec.activationBytes;
+    fp.stash = static_cast<Bytes>(spec.peakInFlight) * per_mb;
+    // One receive buffer for the incoming micro-batch and one send
+    // buffer for the outgoing one (double-buffered boundaries).
+    fp.boundaryBuffers = 2 * spec.boundaryBytes;
+    return fp;
+}
+
+bool
+pipelineFitsInMemory(const ChipConfig &cfg,
+                     const PipelineStageMemorySpec &spec)
+{
+    return pipelineStageMemory(spec).total() <= cfg.hbmCapacity;
+}
+
 } // namespace meshslice

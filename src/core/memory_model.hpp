@@ -44,6 +44,65 @@ MemoryFootprint gemmMemoryFootprint1D(const Gemm1DSpec &spec);
 bool fitsInMemory(const ChipConfig &cfg, Algorithm algo,
                   const Gemm2DSpec &spec);
 
+/**
+ * Per-chip memory inputs of one pipeline stage. All quantities are
+ * plain byte counts so this stays model-agnostic — the transformer-
+ * specific activation estimates live in `src/pipeline/stage_model`.
+ */
+struct PipelineStageMemorySpec
+{
+    /** Resident state of the stage's model chunk(s): weights plus
+     *  gradients plus optimizer moments, per chip. */
+    Bytes residentBytes = 0;
+    /** Full forward-activation stash of ONE micro-batch of the
+     *  stage's chunk(s), per chip — what the backward consumes. */
+    Bytes activationBytes = 0;
+    /** Boundary (stage-input) activation of one micro-batch, per
+     *  chip — what recompute must still keep, and what the send/recv
+     *  buffers hold. */
+    Bytes boundaryBytes = 0;
+    /** Peak in-flight (forward-done, backward-pending) micro-batch x
+     *  chunk count on this stage — `peakInFlight(program, stage)`.
+     *  GPipe: M * V; 1F1B: min(M, P - stage). */
+    int peakInFlight = 1;
+    /** Recompute knob: stash only the boundary activation per
+     *  in-flight micro-batch and re-run the forward inside the
+     *  backward (which costs an extra forward of compute time). */
+    bool recompute = false;
+};
+
+/** Breakdown of one chip's memory on one pipeline stage. */
+struct PipelineMemoryFootprint
+{
+    /** Weights + gradients + optimizer state. */
+    Bytes resident = 0;
+    /** The activation stash: peakInFlight copies of either the full
+     *  per-micro-batch activations or (recompute) just the boundary. */
+    Bytes stash = 0;
+    /** Double-buffered boundary send/recv staging. */
+    Bytes boundaryBuffers = 0;
+
+    Bytes
+    total() const
+    {
+        return resident + stash + boundaryBuffers;
+    }
+};
+
+/**
+ * Peak per-chip memory of a pipeline stage: the stash is what
+ * distinguishes schedules — GPipe holds every micro-batch in flight
+ * while 1F1B caps the stash at the stage's pipeline depth. Fatal on
+ * negative byte counts or a non-positive in-flight peak.
+ */
+PipelineMemoryFootprint
+pipelineStageMemory(const PipelineStageMemorySpec &spec);
+
+/** True if the stage's footprint fits the chip's HBM — infeasible
+ *  schedules are rejected exactly like infeasible GeMMs. */
+bool pipelineFitsInMemory(const ChipConfig &cfg,
+                          const PipelineStageMemorySpec &spec);
+
 } // namespace meshslice
 
 #endif // MESHSLICE_CORE_MEMORY_MODEL_HPP_

@@ -206,6 +206,104 @@ reshardBytesModel(double total_bytes, const SurvivorMesh &sv)
     return total_bytes * (1.0 - row_same * col_same);
 }
 
+RemapPlan
+planRemap(std::int64_t rows, std::int64_t cols, int bytes_per_element,
+          MeshShape from, MeshShape to)
+{
+    if (from.rows < 1 || from.cols < 1 || to.rows < 1 || to.cols < 1)
+        fatal("planRemap: mesh shapes %dx%d -> %dx%d must be non-empty",
+              from.rows, from.cols, to.rows, to.cols);
+    if (rows <= 0 || cols <= 0 || bytes_per_element <= 0)
+        fatal("planRemap: tensor %lldx%lld with %d-byte elements is not "
+              "remappable", static_cast<long long>(rows),
+              static_cast<long long>(cols), bytes_per_element);
+    if (rows % from.rows != 0 || cols % from.cols != 0 ||
+        rows % to.rows != 0 || cols % to.cols != 0)
+        fatal("planRemap: %lldx%lld must divide evenly by both the %dx%d "
+              "producer mesh and the %dx%d consumer mesh",
+              static_cast<long long>(rows), static_cast<long long>(cols),
+              from.rows, from.cols, to.rows, to.cols);
+
+    const std::int64_t nr1 = rows / from.rows; // producer shard rows
+    const std::int64_t nc1 = cols / from.cols;
+    const std::int64_t nr2 = rows / to.rows; // consumer shard rows
+    const std::int64_t nc2 = cols / to.cols;
+
+    RemapPlan plan;
+    plan.from = from;
+    plan.to = to;
+    std::unordered_map<int, Bytes> ingress;
+    std::unordered_map<int, Bytes> egress;
+
+    for (int p = 0; p < to.rows; ++p) {
+        for (int q = 0; q < to.cols; ++q) {
+            const std::int64_t r_lo = p * nr2;
+            const std::int64_t r_hi = (p + 1) * nr2;
+            const std::int64_t c_lo = q * nc2;
+            const std::int64_t c_hi = (q + 1) * nc2;
+            for (std::int64_t i = r_lo / nr1; i * nr1 < r_hi; ++i) {
+                const std::int64_t orows =
+                    std::min(r_hi, (i + 1) * nr1) - std::max(r_lo, i * nr1);
+                for (std::int64_t j = c_lo / nc1; j * nc1 < c_hi; ++j) {
+                    const std::int64_t ocols =
+                        std::min(c_hi, (j + 1) * nc1) -
+                        std::max(c_lo, j * nc1);
+                    const Bytes bytes = orows * ocols * bytes_per_element;
+                    RemapMove move;
+                    move.srcRow = static_cast<int>(i);
+                    move.srcCol = static_cast<int>(j);
+                    move.dstRow = p;
+                    move.dstCol = q;
+                    move.bytes = bytes;
+                    move.matched =
+                        move.srcRow == p && move.srcCol == q;
+                    plan.totalBytes += bytes;
+                    if (move.matched)
+                        plan.matchedBytes += bytes;
+                    else
+                        plan.movedBytes += bytes;
+                    ingress[p * to.cols + q] += bytes;
+                    egress[static_cast<int>(i) * from.cols +
+                           static_cast<int>(j)] += bytes;
+                    plan.moves.push_back(move);
+                }
+            }
+        }
+    }
+    for (const auto &[chip, bytes] : ingress)
+        plan.maxChipIngress = std::max(plan.maxChipIngress, bytes);
+    for (const auto &[chip, bytes] : egress)
+        plan.maxChipEgress = std::max(plan.maxChipEgress, bytes);
+    return plan;
+}
+
+double
+remapBytesModel(double total_bytes, MeshShape from, MeshShape to)
+{
+    if (from.rows < 1 || from.cols < 1 || to.rows < 1 || to.cols < 1)
+        fatal("remapBytesModel: mesh shapes %dx%d -> %dx%d must be "
+              "non-empty", from.rows, from.cols, to.rows, to.cols);
+    if (total_bytes < 0.0)
+        fatal("remapBytesModel: total bytes must be >= 0 (got %g)",
+              total_bytes);
+    // Same-position fraction factorizes over the axes; along one axis
+    // split into N producer and M consumer strips, floor(x*N) and
+    // floor(x*M) are constant on each elementary interval of length
+    // 1 / (N*M), so an exact integer count replaces the integral.
+    auto same_fraction = [](int n_from, int n_to) {
+        std::int64_t same = 0;
+        const std::int64_t cells =
+            static_cast<std::int64_t>(n_from) * n_to;
+        for (std::int64_t k = 0; k < cells; ++k)
+            if (k / n_to == k / n_from)
+                ++same;
+        return static_cast<double>(same) / static_cast<double>(cells);
+    };
+    const double row_same = same_fraction(from.rows, to.rows);
+    const double col_same = same_fraction(from.cols, to.cols);
+    return total_bytes * (1.0 - row_same * col_same);
+}
+
 Time
 reshardTime(const ChipConfig &cfg, const ReshardPlan &plan)
 {

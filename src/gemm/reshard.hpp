@@ -136,6 +136,67 @@ Time reshardTime(const ChipConfig &cfg, const ReshardPlan &plan);
 Time reshardTimeModel(const ChipConfig &cfg, double moved_bytes,
                       int survivor_chips);
 
+/**
+ * One block movement of a cross-mesh remap: source mesh coordinate on
+ * the producing mesh, destination coordinate on the consuming mesh.
+ * `matched` marks position-preserving movements ((i, j) -> (i, j)),
+ * which ride the direct boundary link between the two meshes; the rest
+ * needs rerouting inside the destination mesh.
+ */
+struct RemapMove
+{
+    int srcRow = 0;
+    int srcCol = 0;
+    int dstRow = 0;
+    int dstCol = 0;
+    Bytes bytes = 0;
+    bool matched = false;
+};
+
+/**
+ * The complete traffic picture of handing a (rows x cols) tensor from
+ * one 2D mesh layout to another — the cross-mesh resharding between
+ * adjacent pipeline stages (Zhuang et al.'s inter-stage cost). Unlike
+ * `ReshardPlan`, the two meshes are *disjoint chip sets* (stage s and
+ * stage s+1), so every byte crosses the boundary; the interesting
+ * split is matched (same (i, j) position on both meshes — a pure
+ * point-to-point boundary hop) versus moved (owner position changes —
+ * extra intra-mesh forwarding on the consumer side).
+ */
+struct RemapPlan
+{
+    MeshShape from;
+    MeshShape to;
+    /** Movements ordered by (dst, src) position for determinism. */
+    std::vector<RemapMove> moves;
+    Bytes totalBytes = 0;   ///< the whole tensor (matched + moved)
+    Bytes matchedBytes = 0; ///< position-preserving boundary traffic
+    Bytes movedBytes = 0;   ///< traffic that changes mesh position
+    /** Heaviest per-destination-position receive / per-source send. */
+    Bytes maxChipIngress = 0;
+    Bytes maxChipEgress = 0;
+};
+
+/**
+ * Exact block-overlap plan for re-laying a global (rows x cols) tensor
+ * of @p bytes_per_element-byte elements from a `from`-shaped mesh onto
+ * a `to`-shaped one (the same destination-major overlap enumeration as
+ * `planReshard`). Dimensions must divide evenly by both shapes. When
+ * `from == to` the plan is all-matched: zero remap bytes, which is how
+ * layout-aligned adjacent stages get their free boundary.
+ */
+RemapPlan planRemap(std::int64_t rows, std::int64_t cols,
+                    int bytes_per_element, MeshShape from, MeshShape to);
+
+/**
+ * Continuous companion of `planRemap` for closed-form sweeps: the
+ * moved-byte total (position-changing fraction of @p total_bytes).
+ * Equals `planRemap(...).movedBytes` exactly whenever the dimensions
+ * divide both meshes — computed on the elementary-interval lattice per
+ * axis, like `reshardBytesModel`.
+ */
+double remapBytesModel(double total_bytes, MeshShape from, MeshShape to);
+
 } // namespace meshslice
 
 #endif // MESHSLICE_GEMM_RESHARD_HPP_

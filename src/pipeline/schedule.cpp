@@ -1,0 +1,312 @@
+#include "pipeline/schedule.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+const char *
+pipelineScheduleName(PipelineSchedule sched)
+{
+    switch (sched) {
+      case PipelineSchedule::kGPipe:
+        return "GPipe";
+      case PipelineSchedule::k1F1B:
+        return "1F1B";
+      case PipelineSchedule::kInterleaved1F1B:
+        return "Interleaved1F1B";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Raw (pre-toposort) task numbering: (dir, mb, layer chunk). */
+struct RawId
+{
+    int micro;
+    int layerChunk;
+    bool backward;
+};
+
+int
+rawIndex(bool backward, int micro, int layer_chunk, int total_chunks)
+{
+    return (backward ? 1 : 0) * 0 + // readability; see below
+           (micro * total_chunks + layer_chunk) * 2 + (backward ? 1 : 0);
+}
+
+/**
+ * The per-stage execution order as raw ids. `stage` owns layer chunks
+ * {c * P + stage : c in [0, V)}.
+ */
+std::vector<RawId>
+stageOrderOf(PipelineSchedule sched, int stage, int stages,
+             int micro_batches, int chunks)
+{
+    const int P = stages;
+    const int V = chunks;
+    const int M = micro_batches;
+    std::vector<RawId> order;
+    order.reserve(static_cast<size_t>(2 * M * V));
+
+    auto fwd_at = [&](int k) {
+        // Megatron forward queue: micro-batches advance in groups of P
+        // per chunk, cycling through the V chunks.
+        const int chunk = (k / P) % V;
+        const int mb = (k / (P * V)) * P + (k % P);
+        return RawId{mb, chunk * P + stage, false};
+    };
+    auto bwd_at = [&](int k) {
+        const int chunk = V - 1 - (k / P) % V;
+        const int mb = (k / (P * V)) * P + (k % P);
+        return RawId{mb, chunk * P + stage, true};
+    };
+
+    const int total = M * V;
+    int warmup = 0;
+    switch (sched) {
+      case PipelineSchedule::kGPipe:
+        warmup = total;
+        break;
+      case PipelineSchedule::k1F1B:
+        warmup = std::min(total, P - 1 - stage);
+        break;
+      case PipelineSchedule::kInterleaved1F1B:
+        warmup = std::min(total, (P - stage - 1) * 2 + (V - 1) * P);
+        break;
+    }
+
+    if (sched == PipelineSchedule::kGPipe || V == 1) {
+        // V == 1: the fwd/bwd queues are plain micro-batch order.
+        for (int k = 0; k < warmup; ++k)
+            order.push_back(fwd_at(k));
+        for (int k = warmup; k < total; ++k) {
+            order.push_back(fwd_at(k));
+            order.push_back(bwd_at(k - warmup));
+        }
+        for (int k = std::max(0, total - warmup); k < total; ++k)
+            order.push_back(bwd_at(k));
+        return order;
+    }
+
+    // Interleaved: warmup forwards, steady 1F1B, cooldown backwards.
+    for (int k = 0; k < warmup; ++k)
+        order.push_back(fwd_at(k));
+    int b = 0;
+    for (int k = warmup; k < total; ++k) {
+        order.push_back(fwd_at(k));
+        order.push_back(bwd_at(b++));
+    }
+    while (b < total)
+        order.push_back(bwd_at(b++));
+    return order;
+}
+
+} // namespace
+
+PipelineProgram
+buildPipelineProgram(PipelineSchedule sched, int stages, int micro_batches,
+                     int chunks)
+{
+    if (stages <= 0 || micro_batches <= 0 || chunks <= 0)
+        fatal("buildPipelineProgram: stages (%d), micro_batches (%d) and "
+              "chunks (%d) must all be positive", stages, micro_batches,
+              chunks);
+    if (sched != PipelineSchedule::kInterleaved1F1B && chunks != 1)
+        fatal("buildPipelineProgram: %s requires chunks == 1 (got %d) — "
+              "only the interleaved schedule places multiple model "
+              "chunks per stage", pipelineScheduleName(sched), chunks);
+    if (sched == PipelineSchedule::kInterleaved1F1B &&
+        micro_batches % stages != 0)
+        fatal("buildPipelineProgram: interleaved 1F1B needs "
+              "micro_batches %% stages == 0 (got %d %% %d) — the "
+              "Megatron round-robin order deadlocks otherwise",
+              micro_batches, stages);
+
+    const int P = stages;
+    const int V = chunks;
+    const int M = micro_batches;
+    const int L = V * P; // total layer chunks
+    const int n_tasks = 2 * M * L;
+
+    // Adjacency in raw-id space: data edges + per-stage policy chain.
+    std::vector<std::vector<int>> deps(static_cast<size_t>(n_tasks));
+    auto add_dep = [&](int task, int dep) {
+        deps[static_cast<size_t>(task)].push_back(dep);
+    };
+    for (int m = 0; m < M; ++m) {
+        for (int l = 0; l < L; ++l) {
+            const int f = rawIndex(false, m, l, L);
+            const int b = rawIndex(true, m, l, L);
+            if (l > 0)
+                add_dep(f, rawIndex(false, m, l - 1, L));
+            if (l + 1 < L)
+                add_dep(b, rawIndex(true, m, l + 1, L));
+            add_dep(b, f); // the stash: backward consumes its forward
+        }
+    }
+    std::vector<std::vector<int>> stage_orders_raw(
+        static_cast<size_t>(P));
+    for (int s = 0; s < P; ++s) {
+        const std::vector<RawId> order =
+            stageOrderOf(sched, s, P, M, V);
+        if (static_cast<int>(order.size()) != 2 * M * V)
+            panic("buildPipelineProgram: stage %d order has %zu tasks, "
+                  "want %d", s, order.size(), 2 * M * V);
+        std::vector<int> &raw = stage_orders_raw[static_cast<size_t>(s)];
+        for (const RawId &id : order)
+            raw.push_back(
+                rawIndex(id.backward, id.micro, id.layerChunk, L));
+        for (size_t i = 1; i < raw.size(); ++i)
+            add_dep(raw[i], raw[i - 1]);
+    }
+
+    // Deterministic Kahn toposort (lowest raw id first) — panics on a
+    // cycle, which would mean the schedule policy itself deadlocks.
+    std::vector<int> indegree(static_cast<size_t>(n_tasks), 0);
+    std::vector<std::vector<int>> dependents(
+        static_cast<size_t>(n_tasks));
+    for (int t = 0; t < n_tasks; ++t) {
+        auto &d = deps[static_cast<size_t>(t)];
+        std::sort(d.begin(), d.end());
+        d.erase(std::unique(d.begin(), d.end()), d.end());
+        indegree[static_cast<size_t>(t)] = static_cast<int>(d.size());
+        for (int dep : d)
+            dependents[static_cast<size_t>(dep)].push_back(t);
+    }
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    for (int t = 0; t < n_tasks; ++t)
+        if (indegree[static_cast<size_t>(t)] == 0)
+            ready.push(t);
+    std::vector<int> topo_pos(static_cast<size_t>(n_tasks), -1);
+    std::vector<int> topo;
+    topo.reserve(static_cast<size_t>(n_tasks));
+    while (!ready.empty()) {
+        const int t = ready.top();
+        ready.pop();
+        topo_pos[static_cast<size_t>(t)] =
+            static_cast<int>(topo.size());
+        topo.push_back(t);
+        for (int dep : dependents[static_cast<size_t>(t)])
+            if (--indegree[static_cast<size_t>(dep)] == 0)
+                ready.push(dep);
+    }
+    if (static_cast<int>(topo.size()) != n_tasks)
+        panic("buildPipelineProgram: %s on %d stages x %d micro-batches "
+              "x %d chunks has a dependency cycle (%zu of %d tasks "
+              "sorted)", pipelineScheduleName(sched), P, M, V,
+              topo.size(), n_tasks);
+
+    PipelineProgram program;
+    program.schedule = sched;
+    program.stages = P;
+    program.microBatches = M;
+    program.chunks = V;
+    program.tasks.resize(static_cast<size_t>(n_tasks));
+    for (int pos = 0; pos < n_tasks; ++pos) {
+        const int raw = topo[static_cast<size_t>(pos)];
+        const int pair = raw / 2;
+        PipeTask task;
+        task.backward = (raw % 2) != 0;
+        task.microBatch = pair / L;
+        const int l = pair % L;
+        task.stage = l % P;
+        task.chunk = l / P;
+        for (int dep : deps[static_cast<size_t>(raw)])
+            task.deps.push_back(topo_pos[static_cast<size_t>(dep)]);
+        std::sort(task.deps.begin(), task.deps.end());
+        program.tasks[static_cast<size_t>(pos)] = std::move(task);
+    }
+    program.stageOrder.resize(static_cast<size_t>(P));
+    for (int s = 0; s < P; ++s)
+        for (int raw : stage_orders_raw[static_cast<size_t>(s)])
+            program.stageOrder[static_cast<size_t>(s)].push_back(
+                topo_pos[static_cast<size_t>(raw)]);
+    return program;
+}
+
+int
+peakInFlight(const PipelineProgram &program, int stage)
+{
+    if (stage < 0 || stage >= program.stages)
+        fatal("peakInFlight: stage %d out of range for %d stages", stage,
+              program.stages);
+    int in_flight = 0;
+    int peak = 0;
+    for (int idx : program.stageOrder[static_cast<size_t>(stage)]) {
+        const PipeTask &t = program.tasks[static_cast<size_t>(idx)];
+        in_flight += t.backward ? -1 : 1;
+        peak = std::max(peak, in_flight);
+    }
+    return peak;
+}
+
+namespace {
+
+Time
+taskDuration(const PipeTask &t, const PipelineTimeModel &times)
+{
+    return t.backward ? times.bwdTask : times.fwdTask;
+}
+
+} // namespace
+
+Time
+analyticalSpan(const PipelineProgram &program,
+               const PipelineTimeModel &times)
+{
+    std::vector<Time> finish(program.tasks.size(), 0.0);
+    Time span = 0.0;
+    for (size_t i = 0; i < program.tasks.size(); ++i) {
+        const PipeTask &t = program.tasks[i];
+        Time start = 0.0;
+        for (int dep : t.deps) {
+            const PipeTask &d = program.tasks[static_cast<size_t>(dep)];
+            // A cross-stage data edge carries the boundary transfer.
+            const Time edge =
+                d.stage != t.stage ? times.sendTask : 0.0;
+            start = std::max(start,
+                             finish[static_cast<size_t>(dep)] + edge);
+        }
+        finish[i] = start + taskDuration(t, times);
+        span = std::max(span, finish[i]);
+    }
+    return span;
+}
+
+Time
+pipelineLowerBound(const PipelineProgram &program,
+                   const PipelineTimeModel &times)
+{
+    // (a) the busiest stage's total serialized compute.
+    const Time per_stage =
+        static_cast<double>(program.microBatches * program.chunks) *
+        (times.fwdTask + times.bwdTask);
+
+    // (b) one micro-batch's fwd+bwd critical path with its transfers.
+    const int L = program.stages * program.chunks;
+    int boundary_edges = 0;
+    for (int l = 1; l < L; ++l)
+        if (l % program.stages != (l - 1) % program.stages)
+            ++boundary_edges;
+    const Time critical =
+        static_cast<double>(L) * (times.fwdTask + times.bwdTask) +
+        2.0 * static_cast<double>(boundary_edges) * times.sendTask;
+
+    return std::max(per_stage, critical);
+}
+
+double
+gpipeBubbleFraction(int stages, int micro_batches)
+{
+    if (stages <= 0 || micro_batches <= 0)
+        fatal("gpipeBubbleFraction: stages (%d) and micro_batches (%d) "
+              "must be positive", stages, micro_batches);
+    return static_cast<double>(stages - 1) /
+           static_cast<double>(micro_batches + stages - 1);
+}
+
+} // namespace meshslice

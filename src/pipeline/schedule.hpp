@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Declarative pipeline-parallel micro-batch schedules.
+ *
+ * A pipeline program is a DAG of per-stage forward/backward micro-batch
+ * tasks with *exact* dependency edges:
+ *
+ *  - data edges: F(m, l) needs F(m, l-1); B(m, l) needs B(m, l+1) and
+ *    F(m, l), where l indexes the V*P model chunks laid out round-robin
+ *    over the P stages (chunk l lives on stage l % P — the Megatron
+ *    interleaved placement; V = 1 is the plain contiguous split);
+ *  - policy edges: each stage executes its own tasks in the order its
+ *    schedule dictates (GPipe: all forwards then all backwards; 1F1B:
+ *    warmup forwards, steady one-forward-one-backward, cooldown;
+ *    interleaved 1F1B: the Megatron-LM warmup/steady/cooldown order
+ *    over V chunks), serialized one-at-a-time per stage.
+ *
+ * The program is what both the analytical model (longest path over the
+ * DAG) and the discrete-event executor (`runPipeline`) consume — the
+ * pipeline bubble is never hand-inserted; it *emerges* from the same
+ * dependency structure in both.
+ */
+#ifndef MESHSLICE_PIPELINE_SCHEDULE_HPP_
+#define MESHSLICE_PIPELINE_SCHEDULE_HPP_
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace meshslice {
+
+/** The supported micro-batch schedules. */
+enum class PipelineSchedule
+{
+    kGPipe,           ///< all forwards, then all backwards
+    k1F1B,            ///< warmup / one-forward-one-backward / cooldown
+    kInterleaved1F1B, ///< Megatron-LM interleaved (V > 1 chunks/stage)
+};
+
+const char *pipelineScheduleName(PipelineSchedule sched);
+
+/** One forward or backward execution of one micro-batch on one stage. */
+struct PipeTask
+{
+    int stage = 0;      ///< owning pipeline stage
+    int microBatch = 0; ///< micro-batch index in [0, M)
+    int chunk = 0;      ///< model chunk within the stage, in [0, V)
+    bool backward = false;
+    /** Prerequisite task indices (into `PipelineProgram::tasks`).
+     *  Always earlier indices — the program is topologically ordered. */
+    std::vector<int> deps;
+
+    /** Global layer-chunk index (0 = first layers of the model). */
+    int layerChunk(int stages) const { return chunk * stages + stage; }
+};
+
+/** A complete schedule: tasks in topological order plus per-stage
+ *  execution order. */
+struct PipelineProgram
+{
+    PipelineSchedule schedule = PipelineSchedule::kGPipe;
+    int stages = 1;
+    int microBatches = 1;
+    int chunks = 1; ///< model chunks per stage (V; 1 unless interleaved)
+    /** All 2 * M * V * P tasks, topologically sorted (deps precede). */
+    std::vector<PipeTask> tasks;
+    /** Per stage, the task indices in that stage's execution order. */
+    std::vector<std::vector<int>> stageOrder;
+};
+
+/**
+ * Build the program for @p sched on @p stages stages with
+ * @p micro_batches micro-batches and @p chunks model chunks per stage.
+ * `kGPipe`/`k1F1B` require chunks == 1; `kInterleaved1F1B` requires
+ * micro_batches % stages == 0 (the Megatron constraint — without it
+ * the interleaved order deadlocks). Fatal on violations or if the
+ * policy+data edges ever form a cycle (a schedule bug, not user error).
+ */
+PipelineProgram buildPipelineProgram(PipelineSchedule sched, int stages,
+                                     int micro_batches, int chunks = 1);
+
+/**
+ * Peak number of in-flight (forward-done, backward-not-yet-started)
+ * micro-batch x chunk activations stashed on @p stage, computed
+ * structurally from the stage's execution order. GPipe: M * V;
+ * 1F1B: min(M, P - stage).
+ */
+int peakInFlight(const PipelineProgram &program, int stage);
+
+/** Durations the analytical model assigns each task kind. */
+struct PipelineTimeModel
+{
+    Time fwdTask = 0.0;  ///< one forward of one chunk of one micro-batch
+    Time bwdTask = 0.0;  ///< the matching backward
+    Time sendTask = 0.0; ///< one inter-stage activation/gradient transfer
+};
+
+/**
+ * Analytical step time: the longest path through the program DAG where
+ * every cross-stage data edge costs an additional `sendTask` (the
+ * boundary transfer the executor schedules there). Exact for
+ * contention-free execution; the simulator can only be slower.
+ */
+Time analyticalSpan(const PipelineProgram &program,
+                    const PipelineTimeModel &times);
+
+/**
+ * A true lower bound on any execution: the larger of (a) the busiest
+ * stage's total compute and (b) one micro-batch's critical fwd+bwd
+ * path including its exposed inter-stage transfers.
+ */
+Time pipelineLowerBound(const PipelineProgram &program,
+                        const PipelineTimeModel &times);
+
+/** The closed-form GPipe bubble fraction on uniform stages:
+ *  (P - 1) / (m + P - 1). */
+double gpipeBubbleFraction(int stages, int micro_batches);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_PIPELINE_SCHEDULE_HPP_

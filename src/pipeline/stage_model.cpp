@@ -1,0 +1,177 @@
+#include "pipeline/stage_model.hpp"
+
+#include "gemm/reshard.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+void
+validateAxes(const PipelineAxes &axes)
+{
+    if (axes.tpRows < 1 || axes.tpCols < 1 || axes.pp < 1 ||
+        axes.dp < 1 || axes.microBatches < 1 || axes.chunks < 1)
+        fatal("PipelineAxes: tp %dx%d, pp %d, dp %d, micro-batches %d, "
+              "chunks %d must all be positive", axes.tpRows, axes.tpCols,
+              axes.pp, axes.dp, axes.microBatches, axes.chunks);
+}
+
+} // namespace
+
+bool
+axesFeasible(const TransformerConfig &model, const TrainingConfig &train,
+             const PipelineAxes &axes, std::string *reason)
+{
+    validateAxes(axes);
+    auto fail = [&](std::string why) {
+        if (reason != nullptr)
+            *reason = std::move(why);
+        return false;
+    };
+    const std::int64_t slots =
+        static_cast<std::int64_t>(axes.pp) * axes.chunks;
+    if (model.layers % slots != 0)
+        return fail(strprintf("%lld layers do not divide over pp=%d x "
+                              "chunks=%d", static_cast<long long>(
+                                  model.layers), axes.pp, axes.chunks));
+    if (train.batch % axes.dp != 0)
+        return fail(strprintf("batch %lld does not divide over dp=%d",
+                              static_cast<long long>(train.batch),
+                              axes.dp));
+    const std::int64_t per_replica = train.batch / axes.dp;
+    if (per_replica % axes.microBatches != 0)
+        return fail(strprintf("per-replica batch %lld does not divide "
+                              "into %d micro-batches",
+                              static_cast<long long>(per_replica),
+                              axes.microBatches));
+    if (axes.schedule != PipelineSchedule::kInterleaved1F1B &&
+        axes.chunks != 1)
+        return fail(strprintf("%s requires chunks == 1 (got %d)",
+                              pipelineScheduleName(axes.schedule),
+                              axes.chunks));
+    if (axes.schedule == PipelineSchedule::kInterleaved1F1B &&
+        axes.microBatches % axes.pp != 0)
+        return fail(strprintf("interleaved 1F1B needs micro_batches %% "
+                              "stages == 0 (got %d %% %d)",
+                              axes.microBatches, axes.pp));
+    return true;
+}
+
+std::int64_t
+layersPerChunk(const TransformerConfig &model, const PipelineAxes &axes)
+{
+    validateAxes(axes);
+    const std::int64_t slots =
+        static_cast<std::int64_t>(axes.pp) * axes.chunks;
+    if (model.layers % slots != 0)
+        fatal("layersPerChunk: %lld layers do not divide over pp=%d x "
+              "chunks=%d — check axesFeasible first",
+              static_cast<long long>(model.layers), axes.pp, axes.chunks);
+    return model.layers / slots;
+}
+
+std::int64_t
+microBatchSequences(const TrainingConfig &train, const PipelineAxes &axes)
+{
+    validateAxes(axes);
+    const std::int64_t denom =
+        static_cast<std::int64_t>(axes.dp) * axes.microBatches;
+    if (train.batch % denom != 0)
+        fatal("microBatchSequences: batch %lld does not divide over "
+              "dp=%d x micro-batches=%d — check axesFeasible first",
+              static_cast<long long>(train.batch), axes.dp,
+              axes.microBatches);
+    return train.batch / denom;
+}
+
+Bytes
+boundaryBytesPerMicroBatch(const ChipConfig &cfg,
+                           const TransformerConfig &model,
+                           const TrainingConfig &train,
+                           const PipelineAxes &axes)
+{
+    const std::int64_t tokens =
+        microBatchSequences(train, axes) * train.seqLen;
+    return tokens * model.hiddenDim * cfg.bytesPerElement;
+}
+
+Bytes
+activationBytesPerChip(const ChipConfig &cfg,
+                       const TransformerConfig &model,
+                       const TrainingConfig &train,
+                       const PipelineAxes &axes)
+{
+    const double tokens = static_cast<double>(
+        microBatchSequences(train, axes) * train.seqLen);
+    const double h = static_cast<double>(model.hiddenDim);
+    const double a = static_cast<double>(model.heads);
+    const double s = static_cast<double>(train.seqLen);
+    const double bpe = static_cast<double>(cfg.bytesPerElement);
+    // Megatron accounting at 2 bytes/element: 34*h + 5*a*s bytes per
+    // token per block; scale linearly for other element widths.
+    const double per_token_block = (17.0 * h + 2.5 * a * s) * bpe;
+    const double blocks =
+        static_cast<double>(layersPerChunk(model, axes) * axes.chunks);
+    return static_cast<Bytes>(tokens * per_token_block * blocks /
+                              static_cast<double>(axes.tpDegree()));
+}
+
+Bytes
+residentBytesPerChip(const ChipConfig &cfg, const TransformerConfig &model,
+                     const PipelineAxes &axes)
+{
+    validateAxes(axes);
+    const double params_per_stage =
+        model.parameterCount() / static_cast<double>(axes.pp);
+    // Weights + gradients at model precision plus fp32 Adam moments
+    // and master copy: 2 * bpe + 12 bytes per parameter.
+    const double bytes_per_param =
+        2.0 * static_cast<double>(cfg.bytesPerElement) + 12.0;
+    return static_cast<Bytes>(params_per_stage * bytes_per_param /
+                              static_cast<double>(axes.tpDegree()));
+}
+
+PipelineStageMemorySpec
+stageMemorySpec(const ChipConfig &cfg, const TransformerConfig &model,
+                const TrainingConfig &train, const PipelineAxes &axes,
+                const PipelineProgram &program, int stage)
+{
+    PipelineStageMemorySpec spec;
+    spec.residentBytes = residentBytesPerChip(cfg, model, axes);
+    spec.activationBytes =
+        activationBytesPerChip(cfg, model, train, axes);
+    spec.boundaryBytes =
+        boundaryBytesPerMicroBatch(cfg, model, train, axes) /
+        axes.tpDegree();
+    spec.peakInFlight = peakInFlight(program, stage);
+    spec.recompute = axes.recompute;
+    return spec;
+}
+
+PipelineExecSpec
+makeExecSpec(const ChipConfig &cfg, const TransformerConfig &model,
+             const TrainingConfig &train, const PipelineAxes &axes,
+             Time block_fwd, Time block_bwd, MeshShape prev_mesh)
+{
+    if (block_fwd < 0.0 || block_bwd < 0.0)
+        fatal("makeExecSpec: negative block times (fwd %g, bwd %g)",
+              block_fwd, block_bwd);
+    const std::int64_t blocks = layersPerChunk(model, axes);
+    PipelineExecSpec spec;
+    spec.schedule = axes.schedule;
+    spec.microBatches = axes.microBatches;
+    spec.chunks = axes.chunks;
+    spec.fwdTime = static_cast<double>(blocks) * block_fwd;
+    spec.bwdTime = static_cast<double>(blocks) *
+                   (block_bwd + (axes.recompute ? block_fwd : 0.0));
+    spec.boundaryBytes =
+        boundaryBytesPerMicroBatch(cfg, model, train, axes);
+    spec.remapBytes = static_cast<Bytes>(remapBytesModel(
+        static_cast<double>(spec.boundaryBytes), prev_mesh,
+        axes.tpMesh()));
+    spec.chargeLaunch = true;
+    return spec;
+}
+
+} // namespace meshslice

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Transformer-specific sizing of a 3D (TP x PP x DP) training plan.
+ *
+ * Bridges the model-agnostic pipeline machinery (`schedule`,
+ * `pipeline_exec`, `pipelineStageMemory`) and the transformer workload:
+ * how many layers land on each stage chunk, how many bytes one
+ * micro-batch pushes across a stage boundary, how big the activation
+ * stash of one micro-batch is per chip, and what the resident
+ * weight/optimizer state costs. The activation estimate follows the
+ * Megatron accounting (Korthikanti et al.): per token and transformer
+ * block roughly 34·h bytes of bf16 activations plus 5·a·s for the
+ * attention score/softmax tensors, all sharded over the TP mesh.
+ */
+#ifndef MESHSLICE_PIPELINE_STAGE_MODEL_HPP_
+#define MESHSLICE_PIPELINE_STAGE_MODEL_HPP_
+
+#include <string>
+
+#include "core/memory_model.hpp"
+#include "gemm/dist_matrix.hpp"
+#include "model/transformer.hpp"
+#include "pipeline/pipeline_exec.hpp"
+#include "pipeline/schedule.hpp"
+
+namespace meshslice {
+
+/** The parallelism axes of one 3D training plan. */
+struct PipelineAxes
+{
+    int tpRows = 1;      ///< TP mesh rows within a stage
+    int tpCols = 1;      ///< TP mesh columns within a stage
+    int pp = 1;          ///< pipeline stages
+    int dp = 1;          ///< data-parallel replicas
+    int microBatches = 1;
+    int chunks = 1;      ///< model chunks per stage (interleaved)
+    PipelineSchedule schedule = PipelineSchedule::k1F1B;
+    bool recompute = false; ///< activation recompute knob
+
+    int tpDegree() const { return tpRows * tpCols; }
+    int chips() const { return tpDegree() * pp * dp; }
+    MeshShape tpMesh() const { return MeshShape{tpRows, tpCols}; }
+};
+
+/**
+ * Structural feasibility of @p axes for @p model / @p train: layers
+ * divide over pp * chunks, batch divides over dp into micro-batches,
+ * the schedule's own constraints hold (chunks vs schedule, the
+ * interleaved micro_batches % stages rule). On failure returns false
+ * and, when @p reason is non-null, explains which rule broke.
+ */
+bool axesFeasible(const TransformerConfig &model,
+                  const TrainingConfig &train, const PipelineAxes &axes,
+                  std::string *reason = nullptr);
+
+/** Transformer blocks per (stage, chunk): layers / (pp * chunks). */
+std::int64_t layersPerChunk(const TransformerConfig &model,
+                            const PipelineAxes &axes);
+
+/** Sequences of one micro-batch: batch / (dp * microBatches). */
+std::int64_t microBatchSequences(const TrainingConfig &train,
+                                 const PipelineAxes &axes);
+
+/** Activation bytes one micro-batch pushes across one stage boundary
+ *  (tokens x hidden), total over the TP mesh. */
+Bytes boundaryBytesPerMicroBatch(const ChipConfig &cfg,
+                                 const TransformerConfig &model,
+                                 const TrainingConfig &train,
+                                 const PipelineAxes &axes);
+
+/** Full forward-activation stash of one micro-batch of one stage's
+ *  chunk(s), per chip (the Megatron per-block estimate, sharded). */
+Bytes activationBytesPerChip(const ChipConfig &cfg,
+                             const TransformerConfig &model,
+                             const TrainingConfig &train,
+                             const PipelineAxes &axes);
+
+/** Weights + gradients + Adam optimizer state of one stage's model
+ *  chunk(s), per chip: (2 * bytesPerElement + 12) bytes/param. */
+Bytes residentBytesPerChip(const ChipConfig &cfg,
+                           const TransformerConfig &model,
+                           const PipelineAxes &axes);
+
+/**
+ * The per-chip memory spec of stage @p stage under @p program (whose
+ * `peakInFlight` captures the schedule's stash depth). Feed to
+ * `pipelineStageMemory` / `pipelineFitsInMemory`.
+ */
+PipelineStageMemorySpec stageMemorySpec(const ChipConfig &cfg,
+                                        const TransformerConfig &model,
+                                        const TrainingConfig &train,
+                                        const PipelineAxes &axes,
+                                        const PipelineProgram &program,
+                                        int stage);
+
+/**
+ * Build the executor spec from per-block times: @p block_fwd /
+ * @p block_bwd are ONE transformer block's forward / backward times
+ * for one micro-batch on the TP mesh (from the MeshSlice cost model or
+ * executor). Scales by layers-per-chunk, adds the recompute forward to
+ * the backward when enabled, sizes the boundary transfer, and charges
+ * the cross-mesh remap traffic for a @p prev_mesh-shaped upstream
+ * layout (equal shapes — the common case — remap to zero bytes).
+ */
+PipelineExecSpec makeExecSpec(const ChipConfig &cfg,
+                              const TransformerConfig &model,
+                              const TrainingConfig &train,
+                              const PipelineAxes &axes, Time block_fwd,
+                              Time block_bwd, MeshShape prev_mesh);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_PIPELINE_STAGE_MODEL_HPP_

@@ -56,6 +56,38 @@ TEST(Dp3D, MeshSliceDPCompletesAndReportsTraffic)
     EXPECT_LE(res.utilization(cfg, torus.chips()), 1.0);
 }
 
+TEST(Dp3D, DepthOneMatchesThePlain2DExecutor)
+{
+    // A depth-1 "3D" cluster is one 2D torus: MeshSlice+DP must
+    // degenerate to the plain 2D executor exactly — same simulated
+    // time, same FLOPs, no depth-ring traffic.
+    const ChipConfig cfg = tpuV4Config();
+    Gemm2DSpec spec;
+    spec.m = 8192;
+    spec.k = 4096;
+    spec.n = 4096;
+    spec.rows = 4;
+    spec.cols = 2;
+    spec.sliceCount = 4;
+    const Bytes w_grad = spec.k * spec.n * 2 / spec.chips();
+
+    Cluster c3(cfg, 4 * 2 * 1);
+    Torus3D torus(c3, 4, 2, 1);
+    Gemm3DResult r3 =
+        runMeshSliceDP(torus, Algorithm::kMeshSlice, spec, w_grad);
+
+    Cluster c2(cfg, 4 * 2);
+    TorusMesh mesh(c2, 4, 2);
+    GemmExecutor exec(mesh);
+    GemmRunResult r2 = exec.run(Algorithm::kMeshSlice, spec);
+
+    EXPECT_DOUBLE_EQ(r3.time, r2.time);
+    EXPECT_DOUBLE_EQ(r3.flops, r2.flops);
+    EXPECT_DOUBLE_EQ(r3.interLayer.total, 0.0); // no DP all-reduce
+    EXPECT_DOUBLE_EQ(r3.intraLayer.total,
+                     r2.horizontal.total + r2.vertical.total);
+}
+
 TEST(Dp3D, TwoPointFiveDCompletesOnSquareBase)
 {
     const ChipConfig cfg = tpuV4Config();

@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
-# Runs the observability report (and, when given, the robustness and
-# recovery reports) in a scratch directory and validates every JSON artifact
-# they produce with `python3 -m json.tool`, plus per-line checks of
-# the JSONL search traces. Used by the `check_json` ctest and the
-# `check-json` build target.
+# Runs the observability report (and, when given, the robustness,
+# recovery and pipeline reports) in a scratch directory and validates
+# every JSON artifact they produce with `python3 -m json.tool`, plus
+# per-line checks of the JSONL search traces. A missing-but-expected
+# artifact is a failure. Reports run in `--smoke` mode (shrunken
+# sweeps, same JSON schema) to keep the tier-1 `check_json` ctest and
+# the `check-json` build target fast.
 #
 # Usage: check_json.sh <observability_report> [robustness_report]
-#        [recovery_report] [chips]
+#        [recovery_report] [pipeline_report] [chips]
 set -euo pipefail
 
 bin=$(readlink -f "$1")
 shift
 robust_bin=""
 recovery_bin=""
+pipeline_bin=""
 chips=16
 for arg in "$@"; do
     if [ -f "$arg" ] && [ -x "$arg" ]; then
@@ -20,6 +23,8 @@ for arg in "$@"; do
             robust_bin=$(readlink -f "$arg")
         elif [ -z "$recovery_bin" ]; then
             recovery_bin=$(readlink -f "$arg")
+        elif [ -z "$pipeline_bin" ]; then
+            pipeline_bin=$(readlink -f "$arg")
         else
             echo "check_json.sh: too many report binaries: $arg" >&2
             exit 2
@@ -34,7 +39,7 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 cd "$workdir"
 
-"$bin" "$chips" > report.out
+"$bin" "$chips" --smoke > report.out
 
 status=0
 check_file() {
@@ -53,6 +58,11 @@ check_file() {
 # JSONL: every non-empty line must be its own JSON document.
 check_jsonl() {
     local f=$1
+    if [ ! -f "$f" ]; then
+        echo "FAIL $f was not produced"
+        status=1
+        return
+    fi
     if "$python3" - "$f" <<'EOF'
 import json, sys
 
@@ -86,7 +96,7 @@ done
 check_jsonl tuner_search.jsonl
 
 if [ -n "$robust_bin" ]; then
-    "$robust_bin" "$chips" > robust_report.out
+    "$robust_bin" "$chips" --smoke > robust_report.out
     for f in BENCH_robustness.json robustness_scenario.json; do
         check_file "$f"
     done
@@ -94,11 +104,37 @@ if [ -n "$robust_bin" ]; then
 fi
 
 if [ -n "$recovery_bin" ]; then
-    "$recovery_bin" "$chips" > recovery_report.out
+    "$recovery_bin" "$chips" --smoke > recovery_report.out
     for f in BENCH_recovery.json recovery_scenario.json; do
         check_file "$f"
     done
     check_jsonl recovery_search.jsonl
+fi
+
+if [ -n "$pipeline_bin" ]; then
+    # The pipeline report sizes its own clusters (GPT-3 vs Megatron-NLG
+    # need different factorizations), so it runs at its built-in default
+    # chip count rather than the shared positional one.
+    "$pipeline_bin" --smoke > pipeline_report.out
+    check_file BENCH_pipeline.json
+    check_jsonl pipeline_search.jsonl
+    # The report embeds its own acceptance cross-checks; surface them.
+    if "$python3" - BENCH_pipeline.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+checks = doc.get("cross_checks", {})
+bad = [k for k, v in checks.items() if v is not True]
+if bad:
+    sys.exit("BENCH_pipeline.json cross-checks failed: %s" % ", ".join(bad))
+EOF
+    then
+        echo "ok   BENCH_pipeline.json cross-checks"
+    else
+        echo "FAIL BENCH_pipeline.json cross-checks"
+        status=1
+    fi
 fi
 
 exit $status
