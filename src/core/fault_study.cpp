@@ -50,11 +50,15 @@ FaultStudyResult::find(Algorithm algo) const
 
 GemmRunResult
 runGemmUnderScenario(const ChipConfig &cfg, Algorithm algo,
-                     const Gemm2DSpec &spec, const FaultScenario *scenario)
+                     const Gemm2DSpec &spec, const FaultScenario *scenario,
+                     StatsRegistry *stats)
 {
     const bool is_1d =
         algo == Algorithm::kOneDTP || algo == Algorithm::kFsdp;
     Cluster cluster(cfg, spec.chips());
+    if (stats != nullptr)
+        cluster.stats().enable(true);
+    GemmRunResult result;
     if (is_1d) {
         RingNetwork ring(cluster);
         FaultInjector injector(cluster.sim(), cluster.net(),
@@ -63,17 +67,23 @@ runGemmUnderScenario(const ChipConfig &cfg, Algorithm algo,
             injector.arm();
             cluster.attachFaults(&injector);
         }
-        return runGemm1D(ring, to1DSpec(spec, algo), algo);
+        result = runGemm1D(ring, to1DSpec(spec, algo), algo);
+    } else {
+        TorusMesh mesh(cluster, spec.rows, spec.cols);
+        FaultInjector injector(cluster.sim(), cluster.net(),
+                               scenario ? *scenario : FaultScenario{});
+        if (scenario) {
+            injector.arm();
+            cluster.attachFaults(&injector);
+        }
+        GemmExecutor executor(mesh);
+        result = executor.run(algo, spec);
     }
-    TorusMesh mesh(cluster, spec.rows, spec.cols);
-    FaultInjector injector(cluster.sim(), cluster.net(),
-                           scenario ? *scenario : FaultScenario{});
-    if (scenario) {
-        injector.arm();
-        cluster.attachFaults(&injector);
+    if (stats != nullptr) {
+        cluster.collectResourceStats(cluster.stats());
+        stats->merge(cluster.stats().snapshot());
     }
-    GemmExecutor executor(mesh);
-    return executor.run(algo, spec);
+    return result;
 }
 
 FaultStudyResult

@@ -49,10 +49,17 @@ struct FaultStudyResult
  * the two runs differ only by the injected faults). 2D algorithms run
  * on a `spec.rows x spec.cols` torus; `kOneDTP` / `kFsdp` run the
  * forward-pass 1D schedule on a ring of `spec.chips()` chips.
+ *
+ * When @p stats is non-null, the run's per-resource accounting (the
+ * fresh cluster's own registry) is merged into it after the run. The
+ * run itself only ever touches its private cluster, so concurrent
+ * calls from pool workers are safe; callers wanting deterministic
+ * aggregates pass nullptr here and merge per-run snapshots serially.
  */
 GemmRunResult runGemmUnderScenario(const ChipConfig &cfg, Algorithm algo,
                                    const Gemm2DSpec &spec,
-                                   const FaultScenario *scenario);
+                                   const FaultScenario *scenario,
+                                   StatsRegistry *stats = nullptr);
 
 /**
  * Run every algorithm of @p algos nominally and under @p scenario.

@@ -220,7 +220,7 @@ Matrix::gemmAcc(const Matrix &a, const Matrix &b, Matrix &c)
     // each pool task owns disjoint C rows, so there are no write
     // races and the result is independent of the thread count.
     const std::int64_t panels = ceilDiv(m, kRowTile);
-    parallelFor(panels, 1, [&](std::int64_t begin, std::int64_t end) {
+    const auto run_panels = [&](std::int64_t begin, std::int64_t end) {
         for (std::int64_t panel = begin; panel < end; ++panel) {
             const std::int64_t i0 = panel * kRowTile;
             const std::int64_t i1 = std::min(i0 + kRowTile, m);
@@ -228,7 +228,15 @@ Matrix::gemmAcc(const Matrix &a, const Matrix &b, Matrix &c)
                 gemmPanel(a.data(), b.data(), c.data(), i0, i1, k0,
                           std::min(k0 + kColTileK, k), k, n);
         }
-    });
+    };
+    // Pool dispatch costs a mutex round-trip plus a std::function call
+    // per chunk — pure overhead when the pool has a single executing
+    // thread or the matrix is a panel or two tall. Run those inline.
+    if (ThreadPool::global().threads() == 1 || panels <= 2) {
+        run_panels(0, panels);
+        return;
+    }
+    parallelFor(panels, 1, run_panels);
 }
 
 Matrix

@@ -17,7 +17,10 @@ constexpr double kDegradedEps = 1e-12;
 
 } // namespace
 
-FluidNetwork::FluidNetwork(Simulator &sim) : sim_(sim)
+FluidNetwork::FluidNetwork(Simulator &sim)
+    : sim_(sim),
+      flows_(0, std::hash<FlowId>(), std::equal_to<FlowId>(),
+             ArenaAllocator<std::pair<const FlowId, Flow>>(&arena_))
 {
     // Watchdog: flows parked on a down resource have no completion
     // event; if the queue drains while any flow is outstanding the
@@ -38,6 +41,8 @@ FluidNetwork::addResource(std::string name, double capacity)
     res.createdAt = sim_.now();
     res.lastUpdate = sim_.now();
     resources_.push_back(std::move(res));
+    resourceEpoch_.push_back(0);
+    memberSlot_.push_back(-1);
     return static_cast<ResourceId>(resources_.size() - 1);
 }
 
@@ -48,7 +53,10 @@ FluidNetwork::setCapacity(ResourceId id, double capacity)
         panic("FluidNetwork: capacity must be positive");
     // Settle the elapsed segment at the old capacity so busy/idle/
     // degraded seconds are attributed to the window they belong to.
-    advanceResourceAccounting();
+    if (eagerAccounting_)
+        advanceResourceAccounting();
+    else
+        settleResource(resources_.at(static_cast<size_t>(id)));
     resources_.at(static_cast<size_t>(id)).capacity = capacity;
     markDirty();
 }
@@ -56,7 +64,10 @@ FluidNetwork::setCapacity(ResourceId id, double capacity)
 void
 FluidNetwork::setAvailable(ResourceId id, bool available)
 {
-    advanceResourceAccounting();
+    if (eagerAccounting_)
+        advanceResourceAccounting();
+    else
+        settleResource(resources_.at(static_cast<size_t>(id)));
     resources_.at(static_cast<size_t>(id)).available = available;
     markDirty();
 }
@@ -162,7 +173,10 @@ FluidNetwork::cancelFlow(FlowId id)
     // Settle accounting so the work done before the abort stays
     // attributed to the correct window, then drop the flow without
     // invoking its completion callback.
-    advanceResourceAccounting();
+    if (eagerAccounting_)
+        advanceResourceAccounting();
+    else
+        settleFlowResources(it->second.demands);
     advanceFlow(it->second);
     sim_.cancel(it->second.completion);
     for (const auto &d : it->second.demands)
@@ -227,23 +241,37 @@ FluidNetwork::advanceFlow(Flow &flow)
 }
 
 void
+FluidNetwork::settleResource(Resource &res)
+{
+    double dt = sim_.now() - res.lastUpdate;
+    if (dt > 0.0) {
+        const double frac = std::min(1.0, res.load / res.capacity);
+        res.totalConsumed += res.load * dt;
+        res.busyTime += frac * dt;
+        res.idleTime += (1.0 - frac) * dt;
+        if (res.soloLoad > res.capacity * (1.0 + kOverloadEps))
+            res.contentionTime += dt;
+        if (!res.available ||
+            res.capacity < res.nominalCapacity * (1.0 - kDegradedEps))
+            res.degradedTime += dt;
+    }
+    res.lastUpdate = sim_.now();
+}
+
+void
 FluidNetwork::advanceResourceAccounting()
 {
-    for (Resource &res : resources_) {
-        double dt = sim_.now() - res.lastUpdate;
-        if (dt > 0.0) {
-            const double frac = std::min(1.0, res.load / res.capacity);
-            res.totalConsumed += res.load * dt;
-            res.busyTime += frac * dt;
-            res.idleTime += (1.0 - frac) * dt;
-            if (res.soloLoad > res.capacity * (1.0 + kOverloadEps))
-                res.contentionTime += dt;
-            if (!res.available ||
-                res.capacity < res.nominalCapacity * (1.0 - kDegradedEps))
-                res.degradedTime += dt;
-        }
-        res.lastUpdate = sim_.now();
-    }
+    for (Resource &res : resources_)
+        settleResource(res);
+}
+
+void
+FluidNetwork::settleFlowResources(const std::vector<Demand> &demands)
+{
+    // Settling twice at one timestamp is harmless (dt == 0), so no
+    // dedup is needed.
+    for (const Demand &d : demands)
+        settleResource(resources_[static_cast<size_t>(d.resource)]);
 }
 
 void
@@ -252,7 +280,10 @@ FluidNetwork::finishFlow(FlowId id)
     auto it = flows_.find(id);
     if (it == flows_.end())
         return; // cancelled completion that raced with a reschedule
-    advanceResourceAccounting();
+    if (eagerAccounting_)
+        advanceResourceAccounting();
+    else
+        settleFlowResources(it->second.demands);
     advanceFlow(it->second);
     std::function<void()> cb = std::move(it->second.onComplete);
     for (const auto &d : it->second.demands)
@@ -267,92 +298,136 @@ void
 FluidNetwork::recompute()
 {
     dirty_ = false;
-    advanceResourceAccounting();
 
-    // Gather active flows into a dense working set.
-    std::vector<FlowId> ids;
-    ids.reserve(flows_.size());
+    // Gather active flows into a dense working set (scratch vectors
+    // keep their capacity across recomputes, so the steady state
+    // allocates nothing).
+    scratchFlows_.clear();
+    scratchIds_.clear();
     for (auto &entry : flows_) {
         advanceFlow(entry.second);
-        ids.push_back(entry.first);
+        scratchIds_.push_back(entry.first);
+        scratchFlows_.push_back(&entry.second);
     }
+    const size_t n = scratchFlows_.size();
 
     // Solo rates: each flow limited by every resource's full capacity.
     // Flows demanding a *down* resource park at rate zero: they keep
     // their progress, get no completion event, and resume when the
     // resource comes back up.
-    std::vector<double> rate(ids.size());
-    std::vector<bool> parked(ids.size(), false);
-    for (size_t i = 0; i < ids.size(); ++i) {
-        const Flow &flow = flows_[ids[i]];
+    scratchRate_.assign(n, 0.0);
+    scratchParked_.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const Flow &flow = *scratchFlows_[i];
         double r = 1e300;
         for (const auto &d : flow.demands) {
             const Resource &res =
                 resources_[static_cast<size_t>(d.resource)];
             if (!res.available) {
-                parked[i] = true;
+                scratchParked_[i] = 1;
                 break;
             }
             r = std::min(r, res.capacity / d.perUnit);
         }
-        rate[i] = parked[i] ? 0.0 : r;
+        scratchRate_[i] = scratchParked_[i] ? 0.0 : r;
     }
-    // Snapshot of the uncontended rates (the waterfill mutates `rate`),
-    // for the per-resource contention attribution.
-    const std::vector<double> solo_rate = rate;
+    // Snapshot of the uncontended rates (the waterfill mutates the
+    // working rates), for the per-resource contention attribution.
+    scratchSolo_ = scratchRate_;
 
-    // Per-resource membership: (flow index, demand coefficient).
-    // Parked flows consume nothing and stay out of the waterfill.
-    std::vector<std::vector<std::pair<size_t, double>>> members(
-        resources_.size());
-    for (size_t i = 0; i < ids.size(); ++i) {
-        if (parked[i])
+    // Per-resource membership, built only for resources that current
+    // flows actually demand: (flow index, demand coefficient). Parked
+    // flows consume nothing and stay out of the waterfill.
+    ++epoch_;
+    memberIds_.clear();
+    for (size_t i = 0; i < n; ++i) {
+        if (scratchParked_[i])
             continue;
-        for (const auto &d : flows_[ids[i]].demands)
-            members[static_cast<size_t>(d.resource)].emplace_back(i,
-                                                                  d.perUnit);
+        for (const auto &d : scratchFlows_[i]->demands) {
+            const size_t r = static_cast<size_t>(d.resource);
+            if (resourceEpoch_[r] != epoch_) {
+                resourceEpoch_[r] = epoch_;
+                memberSlot_[r] =
+                    static_cast<std::int32_t>(memberIds_.size());
+                if (memberLists_.size() <= memberIds_.size())
+                    memberLists_.emplace_back();
+                memberLists_[memberIds_.size()].clear();
+                memberIds_.push_back(d.resource);
+            }
+            memberLists_[static_cast<size_t>(memberSlot_[r])]
+                .emplace_back(i, d.perUnit);
+        }
+    }
+    // The waterfill scans members in increasing resource id (matching
+    // the legacy full-resource sweep, so tie-breaks — and therefore
+    // rates — are bit-identical to it).
+    std::sort(memberIds_.begin(), memberIds_.end());
+
+    // Settle accounting for every resource whose load may change:
+    // whatever the previous assignment loaded plus this round's
+    // members. Untouched resources keep a constant load, so their
+    // deferred segment is recovered exactly on the next settle or
+    // stats read. The eager mode already swept everything per event.
+    if (eagerAccounting_) {
+        advanceResourceAccounting();
+    } else {
+        for (ResourceId r : loadedIds_)
+            settleResource(resources_[static_cast<size_t>(r)]);
+        for (ResourceId r : memberIds_)
+            settleResource(resources_[static_cast<size_t>(r)]);
     }
 
     // Saturate-and-waterfill: repeatedly pick the most oversubscribed
     // resource and cut its heaviest consumers to an equal consumption
     // level that exactly fills the capacity. Rates only decrease, so each
     // resource needs processing at most once.
-    std::vector<bool> processed(resources_.size(), false);
+    memberProcessed_.assign(memberIds_.size(), 0);
+    std::vector<std::pair<double, size_t>> consumption; // (c_f, idx)
     for (;;) {
-        int worst = -1;
+        ResourceId worst = -1;
+        std::int32_t worst_slot = -1;
         double worst_ratio = 1.0 + kOverloadEps;
-        for (size_t r = 0; r < resources_.size(); ++r) {
-            if (processed[r] || members[r].empty())
+        for (size_t m = 0; m < memberIds_.size(); ++m) {
+            if (memberProcessed_[m])
                 continue;
+            const ResourceId r = memberIds_[m];
+            const auto &on_r =
+                memberLists_[static_cast<size_t>(
+                    memberSlot_[static_cast<size_t>(r)])];
             double load = 0.0;
-            for (const auto &[i, d] : members[r])
-                load += d * rate[i];
-            double ratio = load / resources_[r].capacity;
+            for (const auto &[i, d] : on_r)
+                load += d * scratchRate_[i];
+            double ratio =
+                load / resources_[static_cast<size_t>(r)].capacity;
             if (ratio > worst_ratio) {
                 worst_ratio = ratio;
-                worst = static_cast<int>(r);
+                worst = r;
+                worst_slot = static_cast<std::int32_t>(m);
             }
         }
         if (worst < 0)
             break;
-        processed[static_cast<size_t>(worst)] = true;
+        memberProcessed_[static_cast<size_t>(worst_slot)] = 1;
 
         // Water-fill consumptions on `worst` to its capacity.
-        auto &flows_on_r = members[static_cast<size_t>(worst)];
-        std::vector<std::pair<double, size_t>> consumption; // (c_f, idx)
+        const auto &flows_on_r = memberLists_[static_cast<size_t>(
+            memberSlot_[static_cast<size_t>(worst)])];
+        consumption.clear();
         consumption.reserve(flows_on_r.size());
         for (size_t k = 0; k < flows_on_r.size(); ++k)
             consumption.emplace_back(
-                flows_on_r[k].second * rate[flows_on_r[k].first], k);
+                flows_on_r[k].second * scratchRate_[flows_on_r[k].first],
+                k);
         std::sort(consumption.begin(), consumption.end());
 
         double cap = resources_[static_cast<size_t>(worst)].capacity;
         double below = 0.0; // sum of consumptions kept as-is
-        size_t n = consumption.size();
+        size_t cn = consumption.size();
         double level = 0.0;
-        for (size_t k = 0; k < n; ++k) {
+        for (size_t k = 0; k < cn; ++k) {
             // Remaining flows all cut to `level`; is consumption[k] kept?
-            double candidate = (cap - below) / static_cast<double>(n - k);
+            double candidate =
+                (cap - below) / static_cast<double>(cn - k);
             if (consumption[k].first <= candidate) {
                 below += consumption[k].first;
                 level = candidate; // provisional, refined each iteration
@@ -365,19 +440,29 @@ FluidNetwork::recompute()
             if (c > level) {
                 size_t i = flows_on_r[k].first;
                 double d = flows_on_r[k].second;
-                rate[i] = std::min(rate[i], level / d);
+                scratchRate_[i] = std::min(scratchRate_[i], level / d);
             }
         }
     }
 
-    // Apply rates, reschedule completions, refresh resource loads.
-    for (Resource &res : resources_) {
-        res.load = 0.0;
-        res.soloLoad = 0.0;
+    // Apply rates, reschedule completions, refresh resource loads —
+    // zeroing only what the previous assignment loaded, accumulating
+    // only over this round's members.
+    if (eagerAccounting_) {
+        for (Resource &res : resources_) {
+            res.load = 0.0;
+            res.soloLoad = 0.0;
+        }
+    } else {
+        for (ResourceId r : loadedIds_) {
+            Resource &res = resources_[static_cast<size_t>(r)];
+            res.load = 0.0;
+            res.soloLoad = 0.0;
+        }
     }
-    for (size_t i = 0; i < ids.size(); ++i) {
-        Flow &flow = flows_[ids[i]];
-        if (parked[i]) {
+    for (size_t i = 0; i < n; ++i) {
+        Flow &flow = *scratchFlows_[i];
+        if (scratchParked_[i]) {
             // Freeze: keep progress, drop the completion event. The
             // invalid EventId forces a reschedule once the flow resumes.
             sim_.cancel(flow.completion);
@@ -385,24 +470,25 @@ FluidNetwork::recompute()
             flow.rate = 0.0;
             continue;
         }
-        if (rate[i] <= 0.0)
+        if (scratchRate_[i] <= 0.0)
             panic("FluidNetwork: flow starved (zero rate)");
-        bool changed =
-            std::abs(rate[i] - flow.rate) > 1e-12 * std::max(1.0, flow.rate);
-        flow.rate = rate[i];
+        bool changed = std::abs(scratchRate_[i] - flow.rate) >
+                       1e-12 * std::max(1.0, flow.rate);
+        flow.rate = scratchRate_[i];
         for (const auto &d : flow.demands) {
             Resource &res = resources_[static_cast<size_t>(d.resource)];
             res.load += d.perUnit * flow.rate;
-            res.soloLoad += d.perUnit * solo_rate[i];
+            res.soloLoad += d.perUnit * scratchSolo_[i];
         }
         if (changed || !flow.completion.valid()) {
             sim_.cancel(flow.completion);
-            FlowId id = ids[i];
+            FlowId id = scratchIds_[i];
             flow.completion = sim_.schedule(
                 sim_.now() + flow.remaining / flow.rate,
                 [this, id] { finishFlow(id); });
         }
     }
+    loadedIds_.assign(memberIds_.begin(), memberIds_.end());
 }
 
 } // namespace meshslice

@@ -22,6 +22,20 @@
  * relies on: NIC transfers capped by link bandwidth, compute streams using
  * the *remaining* HBM bandwidth, and slowdowns when the sum oversubscribes
  * HBM (the NIC<->core interference of Sec 4.1).
+ *
+ * Event batching (the default): per-resource accounting is settled
+ * *lazily* — only resources whose load is about to change are brought
+ * up to date, instead of sweeping every registered resource at every
+ * event. Between settles a resource's load is constant, so the deferred
+ * segment is recovered exactly (`resourceStats` folds the unsettled
+ * tail on read) and the conservation law `busy + idle == wall` holds to
+ * the same tolerances as the eager sweep. Likewise the waterfill and
+ * the load-refresh loops touch only the resources that current flows
+ * actually demand. This turns the per-event cost from O(all resources)
+ * into O(active members) — the difference between a 100-chip and a
+ * 100k-chip torus being simulable. `setEagerAccounting(true)` restores
+ * the legacy full sweep (benchmarks A/B the two; flow completion times
+ * are identical in both modes).
  */
 #ifndef MESHSLICE_SIM_FLUID_HPP_
 #define MESHSLICE_SIM_FLUID_HPP_
@@ -30,9 +44,11 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/arena.hpp"
 #include "util/units.hpp"
 
 namespace meshslice {
@@ -170,6 +186,17 @@ class FluidNetwork
     /** Current rate of an active flow (units/s), 0 if finished. */
     double flowRate(FlowId id) const;
 
+    /**
+     * Restore the legacy per-event full accounting sweep (every
+     * registered resource settled at every flow event / recompute).
+     * Results are identical — flow completion times and event counts do
+     * not depend on the accounting mode — but the eager sweep costs
+     * O(resources) per event. Benchmarks use it as the "serial
+     * accounting" baseline of the event-batching comparison.
+     */
+    void setEagerAccounting(bool eager) { eagerAccounting_ = eager; }
+    bool eagerAccounting() const { return eagerAccounting_; }
+
   private:
     struct Resource
     {
@@ -201,17 +228,50 @@ class FluidNetwork
         EventId completion;
     };
 
+    /** Flow map nodes live on the per-run arena. */
+    using FlowMap = std::unordered_map<
+        FlowId, Flow, std::hash<FlowId>, std::equal_to<FlowId>,
+        ArenaAllocator<std::pair<const FlowId, Flow>>>;
+
     void markDirty();
     void recompute();
     void advanceFlow(Flow &flow);
+    /** Settle one resource's busy/idle/contention/degraded integrals
+     *  up to the current time (load is constant since `lastUpdate`). */
+    void settleResource(Resource &res);
+    /** Legacy eager sweep: settle every registered resource. */
     void advanceResourceAccounting();
+    /** Settle the resources whose load is about to change: everything
+     *  loaded by the previous rate assignment plus @p demands. */
+    void settleFlowResources(const std::vector<Demand> &demands);
     void finishFlow(FlowId id);
 
     Simulator &sim_;
     std::vector<Resource> resources_;
-    std::unordered_map<FlowId, Flow> flows_;
+    Arena arena_;
+    FlowMap flows_;
     FlowId nextFlowId_ = 1;
     bool dirty_ = false;
+    bool eagerAccounting_ = false;
+
+    // --- recompute scratch, reused across calls (capacity persists so
+    // steady-state recomputes allocate nothing) ---
+    std::vector<Flow *> scratchFlows_;
+    std::vector<FlowId> scratchIds_;
+    std::vector<double> scratchRate_;
+    std::vector<double> scratchSolo_;
+    std::vector<char> scratchParked_;
+    /** Resources demanded by at least one non-parked flow this round. */
+    std::vector<ResourceId> memberIds_;
+    /** memberLists_[memberSlot_[r]] = (flow index, coeff) pairs on r;
+     *  valid while resourceEpoch_[r] == epoch_. */
+    std::vector<std::vector<std::pair<std::size_t, double>>> memberLists_;
+    std::vector<std::int32_t> memberSlot_;
+    std::vector<std::uint64_t> resourceEpoch_;
+    std::uint64_t epoch_ = 0;
+    std::vector<char> memberProcessed_;
+    /** Resources carrying nonzero load from the previous assignment. */
+    std::vector<ResourceId> loadedIds_;
 };
 
 } // namespace meshslice

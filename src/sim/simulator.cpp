@@ -6,6 +6,44 @@
 
 namespace meshslice {
 
+void
+Simulator::pushHeap(HeapEntry entry)
+{
+    heap_.push_back(entry);
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const size_t parent = (i - 1) / 2;
+        if (!later(heap_[parent], heap_[i]))
+            break;
+        std::swap(heap_[parent], heap_[i]);
+        i = parent;
+    }
+}
+
+Simulator::HeapEntry
+Simulator::popHeap()
+{
+    const HeapEntry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    size_t i = 0;
+    const size_t n = heap_.size();
+    for (;;) {
+        const size_t left = 2 * i + 1;
+        if (left >= n)
+            break;
+        const size_t right = left + 1;
+        size_t least = left;
+        if (right < n && later(heap_[left], heap_[right]))
+            least = right;
+        if (!later(heap_[i], heap_[least]))
+            break;
+        std::swap(heap_[i], heap_[least]);
+        i = least;
+    }
+    return top;
+}
+
 EventId
 Simulator::schedule(Time when, Callback fn)
 {
@@ -17,9 +55,20 @@ Simulator::schedule(Time when, Callback fn)
                   when, now_);
         when = now_;
     }
-    EventId id{when, nextSeq_++};
-    queue_.emplace(Key{id.when, id.seq}, std::move(fn));
-    return id;
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    const std::uint64_t seq = nextSeq_++;
+    slots_[slot].fn = std::move(fn);
+    slots_[slot].seq = seq;
+    pushHeap(HeapEntry{when, seq, slot});
+    ++live_;
+    return EventId{when, seq, slot};
 }
 
 EventId
@@ -31,9 +80,19 @@ Simulator::scheduleAfter(Time delay, Callback fn)
 bool
 Simulator::cancel(const EventId &id)
 {
-    if (!id.valid())
+    if (!id.valid() || id.slot >= slots_.size())
         return false;
-    return queue_.erase(Key{id.when, id.seq}) > 0;
+    Slot &slot = slots_[id.slot];
+    if (slot.seq != id.seq)
+        return false; // already executed, cancelled, or slot reused
+    slot.fn = nullptr;
+    slot.seq = 0;
+    freeSlots_.push_back(id.slot);
+    --live_;
+    // The heap entry stays and is discarded when it surfaces: a slot
+    // reuse cannot be confused with it because sequence numbers are
+    // unique and strictly increasing.
+    return true;
 }
 
 Time
@@ -45,15 +104,24 @@ Simulator::run()
 Time
 Simulator::runUntil(Time deadline)
 {
-    while (!queue_.empty()) {
-        auto it = queue_.begin();
-        if (it->first.first > deadline) {
+    while (!heap_.empty()) {
+        const HeapEntry top = heap_.front();
+        if (slots_[top.slot].seq != top.seq) {
+            popHeap(); // stale entry of a cancelled/rescheduled event
+            continue;
+        }
+        if (top.when > deadline) {
             now_ = deadline;
             return now_;
         }
-        now_ = it->first.first;
-        Callback fn = std::move(it->second);
-        queue_.erase(it);
+        popHeap();
+        now_ = top.when;
+        Slot &slot = slots_[top.slot];
+        Callback fn = std::move(slot.fn);
+        slot.fn = nullptr;
+        slot.seq = 0;
+        freeSlots_.push_back(top.slot);
+        --live_;
         ++processed_;
         fn();
     }

@@ -7,13 +7,21 @@
  * HBM, compute cores, collectives) schedules callbacks on it. Events that
  * share a timestamp run in scheduling order, which makes runs fully
  * deterministic.
+ *
+ * The queue is a binary min-heap over (time, sequence) backed by a
+ * recycled slot pool for the callbacks — the event arena of a run.
+ * Cancellation is O(1): the slot is invalidated and freed immediately,
+ * and the stale heap entry is discarded when it surfaces (it does not
+ * count as a processed event). Rate-shared flows reschedule their
+ * completion on every rate change, so cancel is a hot operation; the
+ * lazy scheme turns what used to be an O(log n) tree erase per
+ * reschedule into a pointer swap.
  */
 #ifndef MESHSLICE_SIM_SIMULATOR_HPP_
 #define MESHSLICE_SIM_SIMULATOR_HPP_
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -26,6 +34,8 @@ struct EventId
 {
     Time when = 0.0;
     std::uint64_t seq = 0;
+    /** Index of the callback's slot in the simulator's slot pool. */
+    std::uint32_t slot = 0;
 
     bool valid() const { return seq != 0; }
 };
@@ -33,7 +43,9 @@ struct EventId
 /**
  * A deterministic discrete-event simulator.
  *
- * Not thread-safe; one instance per simulated cluster.
+ * Not thread-safe; one instance per simulated cluster. Independent
+ * simulators (one per candidate run) may execute concurrently on
+ * different threads.
  */
 class Simulator
 {
@@ -75,21 +87,46 @@ class Simulator
     /** Register a watchdog check (the fluid network installs one). */
     void addQuiescenceCheck(QuiescenceCheck check);
 
-    /** Number of events executed so far. */
+    /** Number of events executed so far (cancelled events never
+     *  count, whether cancelled before or after their heap entry
+     *  surfaces). */
     std::uint64_t eventsProcessed() const { return processed_; }
 
-    /** Number of currently pending events. */
-    size_t pendingEvents() const { return queue_.size(); }
+    /** Number of currently pending (live, uncancelled) events. */
+    size_t pendingEvents() const { return live_; }
 
   private:
-    using Key = std::pair<Time, std::uint64_t>;
+    /** Heap key + slot reference; stale once the slot's seq moved on. */
+    struct HeapEntry
+    {
+        Time when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
 
+    /** One pooled callback; seq == 0 marks the slot free. */
+    struct Slot
+    {
+        Callback fn;
+        std::uint64_t seq = 0;
+    };
+
+    static bool later(const HeapEntry &a, const HeapEntry &b)
+    {
+        return a.when > b.when || (a.when == b.when && a.seq > b.seq);
+    }
+
+    void pushHeap(HeapEntry entry);
+    HeapEntry popHeap();
     void checkQuiescence() const;
 
     Time now_ = 0.0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t processed_ = 0;
-    std::map<Key, Callback> queue_;
+    size_t live_ = 0; ///< heap entries whose slot is still current
+    std::vector<HeapEntry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
     std::vector<QuiescenceCheck> quiescenceChecks_;
 };
 

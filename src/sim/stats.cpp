@@ -150,6 +150,38 @@ StatsRegistry::snapshot() const
     return out;
 }
 
+void
+StatsRegistry::merge(const std::vector<StatSnapshot> &snaps,
+                     const std::string &prefix)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const StatSnapshot &s : snaps) {
+        Entry &e = entryLocked(prefix + s.name, s.kind);
+        if (s.count == 0)
+            continue;
+        if (s.kind == StatKind::kCounter) {
+            e.value += s.value;
+            e.count += s.count;
+        } else {
+            if (e.count == 0) {
+                e.min = s.min;
+                e.max = s.max;
+            } else {
+                e.min = std::min(e.min, s.min);
+                e.max = std::max(e.max, s.max);
+            }
+            e.value += s.value;
+            e.count += s.count;
+        }
+        if (s.kind == StatKind::kHistogram) {
+            if (e.buckets.size() < s.buckets.size())
+                e.buckets.resize(s.buckets.size(), 0);
+            for (size_t i = 0; i < s.buckets.size(); ++i)
+                e.buckets[i] += s.buckets[i];
+        }
+    }
+}
+
 size_t
 StatsRegistry::size() const
 {

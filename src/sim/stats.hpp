@@ -101,6 +101,18 @@ class StatsRegistry
     void clear();
 
     /**
+     * Fold a snapshot (typically another registry's `snapshot()`) into
+     * this registry, each entry under `prefix + its name`. Counters
+     * add, accumulators/histograms combine sample statistics. Applied
+     * regardless of `enabled()` — merging is an explicit aggregation
+     * step, not hot-path instrumentation. Concurrent tuner runs merge
+     * their per-run registries in serial index order through this, so
+     * the aggregate is deterministic.
+     */
+    void merge(const std::vector<StatSnapshot> &snaps,
+               const std::string &prefix = "");
+
+    /**
      * Serialize as a JSON object nested along the '/' hierarchy.
      * Counters become numbers; accumulators/histograms become objects
      * with sum/count/min/max/mean (+buckets).

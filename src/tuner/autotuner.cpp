@@ -1,6 +1,7 @@
 #include "tuner/autotuner.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "tuner/search_trace.hpp"
@@ -275,35 +276,49 @@ LlmAutotuner::tunePhase2(Algorithm algo, std::vector<FcLayerPlan> layers,
     // Evaluate candidates in parallel. Each evaluation only records
     // the tuned (S, time) pairs — the layers vector is *not* copied
     // per shape; the winner's copy is materialized once at the end.
-    const auto eval_shape = [&](std::int64_t idx) {
-        ShapeEval ev;
-        ev.rows = shapes[static_cast<size_t>(idx)].first;
-        ev.cols = shapes[static_cast<size_t>(idx)].second;
-        ev.blockFcTime = 0.0;
-        for (const FcLayerPlan &layer : layers) {
-            for (const GemmPlan &plan : layer.passes) {
-                const Gemm2DSpec spec = makeSpec(plan.gemm, plan.dataflow,
-                                                 ev.rows, ev.cols);
-                auto [s, t] = cost_.tuneSliceCount(algo, spec);
-                ev.perGemm.emplace_back(s, t);
-                ev.blockFcTime += t; // 1e300 == out of memory
+    // Trace records ("slice" lines of the inner search plus the
+    // "shape" line) are buffered per candidate and flushed in serial
+    // index order below, so the trace file is byte-identical to a
+    // MESHSLICE_THREADS=1 run.
+    const bool tracing = SearchTrace::global().enabled();
+    std::vector<SearchTraceCapture> captures(tracing ? shapes.size() : 0);
+    std::vector<ShapeEval> evals(shapes.size());
+    parallelFor(static_cast<std::int64_t>(shapes.size()), 1,
+                [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t idx = begin; idx < end; ++idx) {
+            ShapeEval ev;
+            ev.rows = shapes[static_cast<size_t>(idx)].first;
+            ev.cols = shapes[static_cast<size_t>(idx)].second;
+            ev.blockFcTime = 0.0;
+            std::optional<SearchTraceCapture::Scope> scope;
+            if (tracing)
+                scope.emplace(captures[static_cast<size_t>(idx)]);
+            for (const FcLayerPlan &layer : layers) {
+                for (const GemmPlan &plan : layer.passes) {
+                    const Gemm2DSpec spec = makeSpec(
+                        plan.gemm, plan.dataflow, ev.rows, ev.cols);
+                    auto [s, t] = cost_.tuneSliceCount(algo, spec);
+                    ev.perGemm.emplace_back(s, t);
+                    ev.blockFcTime += t; // 1e300 == out of memory
+                }
             }
+            if (tracing)
+                traceShapeCandidate(algo, chips, ev.rows, ev.cols,
+                                    /*feasible=*/true, ev.blockFcTime);
+            evals[static_cast<size_t>(idx)] = std::move(ev);
         }
-        if (SearchTrace::global().enabled())
-            traceShapeCandidate(algo, chips, ev.rows, ev.cols,
-                                /*feasible=*/true, ev.blockFcTime);
-        return ev;
-    };
-    // The reduction is serial and index-ordered (meshShapesOf order =
-    // increasing rows), so ties keep the earliest candidate — lowest
-    // rows first — and the result is bit-identical to the serial loop
-    // for any MESHSLICE_THREADS.
-    ShapeEval best = parallelMapReduce(
-        static_cast<std::int64_t>(shapes.size()), ShapeEval{}, eval_shape,
-        [](ShapeEval acc, ShapeEval next) {
-            return next.blockFcTime < acc.blockFcTime ? std::move(next)
-                                                      : std::move(acc);
-        });
+    });
+    // Serial, index-ordered fold (meshShapesOf order = increasing
+    // rows): ties keep the earliest candidate — lowest rows first — so
+    // the result is bit-identical to the serial loop for any
+    // MESHSLICE_THREADS.
+    ShapeEval best;
+    for (size_t i = 0; i < evals.size(); ++i) {
+        if (tracing)
+            captures[i].flushToGlobal();
+        if (evals[i].blockFcTime < best.blockFcTime)
+            best = std::move(evals[i]);
+    }
     if (best.blockFcTime >= 1e300)
         panic("LlmAutotuner: no feasible mesh shape for %d chips", chips);
 
@@ -356,7 +371,11 @@ LlmAutotuner::rankShapes(Algorithm algo, const TransformerConfig &model,
         panic("LlmAutotuner: no feasible mesh shape for %d chips", chips);
 
     // Evaluate every candidate (deterministically indexed, so the
-    // parallel fill is bit-identical to the serial loop).
+    // parallel fill is bit-identical to the serial loop). The inner
+    // search's "slice" trace records are buffered per candidate and
+    // flushed in index order for a deterministic trace file.
+    const bool tracing = SearchTrace::global().enabled();
+    std::vector<SearchTraceCapture> captures(tracing ? shapes.size() : 0);
     std::vector<ShapeEval> evals(shapes.size());
     parallelFor(static_cast<std::int64_t>(shapes.size()), 1,
                 [&](std::int64_t begin, std::int64_t end) {
@@ -365,6 +384,10 @@ LlmAutotuner::rankShapes(Algorithm algo, const TransformerConfig &model,
                         ev.rows = shapes[static_cast<size_t>(i)].first;
                         ev.cols = shapes[static_cast<size_t>(i)].second;
                         ev.blockFcTime = 0.0;
+                        std::optional<SearchTraceCapture::Scope> scope;
+                        if (tracing)
+                            scope.emplace(
+                                captures[static_cast<size_t>(i)]);
                         for (const FcLayerPlan &layer : layers)
                             for (const GemmPlan &plan : layer.passes) {
                                 const Gemm2DSpec spec =
@@ -378,6 +401,8 @@ LlmAutotuner::rankShapes(Algorithm algo, const TransformerConfig &model,
                         evals[static_cast<size_t>(i)] = std::move(ev);
                     }
                 });
+    for (SearchTraceCapture &cap : captures)
+        cap.flushToGlobal();
 
     // meshShapesOf yields increasing rows; stable sort on time keeps
     // the lowest-rows candidate first on ties, matching tunePhase2.

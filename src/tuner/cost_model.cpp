@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -348,8 +349,15 @@ CostModel::tuneSliceCount(Algorithm algo, const Gemm2DSpec &spec) const
     // increasing, so ties resolve to the lowest S exactly as the
     // serial loop did). Chunked so the per-candidate work amortizes
     // the pool hand-off; nested calls (e.g. from the phase-2 shape
-    // search) run inline on the calling worker.
+    // search) run inline on the calling worker. Trace records are
+    // buffered per candidate and flushed in index order, keeping the
+    // trace file deterministic when this runs at top level on the pool.
+    std::vector<SearchTraceCapture> captures(
+        tracing ? slice_counts.size() : 0);
     const auto eval = [&](std::int64_t i) -> std::pair<int, Time> {
+        std::optional<SearchTraceCapture::Scope> scope;
+        if (tracing)
+            scope.emplace(captures[static_cast<size_t>(i)]);
         Gemm2DSpec candidate = spec;
         candidate.sliceCount = slice_counts[static_cast<size_t>(i)];
         // Slicing shrinks the gather buffers; configurations that blow
@@ -374,6 +382,8 @@ CostModel::tuneSliceCount(Algorithm algo, const Gemm2DSpec &spec) const
                                                                : acc;
         },
         /*chunk=*/4);
+    for (SearchTraceCapture &cap : captures)
+        cap.flushToGlobal();
     if (best_s == 0)
         return {1, 1e300}; // nothing fits at this mesh shape
     return {best_s, best_t};

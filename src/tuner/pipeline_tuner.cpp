@@ -5,6 +5,7 @@
 #include "tuner/search_trace.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace meshslice {
 
@@ -127,7 +128,8 @@ evaluatePipelineCandidate(const LlmAutotuner &tuner,
                           const TransformerConfig &model,
                           const TrainingConfig &train,
                           const PipelineAxes &axes,
-                          const PipelineTuneConfig &cfg, bool simulate)
+                          const PipelineTuneConfig &cfg, bool simulate,
+                          StatsRegistry *sim_stats)
 {
     const ChipConfig &chip = tuner.cost().chip();
     PipelineCandidate cand;
@@ -196,10 +198,16 @@ evaluatePipelineCandidate(const LlmAutotuner &tuner,
         // One pipeline replica is simulated; the DP all-reduce is the
         // same analytic term on both sides of the comparison.
         Cluster cluster(chip, axes.pp * tp);
+        if (sim_stats != nullptr)
+            cluster.stats().enable(true);
         PipelineCluster pc(cluster, axes.pp, cand.axes.tpRows,
                            cand.axes.tpCols);
         const PipelineRunResult run = runPipeline(pc, exec);
         cand.simTotal = run.time + cand.estDp;
+        if (sim_stats != nullptr) {
+            cluster.collectResourceStats(cluster.stats());
+            sim_stats->merge(cluster.stats().snapshot());
+        }
     }
     return cand;
 }
@@ -207,7 +215,7 @@ evaluatePipelineCandidate(const LlmAutotuner &tuner,
 PipelineTuneResult
 tunePipeline(const LlmAutotuner &tuner, const TransformerConfig &model,
              const TrainingConfig &train, int chips,
-             const PipelineTuneConfig &cfg)
+             const PipelineTuneConfig &cfg, StatsRegistry *stats)
 {
     if (chips < 1)
         fatal("tunePipeline: need at least one chip (got %d)", chips);
@@ -282,17 +290,52 @@ tunePipeline(const LlmAutotuner &tuner, const TransformerConfig &model,
                   return a.axes.microBatches < b.axes.microBatches;
               });
 
-    // Simulate the analytic shortlist and pick by simulated time.
+    // Simulate the analytic shortlist concurrently (each candidate on
+    // a private cluster), then fold trace records, stats and the pick
+    // in serial index order — bit-identical to the serial loop.
     const int k = std::min<int>(
         cfg.topK, static_cast<int>(result.candidates.size()));
+    const bool tracing = SearchTrace::global().enabled();
+    std::vector<SearchTraceCapture> captures(
+        tracing ? static_cast<size_t>(k) : 0);
+    std::vector<std::vector<StatSnapshot>> cand_stats(
+        stats != nullptr ? static_cast<size_t>(k) : 0);
+    parallelFor(k, 1, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+            PipelineCandidate &cand =
+                result.candidates[static_cast<size_t>(i)];
+            StatsRegistry cand_reg;
+            StatsRegistry *sim_stats =
+                stats != nullptr ? &cand_reg : nullptr;
+            if (tracing) {
+                // Buffer this candidate's records (the inner tune's
+                // "slice"/"shape" lines plus our "pipeline" line) for
+                // the serial-order flush below.
+                SearchTraceCapture::Scope scope(
+                    captures[static_cast<size_t>(i)]);
+                cand = evaluatePipelineCandidate(tuner, model, train,
+                                                 cand.axes, cfg,
+                                                 /*simulate=*/true,
+                                                 sim_stats);
+                tracePipelineCandidate(chips, cand, true);
+            } else {
+                cand = evaluatePipelineCandidate(tuner, model, train,
+                                                 cand.axes, cfg,
+                                                 /*simulate=*/true,
+                                                 sim_stats);
+            }
+            if (stats != nullptr)
+                cand_stats[static_cast<size_t>(i)] = cand_reg.snapshot();
+        }
+    });
     int best = 0;
     for (int i = 0; i < k; ++i) {
-        PipelineCandidate &cand =
-            result.candidates[static_cast<size_t>(i)];
-        cand = evaluatePipelineCandidate(tuner, model, train, cand.axes,
-                                         cfg, /*simulate=*/true);
-        tracePipelineCandidate(chips, cand, true);
-        if (cand.simTotal <
+        if (tracing)
+            captures[static_cast<size_t>(i)].flushToGlobal();
+        if (stats != nullptr)
+            stats->merge(cand_stats[static_cast<size_t>(i)],
+                         strprintf("pipeline/top%d/", i));
+        if (result.candidates[static_cast<size_t>(i)].simTotal <
             result.candidates[static_cast<size_t>(best)].simTotal)
             best = i;
     }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "pipeline/stage_model.hpp"
+#include "sim/stats.hpp"
 #include "tuner/autotuner.hpp"
 
 namespace meshslice {
@@ -96,11 +97,20 @@ struct PipelineTuneResult
  * decomposition exists (e.g. chips does not factor against the model).
  * The returned candidates' `estTotal` ordering is deterministic (ties
  * broken by lower pp, then dp, then micro-batch count).
+ *
+ * The top-K simulated re-evaluations run concurrently on the global
+ * thread pool (each candidate simulates on a private cluster); their
+ * trace records are captured per candidate and flushed in serial index
+ * order, so the pick and the SearchTrace file are bit-identical to a
+ * `MESHSLICE_THREADS=1` run. When @p stats is non-null each simulated
+ * candidate's per-resource accounting is merged under
+ * `pipeline/top<i>/...`.
  */
 PipelineTuneResult tunePipeline(const LlmAutotuner &tuner,
                                 const TransformerConfig &model,
                                 const TrainingConfig &train, int chips,
-                                const PipelineTuneConfig &cfg);
+                                const PipelineTuneConfig &cfg,
+                                StatsRegistry *stats = nullptr);
 
 /**
  * Analytic + simulated step of ONE fully specified decomposition (the
@@ -108,14 +118,18 @@ PipelineTuneResult tunePipeline(const LlmAutotuner &tuner,
  * runs phase 1+2 at the micro-batch size, sizes the stage memory,
  * computes the analytical span and — when @p simulate is set — the
  * simulated span on a fresh pp x tpRows x tpCols cluster. DP cost is
- * added analytically to both sides (one replica is simulated).
+ * added analytically to both sides (one replica is simulated). A
+ * non-null @p sim_stats receives the simulated cluster's per-resource
+ * accounting (merged after the run; only meaningful with @p simulate).
  */
 PipelineCandidate evaluatePipelineCandidate(const LlmAutotuner &tuner,
                                             const TransformerConfig &model,
                                             const TrainingConfig &train,
                                             const PipelineAxes &axes,
                                             const PipelineTuneConfig &cfg,
-                                            bool simulate);
+                                            bool simulate,
+                                            StatsRegistry *sim_stats
+                                            = nullptr);
 
 } // namespace meshslice
 

@@ -9,6 +9,7 @@
 #include "tuner/search_trace.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace meshslice {
 
@@ -187,7 +188,8 @@ sampleScenarios(const RobustTuneConfig &cfg, int chips)
 RobustTuneResult
 tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
            const TransformerConfig &model, const TrainingConfig &train,
-           int chips, const RobustTuneConfig &cfg, bool optimize_dataflow)
+           int chips, const RobustTuneConfig &cfg, bool optimize_dataflow,
+           StatsRegistry *stats)
 {
     if (!(cfg.quantile > 0.0 && cfg.quantile <= 1.0))
         fatal("tuneRobust: quantile %g outside (0, 1]", cfg.quantile);
@@ -200,30 +202,63 @@ tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
         algo, model, train, chips, cfg.topK, optimize_dataflow);
     const ChipConfig &chip = tuner.cost().chip();
 
+    // Per-candidate GeMM subsets (serial: cheap, and keeps the
+    // truncation deterministic regardless of worker scheduling).
+    std::vector<std::vector<GemmPlan>> gemm_sets;
+    gemm_sets.reserve(shortlist.size());
     for (const AutotuneResult &plan : shortlist) {
-        RobustCandidate cand;
-        cand.plan = plan;
-        cand.nominalEst = plan.blockFcTime;
-
         std::vector<GemmPlan> gemms = plan.allPlans();
         if (cfg.maxGemmsPerEval > 0 &&
             static_cast<int>(gemms.size()) > cfg.maxGemmsPerEval)
             gemms.resize(static_cast<size_t>(cfg.maxGemmsPerEval));
+        gemm_sets.push_back(std::move(gemms));
+    }
 
-        for (size_t i = 0; i < result.scenarios.size(); ++i) {
+    // Every (candidate, scenario) cell is an independent simulation on
+    // a private cluster: fan the cells out on the pool, then fold
+    // times, trace records and stats in serial cell order below.
+    const size_t num_scen = result.scenarios.size();
+    const std::int64_t cells =
+        static_cast<std::int64_t>(shortlist.size() * num_scen);
+    std::vector<Time> cell_time(static_cast<size_t>(cells), 0.0);
+    std::vector<std::vector<StatSnapshot>> cell_stats(
+        stats != nullptr ? static_cast<size_t>(cells) : 0);
+    parallelFor(cells, 1, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t c = begin; c < end; ++c) {
+            const size_t ci = static_cast<size_t>(c) / num_scen;
+            const size_t si = static_cast<size_t>(c) % num_scen;
+            const AutotuneResult &plan = shortlist[ci];
+            StatsRegistry cell_reg;
+            StatsRegistry *cell = stats != nullptr ? &cell_reg : nullptr;
             Time step = 0.0;
-            for (const GemmPlan &g : gemms) {
+            for (const GemmPlan &g : gemm_sets[ci]) {
                 const Gemm2DSpec spec =
                     makeSpec(g.gemm, g.dataflow, plan.rows, plan.cols,
                              g.sliceCount, chip.bytesPerElement);
                 step += runGemmUnderScenario(chip, algo, spec,
-                                             &result.scenarios[i])
+                                             &result.scenarios[si], cell)
                             .time;
             }
-            cand.scenarioTimes.push_back(step);
-            if (SearchTrace::global().enabled())
-                traceRobustEval(algo, chips, cand, static_cast<int>(i),
-                                step);
+            cell_time[static_cast<size_t>(c)] = step;
+            if (stats != nullptr)
+                cell_stats[static_cast<size_t>(c)] = cell_reg.snapshot();
+        }
+    });
+
+    const bool tracing = SearchTrace::global().enabled();
+    for (size_t ci = 0; ci < shortlist.size(); ++ci) {
+        RobustCandidate cand;
+        cand.plan = shortlist[ci];
+        cand.nominalEst = shortlist[ci].blockFcTime;
+        for (size_t si = 0; si < num_scen; ++si) {
+            const size_t c = ci * num_scen + si;
+            cand.scenarioTimes.push_back(cell_time[c]);
+            if (tracing)
+                traceRobustEval(algo, chips, cand, static_cast<int>(si),
+                                cell_time[c]);
+            if (stats != nullptr)
+                stats->merge(cell_stats[c],
+                             strprintf("robust/cand%zu/scen%zu/", ci, si));
         }
         cand.objective = robustObjective(cand.scenarioTimes, cfg.quantile);
         result.candidates.push_back(std::move(cand));
@@ -269,44 +304,56 @@ tuneWithRecovery(const LlmAutotuner &tuner, Algorithm algo,
         static_cast<double>(cfg.checkpointBytesPerChip) *
         static_cast<double>(chips);
 
+    // Candidate pricing is independent per shape: evaluate on the pool,
+    // then trace and collect in serial index order (bit-identical to
+    // the serial loop).
     RecoveryTuneResult result;
-    for (const AutotuneResult &plan : shortlist) {
-        RecoveryCandidate cand;
-        cand.plan = plan;
-        cand.stepTime = plan.blockFcTime;
+    std::vector<RecoveryCandidate> evals(shortlist.size());
+    parallelFor(static_cast<std::int64_t>(shortlist.size()), 1,
+                [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t idx = begin; idx < end; ++idx) {
+            const AutotuneResult &plan = shortlist[static_cast<size_t>(idx)];
+            RecoveryCandidate cand;
+            cand.plan = plan;
+            cand.stepTime = plan.blockFcTime;
 
-        // Cheapest orientation of the single-failure re-shard: the
-        // recovery controller picks row vs column retirement after
-        // seeing the failure, so the tuner charges the better of the
-        // two expectations.
-        const ReshardEstimate by_row =
-            expectedReshard(chip, plan.rows, plan.cols, total_state, true);
-        const ReshardEstimate by_col =
-            expectedReshard(chip, plan.rows, plan.cols, total_state, false);
-        const ReshardEstimate *best = nullptr;
-        if (by_row.time >= 0.0)
-            best = &by_row;
-        if (by_col.time >= 0.0 && (!best || by_col.time < best->time))
-            best = &by_col;
-        if (!best)
-            fatal("tuneWithRecovery: a %dx%d mesh has no survivor mesh "
-                  "to re-shard onto after a failure", plan.rows,
-                  plan.cols);
-        cand.reshardBytes = best->bytes;
-        cand.reshardTime = best->time;
+            // Cheapest orientation of the single-failure re-shard: the
+            // recovery controller picks row vs column retirement after
+            // seeing the failure, so the tuner charges the better of
+            // the two expectations.
+            const ReshardEstimate by_row = expectedReshard(
+                chip, plan.rows, plan.cols, total_state, true);
+            const ReshardEstimate by_col = expectedReshard(
+                chip, plan.rows, plan.cols, total_state, false);
+            const ReshardEstimate *best = nullptr;
+            if (by_row.time >= 0.0)
+                best = &by_row;
+            if (by_col.time >= 0.0 && (!best || by_col.time < best->time))
+                best = &by_col;
+            if (!best)
+                fatal("tuneWithRecovery: a %dx%d mesh has no survivor "
+                      "mesh to re-shard onto after a failure", plan.rows,
+                      plan.cols);
+            cand.reshardBytes = best->bytes;
+            cand.reshardTime = best->time;
 
-        TrainingRunModel run;
-        run.checkpointBytesPerChip = cfg.checkpointBytesPerChip;
-        run.chipMtbf = cfg.chipMtbf;
-        run.chips = chips;
-        run.detectionLatency = cfg.detectionLatency;
-        run.restartTime = cfg.restartTime;
-        run.reshardTime = best->time;
-        const TrainingGoodput g = evaluateTrainingRun(chip, run);
-        cand.checkpointInterval = g.optimalInterval;
-        cand.goodput = g.goodput;
-        cand.effectiveStepTime = cand.stepTime / cand.goodput;
-        if (SearchTrace::global().enabled())
+            TrainingRunModel run;
+            run.checkpointBytesPerChip = cfg.checkpointBytesPerChip;
+            run.chipMtbf = cfg.chipMtbf;
+            run.chips = chips;
+            run.detectionLatency = cfg.detectionLatency;
+            run.restartTime = cfg.restartTime;
+            run.reshardTime = best->time;
+            const TrainingGoodput g = evaluateTrainingRun(chip, run);
+            cand.checkpointInterval = g.optimalInterval;
+            cand.goodput = g.goodput;
+            cand.effectiveStepTime = cand.stepTime / cand.goodput;
+            evals[static_cast<size_t>(idx)] = std::move(cand);
+        }
+    });
+    const bool tracing = SearchTrace::global().enabled();
+    for (RecoveryCandidate &cand : evals) {
+        if (tracing)
             traceRecoveryEval(algo, chips, cand);
         result.candidates.push_back(std::move(cand));
     }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/fault.hpp"
+#include "sim/stats.hpp"
 #include "tuner/autotuner.hpp"
 
 namespace meshslice {
@@ -110,12 +111,21 @@ std::vector<FaultScenario> sampleScenarios(const RobustTuneConfig &cfg,
 /**
  * Robust phase-2: shortlist `cfg.topK` shapes with @p tuner, simulate
  * each under the scenarios, pick by the quantile objective.
+ *
+ * The (candidate, scenario) evaluations are independent simulations on
+ * private clusters and run concurrently on the global thread pool;
+ * results, trace records and stats are folded in serial cell order, so
+ * the pick, the SearchTrace file and the merged registry are
+ * bit-identical to a `MESHSLICE_THREADS=1` run. When @p stats is
+ * non-null each cell's per-resource accounting is merged under
+ * `robust/cand<ci>/scen<si>/...`.
  */
 RobustTuneResult tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
                             const TransformerConfig &model,
                             const TrainingConfig &train, int chips,
                             const RobustTuneConfig &cfg,
-                            bool optimize_dataflow = true);
+                            bool optimize_dataflow = true,
+                            StatsRegistry *stats = nullptr);
 
 /** The objective: @p q-quantile of @p times (1.0 = max). */
 Time robustObjective(std::vector<Time> times, double q);

@@ -4,6 +4,39 @@
 
 namespace meshslice {
 
+namespace {
+
+/** The calling thread's active capture (innermost), if any. */
+thread_local SearchTraceCapture *t_capture = nullptr;
+
+} // namespace
+
+bool
+SearchTrace::enabled() const
+{
+    return t_capture != nullptr ||
+           enabled_.load(std::memory_order_relaxed);
+}
+
+SearchTraceCapture::Scope::Scope(SearchTraceCapture &cap)
+    : prev_(t_capture)
+{
+    t_capture = &cap;
+}
+
+SearchTraceCapture::Scope::~Scope()
+{
+    t_capture = prev_;
+}
+
+void
+SearchTraceCapture::flushToGlobal()
+{
+    for (const std::string &line : lines_)
+        SearchTrace::global().record(line);
+    lines_.clear();
+}
+
 SearchTrace &
 SearchTrace::global()
 {
@@ -53,6 +86,10 @@ SearchTrace::close()
 void
 SearchTrace::record(const std::string &json_line)
 {
+    if (t_capture != nullptr) {
+        t_capture->lines_.push_back(json_line);
+        return;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (file_ == nullptr)
         return;

@@ -20,8 +20,11 @@
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace meshslice {
+
+class SearchTraceCapture;
 
 /** Process-wide JSONL sink for autotuner search telemetry. */
 class SearchTrace
@@ -44,15 +47,27 @@ class SearchTrace
     /** Flush and close the sink; recording stops. Idempotent. */
     void close();
 
-    /** True while a sink file is open. Call sites must check this
-     *  before building a record string. */
-    bool enabled() const
+    /**
+     * True while records have somewhere to go: a sink file is open, or
+     * the calling thread has a `SearchTraceCapture` installed. Call
+     * sites must check this before building a record string.
+     */
+    bool enabled() const;
+
+    /** True while a sink file is open (capture-independent). Tuners
+     *  use this to decide whether per-candidate captures are needed at
+     *  all: with the sink closed nothing is recorded anyway. */
+    bool sinkOpen() const
     {
         return enabled_.load(std::memory_order_relaxed);
     }
 
-    /** Append one JSON object (no trailing newline) as a JSONL line.
-     *  No-op when the sink is closed. */
+    /**
+     * Append one JSON object (no trailing newline) as a JSONL line. If
+     * the calling thread has a `SearchTraceCapture` installed the line
+     * is buffered there instead (lock-free); otherwise it goes to the
+     * sink file. No-op when neither is active.
+     */
     void record(const std::string &json_line);
 
     /** Lines written since the sink was last opened. */
@@ -67,6 +82,54 @@ class SearchTrace
     mutable std::mutex mu_;
     std::FILE *file_ = nullptr;
     std::string path_; ///< of the open sink (for error messages)
+};
+
+/**
+ * Per-work-item buffer that makes concurrent tracing deterministic.
+ *
+ * When a tuner loop runs on the thread pool, letting each worker write
+ * to the global sink interleaves records in scheduling order — a
+ * nondeterministic file. Instead the tuner allocates one capture per
+ * candidate index, each worker installs "its" capture for the duration
+ * of the work item (`Scope`), and after the parallel loop the captures
+ * are flushed in serial index order. The resulting trace is
+ * byte-identical to a single-threaded run.
+ *
+ * `flushToGlobal` re-emits through `SearchTrace::record`, so with
+ * nested parallel searches (a pipeline candidate running the shape
+ * tuner inside) an inner flush lands in the *outer* thread's capture
+ * and is serialized by the outer flush.
+ */
+class SearchTraceCapture
+{
+  public:
+    SearchTraceCapture() = default;
+    SearchTraceCapture(const SearchTraceCapture &) = delete;
+    SearchTraceCapture &operator=(const SearchTraceCapture &) = delete;
+
+    /** Installs @p cap as the calling thread's record target for the
+     *  lifetime of the scope (restores the previous target after). */
+    class Scope
+    {
+      public:
+        explicit Scope(SearchTraceCapture &cap);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        SearchTraceCapture *prev_;
+    };
+
+    /** Re-emit the buffered lines in capture order (through the
+     *  calling thread's current target) and clear the buffer. */
+    void flushToGlobal();
+
+    const std::vector<std::string> &lines() const { return lines_; }
+
+  private:
+    friend class SearchTrace;
+    std::vector<std::string> lines_;
 };
 
 } // namespace meshslice

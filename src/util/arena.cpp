@@ -1,0 +1,65 @@
+#include "util/arena.hpp"
+
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+Arena::Arena(std::size_t chunk_bytes) : chunkBytes_(roundUp(chunk_bytes))
+{
+    if (chunk_bytes == 0)
+        panic("Arena: chunk size must be positive");
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    if (align > kGranule)
+        panic("Arena: over-aligned allocation (align %zu > %zu)", align,
+              kGranule);
+    const std::size_t size = roundUp(bytes ? bytes : 1);
+    inUse_ += size;
+
+    // Recycle a freed block of the same size class if one exists.
+    const std::size_t cls = size / kGranule;
+    if (cls < freeLists_.size() && freeLists_[cls] != nullptr) {
+        FreeBlock *block = freeLists_[cls];
+        freeLists_[cls] = block->next;
+        return block;
+    }
+
+    if (size > curLeft_) {
+        // Oversized requests (bucket arrays of a growing hash map) get
+        // a dedicated chunk; the partially-used current chunk is kept
+        // for subsequent small allocations.
+        const std::size_t chunk = size > chunkBytes_ ? size : chunkBytes_;
+        chunks_.push_back(std::make_unique<char[]>(chunk));
+        reserved_ += chunk;
+        if (size > chunkBytes_) {
+            // Dedicated chunk: consumed whole, bump state untouched.
+            return chunks_.back().get();
+        }
+        cur_ = chunks_.back().get();
+        curLeft_ = chunk;
+    }
+    char *p = cur_;
+    cur_ += size;
+    curLeft_ -= size;
+    return p;
+}
+
+void
+Arena::deallocate(void *p, std::size_t bytes)
+{
+    if (p == nullptr)
+        return;
+    const std::size_t size = roundUp(bytes ? bytes : 1);
+    inUse_ -= size;
+    const std::size_t cls = size / kGranule;
+    if (freeLists_.size() <= cls)
+        freeLists_.resize(cls + 1, nullptr);
+    FreeBlock *block = static_cast<FreeBlock *>(p);
+    block->next = freeLists_[cls];
+    freeLists_[cls] = block;
+}
+
+} // namespace meshslice

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-run arena allocator for simulation objects.
+ *
+ * A simulation run churns through many small, identically-sized
+ * allocations — fluid-flow map nodes, event bookkeeping — whose
+ * lifetimes all end with the run. `Arena` serves them from large
+ * chunks with a bump pointer plus per-size-class free lists, so
+ * allocation is a pointer increment, freed blocks are recycled without
+ * touching the global heap, and everything is released at once when
+ * the owning run (its `Cluster`) is destroyed. Because each run owns
+ * its arena, concurrent candidate simulations never contend on a
+ * shared allocator — one of the isolation requirements of the
+ * parallel tuner loops.
+ *
+ * Not thread-safe by design: an arena belongs to exactly one
+ * simulation run, which is single-threaded.
+ */
+#ifndef MESHSLICE_UTIL_ARENA_HPP_
+#define MESHSLICE_UTIL_ARENA_HPP_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace meshslice {
+
+/** Chunked bump allocator with size-class free-list recycling. */
+class Arena
+{
+  public:
+    /** @p chunk_bytes is the granularity of upstream allocations. */
+    explicit Arena(std::size_t chunk_bytes = 64 * 1024);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p bytes aligned to @p align (<= alignof(max_align_t);
+     * the arena is for ordinary objects, not over-aligned types).
+     * Never returns null (allocation failure is fatal, as everywhere
+     * in this codebase).
+     */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /** Return a block to the arena's free list for reuse. */
+    void deallocate(void *p, std::size_t bytes);
+
+    /** Total bytes reserved from the upstream allocator. */
+    std::size_t bytesReserved() const { return reserved_; }
+
+    /** Bytes currently handed out (allocated minus deallocated). */
+    std::size_t bytesInUse() const { return inUse_; }
+
+  private:
+    struct FreeBlock
+    {
+        FreeBlock *next;
+    };
+
+    /** All blocks are rounded up to a multiple of this (and it is the
+     *  maximum alignment served). */
+    static constexpr std::size_t kGranule = alignof(std::max_align_t);
+
+    static std::size_t roundUp(std::size_t bytes)
+    {
+        return (bytes + kGranule - 1) / kGranule * kGranule;
+    }
+
+    std::vector<std::unique_ptr<char[]>> chunks_;
+    std::size_t chunkBytes_;
+    char *cur_ = nullptr;       ///< bump pointer into the last chunk
+    std::size_t curLeft_ = 0;   ///< bytes left after the bump pointer
+    /** Free list heads, indexed by size class (rounded size / granule). */
+    std::vector<FreeBlock *> freeLists_;
+    std::size_t reserved_ = 0;
+    std::size_t inUse_ = 0;
+};
+
+/**
+ * Minimal STL allocator over an `Arena` (the arena must outlive every
+ * container using it). Containers sharing one arena compare equal.
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(Arena *arena) : arena_(arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) : arena_(other.arena())
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+
+    void deallocate(T *p, std::size_t n)
+    {
+        arena_->deallocate(p, n * sizeof(T));
+    }
+
+    Arena *arena() const { return arena_; }
+
+  private:
+    Arena *arena_;
+};
+
+template <typename A, typename B>
+bool
+operator==(const ArenaAllocator<A> &a, const ArenaAllocator<B> &b)
+{
+    return a.arena() == b.arena();
+}
+
+template <typename A, typename B>
+bool
+operator!=(const ArenaAllocator<A> &a, const ArenaAllocator<B> &b)
+{
+    return !(a == b);
+}
+
+} // namespace meshslice
+
+#endif // MESHSLICE_UTIL_ARENA_HPP_

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Runs the observability report (and, when given, the robustness,
-# recovery and pipeline reports) in a scratch directory and validates
-# every JSON artifact they produce with `python3 -m json.tool`, plus
-# per-line checks of the JSONL search traces. A missing-but-expected
-# artifact is a failure. Reports run in `--smoke` mode (shrunken
-# sweeps, same JSON schema) to keep the tier-1 `check_json` ctest and
-# the `check-json` build target fast.
+# recovery, pipeline and micro-kernel reports) in a scratch directory
+# and validates every JSON artifact they produce with
+# `python3 -m json.tool`, plus per-line checks of the JSONL search
+# traces. A missing-but-expected artifact is a failure — including a
+# BENCH_kernels.json without its sim_throughput section. Reports run
+# in `--smoke` mode (shrunken sweeps, same JSON schema) to keep the
+# tier-1 `check_json` ctest and the `check-json` build target fast.
 #
 # Usage: check_json.sh <observability_report> [robustness_report]
-#        [recovery_report] [pipeline_report] [chips]
+#        [recovery_report] [pipeline_report] [micro_kernels] [chips]
 set -euo pipefail
 
 bin=$(readlink -f "$1")
@@ -16,6 +17,7 @@ shift
 robust_bin=""
 recovery_bin=""
 pipeline_bin=""
+micro_bin=""
 chips=16
 for arg in "$@"; do
     if [ -f "$arg" ] && [ -x "$arg" ]; then
@@ -25,6 +27,8 @@ for arg in "$@"; do
             recovery_bin=$(readlink -f "$arg")
         elif [ -z "$pipeline_bin" ]; then
             pipeline_bin=$(readlink -f "$arg")
+        elif [ -z "$micro_bin" ]; then
+            micro_bin=$(readlink -f "$arg")
         else
             echo "check_json.sh: too many report binaries: $arg" >&2
             exit 2
@@ -133,6 +137,42 @@ EOF
         echo "ok   BENCH_pipeline.json cross-checks"
     else
         echo "FAIL BENCH_pipeline.json cross-checks"
+        status=1
+    fi
+fi
+
+if [ -n "$micro_bin" ]; then
+    # The micro-kernel bench's positional argument is the GeMM dim,
+    # not a chip count; --smoke picks its own sizes.
+    "$micro_bin" --smoke > micro_kernels.out
+    check_file BENCH_kernels.json
+    # The sim_throughput section (parallel-simulation PR) must be
+    # present, with the bench's own identity/determinism checks true.
+    if "$python3" - BENCH_kernels.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+sim = doc.get("sim_throughput")
+if sim is None:
+    sys.exit("BENCH_kernels.json: missing sim_throughput section")
+for key in ("batched", "eager", "identity_check", "candidates"):
+    if key not in sim:
+        sys.exit("BENCH_kernels.json: sim_throughput missing %r" % key)
+checks = {
+    "identical_time": sim["identity_check"].get("identical_time"),
+    "identical_events": sim["identity_check"].get("identical_events"),
+    "picks_identical": sim["candidates"].get("picks_identical"),
+}
+bad = [k for k, v in checks.items() if v is not True]
+if bad:
+    sys.exit("BENCH_kernels.json sim_throughput checks failed: %s"
+             % ", ".join(bad))
+EOF
+    then
+        echo "ok   BENCH_kernels.json sim_throughput"
+    else
+        echo "FAIL BENCH_kernels.json sim_throughput"
         status=1
     fi
 fi

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Full CI sweep: builds the Release, ThreadSanitizer and
 # AddressSanitizer configurations, runs ctest on each, and validates
-# every BENCH_*.json artifact (observability + robustness reports) via
-# the `check-json` target of the Release build.
+# every BENCH_*.json artifact via the `check-json` target of the
+# Release build — including the smoke run of the sim-throughput
+# microbenchmark, whose BENCH_kernels.json must carry a valid
+# sim_throughput section (batched-accounting identity and
+# thread-count-invariant robust picks are checked inside it). Every
+# ctest pass also runs the `sim-throughput-smoke`-labelled test, so
+# the concurrent-candidate path executes under both sanitizers.
 #
 # Usage: tools/run_ci.sh [build-root]
 #   build-root defaults to ./build-ci; one subdirectory per config.
