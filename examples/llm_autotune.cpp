@@ -10,18 +10,51 @@
  * the complete 3D plan: parallelism axes, schedule, memory footprint
  * and the TP plan re-tuned at the micro-batch size.
  *
- * Usage: llm_autotune [chips]   (default 256)
+ * With `--explain`, the phase-2 shortlist is additionally re-run under
+ * the critical-path profiler and each candidate's bottleneck
+ * attribution (category shares, hottest zero-slack spans, what-if
+ * sensitivities) is printed — the "why is this shape fast" companion
+ * to the ranking.
+ *
+ * Usage: llm_autotune [chips] [--explain]   (default 256)
  */
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "bench/common.hpp"
 #include "tuner/autotuner.hpp"
+#include "tuner/explain.hpp"
 #include "tuner/pipeline_tuner.hpp"
 
 using namespace meshslice;
 
 namespace {
+
+/** Human-readable explain block for the phase-2 shortlist. */
+void
+printExplain(const std::vector<CandidateExplain> &shortlist)
+{
+    std::printf("\ncritical-path explain (top %d shapes, fwd GeMMs):\n",
+                static_cast<int>(shortlist.size()));
+    for (const CandidateExplain &cand : shortlist) {
+        const ExplainRecord &e = cand.explain;
+        std::printf("  #%d %dx%d: span %.3f ms |", cand.rank,
+                    cand.plan.rows, cand.plan.cols, e.span * 1e3);
+        for (int c = 0; c < kSpanCategoryCount; ++c) {
+            const SpanCategory cat = static_cast<SpanCategory>(c);
+            if (e.byCategory[c] > 0.0)
+                std::printf(" %s %.1f%%", spanCategoryName(cat),
+                            e.categoryShare(cat) * 100.0);
+        }
+        std::printf(" | what-if: compute x2 -> %.3f ms, link x2 -> "
+                    "%.3f ms\n",
+                    e.whatifCompute2x * 1e3, e.whatifLink2x * 1e3);
+        for (const HotSpan &h : e.hotSpans)
+            std::printf("       hot: %-20s chip %-3d %.3f ms\n",
+                        h.name.c_str(), h.chip, h.duration * 1e3);
+    }
+}
 
 /** Per-GeMM table of one TP plan: dataflow, slice count, estimate. */
 void
@@ -44,7 +77,14 @@ printTpPlan(const AutotuneResult &plan)
 int
 main(int argc, char **argv)
 {
-    const int chips = argc > 1 ? std::atoi(argv[1]) : 256;
+    int chips = 256;
+    bool explain = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--explain") == 0)
+            explain = true;
+        else
+            chips = std::atoi(argv[i]);
+    }
     const ChipConfig cfg = tpuV4Config();
     const TrainingConfig train = TrainingConfig::weakScaling(chips);
 
@@ -68,6 +108,11 @@ main(int argc, char **argv)
         std::printf("estimated FC time per block: %.2f ms\n",
                     plan.blockFcTime * 1e3);
 
+        if (explain)
+            printExplain(explainShortlist(tuner, Algorithm::kMeshSlice,
+                                          model, train, chips,
+                                          /*k=*/3));
+
         // Validate in the simulator.
         FcSimResult sim = simulateFcBlock(cfg, model, train, chips,
                                           Algorithm::kMeshSlice);
@@ -82,6 +127,7 @@ main(int argc, char **argv)
 
         // Phase 3: compose 2D TP with pipeline and data parallelism.
         PipelineTuneConfig pcfg;
+        pcfg.explain = explain;
         const PipelineTuneResult tuned =
             tunePipeline(tuner, model, train, chips, pcfg);
         const PipelineCandidate &pick = tuned.picked();
@@ -110,6 +156,19 @@ main(int argc, char **argv)
                     "%.3f s pipeline + %.3f s exposed DP)\n",
                     pick.simTotal, pick.estTotal, pick.estPipeline,
                     pick.estDp);
+        if (pick.hasExplain) {
+            std::printf("  pipeline critical path:");
+            for (int c = 0; c < kSpanCategoryCount; ++c) {
+                const SpanCategory cat = static_cast<SpanCategory>(c);
+                if (pick.explain.byCategory[c] > 0.0)
+                    std::printf(" %s %.1f%%", spanCategoryName(cat),
+                                pick.explain.categoryShare(cat) * 100.0);
+            }
+            std::printf(" (what-if compute x2 -> %.3f s, link x2 -> "
+                        "%.3f s)\n",
+                        pick.explain.whatifCompute2x,
+                        pick.explain.whatifLink2x);
+        }
         std::printf("  TP plan at the micro-batch size:\n");
         printTpPlan(pick.tpPlan);
     }

@@ -72,7 +72,7 @@ runMeshSliceDP(Torus3D &torus, Algorithm algo,
     GemmRunResult layer_accum;
     bool finished = false;
 
-    TaskGraph graph(cluster.sim());
+    TaskGraph graph(cluster.sim(), &cluster.profiler());
     // Layers are independent data-parallel replicas: their schedules
     // share the graph with no cross dependencies.
     for (int l = 0; l < torus.depth(); ++l)
@@ -141,7 +141,7 @@ run25DGemm(Torus3D &torus, std::int64_t m, std::int64_t k, std::int64_t n,
     const GemmWork iter_work{m / p, k / p, n / p};
     const int iterations = p / c_depth;
 
-    TaskGraph graph(cluster.sim());
+    TaskGraph graph(cluster.sim(), &cluster.profiler());
     bool finished = false;
 
     // Phase 1: replicate the A and B shards across the depth rings

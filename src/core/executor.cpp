@@ -576,7 +576,7 @@ GemmExecutor::run(Algorithm algo, const Gemm2DSpec &spec)
     GemmRunResult result;
     bool finished = false;
 
-    TaskGraph graph(cluster.sim());
+    TaskGraph graph(cluster.sim(), &cluster.profiler());
     buildGemmSchedule(graph, mesh_, algo, spec, &result);
 
     const double core_busy_before = sumCoreBusy(cluster);
@@ -651,7 +651,7 @@ runGemm1D(RingNetwork &net, const Gemm1DSpec &spec, Algorithm algo)
         ringNetGemm(net, work, std::move(done));
     };
 
-    TaskGraph graph(cluster.sim());
+    TaskGraph graph(cluster.sim(), &cluster.profiler());
     int prev_shift = -1;
     int prev_comp = -1;
     for (int s = 0; s < s_count; ++s) {

@@ -51,13 +51,15 @@ FaultStudyResult::find(Algorithm algo) const
 GemmRunResult
 runGemmUnderScenario(const ChipConfig &cfg, Algorithm algo,
                      const Gemm2DSpec &spec, const FaultScenario *scenario,
-                     StatsRegistry *stats)
+                     StatsRegistry *stats, ExplainRecord *explain)
 {
     const bool is_1d =
         algo == Algorithm::kOneDTP || algo == Algorithm::kFsdp;
     Cluster cluster(cfg, spec.chips());
     if (stats != nullptr)
         cluster.stats().enable(true);
+    if (explain != nullptr)
+        cluster.enableProfiler(true);
     GemmRunResult result;
     if (is_1d) {
         RingNetwork ring(cluster);
@@ -79,6 +81,8 @@ runGemmUnderScenario(const ChipConfig &cfg, Algorithm algo,
         GemmExecutor executor(mesh);
         result = executor.run(algo, spec);
     }
+    if (explain != nullptr)
+        *explain = explainGraph(cluster.profiler().nodes());
     if (stats != nullptr) {
         cluster.collectResourceStats(cluster.stats());
         stats->merge(cluster.stats().snapshot());

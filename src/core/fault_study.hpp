@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/spec.hpp"
+#include "sim/critical_path.hpp"
 #include "sim/fault.hpp"
 #include "sim/stats.hpp"
 
@@ -55,11 +56,18 @@ struct FaultStudyResult
  * run itself only ever touches its private cluster, so concurrent
  * calls from pool workers are safe; callers wanting deterministic
  * aggregates pass nullptr here and merge per-run snapshots serially.
+ *
+ * When @p explain is non-null, the critical-path profiler is switched
+ * on for the run and @p explain receives the full analysis
+ * (attribution, hot spans, what-if sensitivities) of the recorded span
+ * graph. Observational only: the simulated result is bit-identical
+ * either way.
  */
 GemmRunResult runGemmUnderScenario(const ChipConfig &cfg, Algorithm algo,
                                    const Gemm2DSpec &spec,
                                    const FaultScenario *scenario,
-                                   StatsRegistry *stats = nullptr);
+                                   StatsRegistry *stats = nullptr,
+                                   ExplainRecord *explain = nullptr);
 
 /**
  * Run every algorithm of @p algos nominally and under @p scenario.

@@ -1,0 +1,157 @@
+#include "core/reshard_exec.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/join.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+void
+runReshard(Cluster &cluster, const ReshardPlan &plan,
+           std::function<void(Time)> done)
+{
+    Cluster *cl = &cluster;
+    Simulator &sim = cluster.sim();
+    const ChipConfig &cfg = cluster.config();
+    SpanRecorder &prof = cluster.profiler();
+
+    for (const ReshardMove &mv : plan.moves) {
+        if (mv.srcChip < 0 || mv.srcChip >= cluster.numChips() ||
+            mv.dstChip < 0 || mv.dstChip >= cluster.numChips())
+            panic("runReshard: move %d->%d outside the %d-chip cluster",
+                  mv.srcChip, mv.dstChip, cluster.numChips());
+    }
+
+    struct State
+    {
+        std::function<void(Time)> done;
+        Time begin = 0.0;
+        Time xferBegin = 0.0;
+        bool profiling = false;
+        bool recovery = false;
+        int profTask = -1;
+        int launchNode = -1;
+        std::vector<int> moveNodes;
+    };
+    auto st = std::make_shared<State>();
+    st->done = std::move(done);
+    st->begin = sim.now();
+    st->profiling = prof.enabled();
+
+    // Snapshot the ambient task scope now: everything below runs in
+    // event callbacks, outside the synchronous task body. A recovery
+    // scope open at launch makes the whole re-shard a detour.
+    std::vector<int> prof_deps;
+    if (st->profiling) {
+        st->profTask = prof.currentTask();
+        prof_deps = prof.ambientDeps();
+        st->recovery = prof.inRecovery();
+        if (st->recovery) {
+            const int rec = prof.recoveryDep();
+            if (rec >= 0 &&
+                std::find(prof_deps.begin(), prof_deps.end(), rec) ==
+                    prof_deps.end())
+                prof_deps.push_back(rec);
+        }
+    }
+
+    sim.scheduleAfter(cfg.launchOverhead, [cl, st, plan,
+                                           prof_deps =
+                                               std::move(prof_deps)]() mutable {
+        Simulator &sim = cl->sim();
+        SpanRecorder &prof = cl->profiler();
+        const SpanCategory xfer_cat = st->recovery ? SpanCategory::kRecovery
+                                                   : SpanCategory::kComm;
+        if (st->profiling)
+            st->launchNode = prof.addNode(
+                "reshard launch",
+                st->recovery ? SpanCategory::kRecovery
+                             : SpanCategory::kLaunch,
+                st->begin, sim.now(), std::move(prof_deps),
+                plan.moves.empty() ? -1 : plan.moves.front().dstChip);
+        st->xferBegin = sim.now();
+
+        // Per-chip NIC resources, created lazily for the chips this
+        // plan actually touches. Ingress and egress are independent
+        // directions, mirroring max(maxChipIngress, maxChipEgress) in
+        // the analytic model. The "ici." prefix keeps them in the link
+        // resource class for what-if scaling.
+        const Rate nic = reshardChipRate(cl->config());
+        auto nics = std::make_shared<std::unordered_map<int, ResourceId>>();
+        auto nic_of = [cl, nics, nic](int chip, bool in) {
+            const int key = chip * 2 + (in ? 1 : 0);
+            auto it = nics->find(key);
+            if (it == nics->end())
+                it = nics->emplace(key, cl->net().addResource(
+                                            strprintf("ici.rs.%s.c%d",
+                                                      in ? "in" : "out",
+                                                      chip),
+                                            nic))
+                         .first;
+            return it->second;
+        };
+
+        // The +1 guard signal lets an all-local plan (no moves) still
+        // reach the barrier.
+        Join *join = Join::create(
+            static_cast<int>(plan.moves.size()) + 1, [cl, st] {
+                const Time xfer_end = cl->sim().now();
+                cl->sim().scheduleAfter(
+                    cl->config().syncLatency, [cl, st, xfer_end] {
+                        const Time now = cl->sim().now();
+                        if (!st->profiling) {
+                            st->done(now - st->begin);
+                            return;
+                        }
+                        SpanRecorder &prof = cl->profiler();
+                        std::vector<int> deps = st->moveNodes;
+                        if (deps.empty() && st->launchNode >= 0)
+                            deps.push_back(st->launchNode);
+                        const int sync = prof.addNode(
+                            "reshard sync",
+                            st->recovery ? SpanCategory::kRecovery
+                                         : SpanCategory::kSync,
+                            xfer_end, now, std::move(deps), -1);
+                        prof.addTaskExit(st->profTask, sync);
+                        prof.beginChain(st->profTask, {sync});
+                        st->done(now - st->begin);
+                        prof.endChain();
+                    });
+            });
+        for (const ReshardMove &mv : plan.moves) {
+            cl->noteCommBytes(mv.bytes);
+            auto flow_done = [cl, st, join, xfer_cat, src = mv.srcChip,
+                              dst = mv.dstChip] {
+                if (st->profiling) {
+                    SpanRecorder &prof = cl->profiler();
+                    std::vector<int> deps;
+                    if (st->launchNode >= 0)
+                        deps.push_back(st->launchNode);
+                    const int node = prof.addNode(
+                        strprintf("reshard %d->%d", src, dst), xfer_cat,
+                        st->xferBegin, cl->sim().now(), std::move(deps),
+                        dst);
+                    prof.setNodeResource(node,
+                                         cl->net().lastFinishedFlow());
+                    st->moveNodes.push_back(node);
+                }
+                join->signal();
+            };
+            cl->net().startFlow(
+                static_cast<double>(mv.bytes),
+                {Demand{nic_of(mv.srcChip, false), 1.0},
+                 Demand{nic_of(mv.dstChip, true), 1.0},
+                 Demand{cl->hbmOf(mv.srcChip), 1.0},
+                 Demand{cl->hbmOf(mv.dstChip), 1.0}},
+                std::move(flow_done));
+        }
+        join->signal();
+    });
+}
+
+} // namespace meshslice

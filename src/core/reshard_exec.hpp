@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simulated re-shard: lowers a `ReshardPlan` onto the cluster's fluid
+ * network instead of the closed-form `reshardTime` estimate.
+ *
+ * Every block movement becomes a fluid flow demanding the source
+ * chip's egress NIC, the destination chip's ingress NIC (both sized by
+ * `reshardChipRate`, the same four-links-in-parallel aggregate the
+ * analytic model charges) and the two HBMs. Ingress/egress contention
+ * and HBM sharing therefore *emerge* instead of being summarized by
+ * the bottleneck chip, and the span recorder sees one reshard-transfer
+ * node per move — which is how re-shard traffic shows up on the
+ * critical path with a binding resource attached.
+ *
+ * Inside a recovery scope the recorded nodes are categorized as
+ * recovery detours (like collectives' abort/retry path), so elastic
+ * re-shard time attributes to `kRecovery` rather than `kComm`.
+ */
+#ifndef MESHSLICE_CORE_RESHARD_EXEC_HPP_
+#define MESHSLICE_CORE_RESHARD_EXEC_HPP_
+
+#include <functional>
+
+#include "gemm/reshard.hpp"
+#include "hw/cluster.hpp"
+
+namespace meshslice {
+
+/**
+ * Execute @p plan on @p cluster's fluid network: one launch overhead,
+ * all moves streaming concurrently, one closing barrier. Calls
+ * @p done with the end-to-end simulated span (the caller still has to
+ * drive `cluster.sim().run()`). Chip ids in the plan must exist on the
+ * cluster. With a balanced plan the span agrees with
+ * `reshardTime(cfg, plan)`; skewed plans and background traffic make
+ * the simulated span the ground truth the analytic form approximates.
+ */
+void runReshard(Cluster &cluster, const ReshardPlan &plan,
+                std::function<void(Time)> done);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_CORE_RESHARD_EXEC_HPP_

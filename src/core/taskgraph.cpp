@@ -18,6 +18,13 @@ TaskGraph::addTask(TaskFn fn, std::vector<int> deps)
         tasks_[static_cast<size_t>(dep)].dependents.push_back(id);
         ++task.blockers;
     }
+    if (prof_) {
+        std::vector<int> dep_scopes;
+        dep_scopes.reserve(deps.size());
+        for (int dep : deps)
+            dep_scopes.push_back(tasks_[static_cast<size_t>(dep)].profId);
+        task.profId = prof_->newTask(dep_scopes);
+    }
     tasks_.push_back(std::move(task));
     return id;
 }
@@ -46,7 +53,13 @@ TaskGraph::launchTask(int id)
     if (task.launched)
         return; // a synchronously-completing dependency already did it
     task.launched = true;
+    // The synchronous part of the body runs with the task's profiler
+    // scope ambient; async completions capture the scope themselves.
+    if (prof_)
+        prof_->beginTask(task.profId);
     task.fn([this, id] { completeTask(id); });
+    if (prof_)
+        prof_->endTask();
 }
 
 void
@@ -56,6 +69,8 @@ TaskGraph::completeTask(int id)
     if (task.completed)
         panic("TaskGraph: task %d completed twice", id);
     task.completed = true;
+    if (prof_)
+        prof_->finishTask(task.profId);
     for (int dep : task.dependents) {
         Task &next = tasks_[static_cast<size_t>(dep)];
         if (--next.blockers == 0)

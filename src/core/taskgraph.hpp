@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/critical_path.hpp"
 #include "sim/simulator.hpp"
 
 namespace meshslice {
@@ -22,6 +23,12 @@ namespace meshslice {
  * Build with `addTask`, then `start`. Tasks receive a completion
  * callback they must invoke exactly once (possibly asynchronously).
  * The graph object must outlive the simulation run.
+ *
+ * When a `SpanRecorder` is attached, each task gets a profiler scope:
+ * the synchronous part of the task body runs with that scope ambient,
+ * so operations started inside register their span nodes as the
+ * task's exits, and nodes started by dependent tasks inherit those
+ * exits as causal deps — the TaskGraph edges become span-graph edges.
  */
 class TaskGraph
 {
@@ -29,7 +36,12 @@ class TaskGraph
     /** A task body: do work, then call `done()`. */
     using TaskFn = std::function<void(std::function<void()> done)>;
 
-    explicit TaskGraph(Simulator &sim) : sim_(sim) {}
+    explicit TaskGraph(Simulator &sim, SpanRecorder *prof = nullptr)
+        : sim_(sim), prof_(prof && prof->enabled() ? prof : nullptr)
+    {}
+
+    /** The attached profiler, or nullptr (also when disabled). */
+    SpanRecorder *profiler() const { return prof_; }
 
     /**
      * Add a task depending on previously added tasks.
@@ -48,12 +60,14 @@ class TaskGraph
         int blockers = 0;
         bool launched = false;
         bool completed = false;
+        int profId = -1; ///< SpanRecorder task scope
     };
 
     void launchTask(int id);
     void completeTask(int id);
 
     Simulator &sim_;
+    SpanRecorder *prof_ = nullptr;
     std::vector<Task> tasks_;
     std::function<void()> allDone_;
     int remaining_ = 0;

@@ -309,10 +309,9 @@ reshardTime(const ChipConfig &cfg, const ReshardPlan &plan)
 {
     const Bytes bottleneck =
         std::max(plan.maxChipIngress, plan.maxChipEgress);
-    const Rate per_chip = kTorusLinksPerChip * cfg.iciLinkBandwidth /
-                          cfg.logicalMeshContention;
     return cfg.launchOverhead +
-           static_cast<double>(bottleneck) / per_chip + cfg.syncLatency;
+           static_cast<double>(bottleneck) / reshardChipRate(cfg) +
+           cfg.syncLatency;
 }
 
 Time
@@ -325,11 +324,41 @@ reshardTimeModel(const ChipConfig &cfg, double moved_bytes,
     if (moved_bytes < 0.0)
         fatal("reshardTimeModel: moved bytes must be >= 0 (got %g)",
               moved_bytes);
-    const Rate per_chip = kTorusLinksPerChip * cfg.iciLinkBandwidth /
-                          cfg.logicalMeshContention;
     return cfg.launchOverhead +
-           moved_bytes / static_cast<double>(survivor_chips) / per_chip +
+           moved_bytes / static_cast<double>(survivor_chips) /
+               reshardChipRate(cfg) +
            cfg.syncLatency;
+}
+
+std::vector<ReshardChipTraffic>
+reshardChipTraffic(const ReshardPlan &plan)
+{
+    std::unordered_map<int, ReshardChipTraffic> by_chip;
+    auto slot = [&by_chip](int chip) -> ReshardChipTraffic & {
+        ReshardChipTraffic &t = by_chip[chip];
+        t.chip = chip;
+        return t;
+    };
+    for (const ReshardMove &mv : plan.moves) {
+        slot(mv.srcChip).egress += mv.bytes;
+        slot(mv.dstChip).ingress += mv.bytes;
+    }
+    std::vector<ReshardChipTraffic> out;
+    out.reserve(by_chip.size());
+    for (const auto &kv : by_chip)
+        out.push_back(kv.second);
+    std::sort(out.begin(), out.end(),
+              [](const ReshardChipTraffic &a, const ReshardChipTraffic &b) {
+                  return a.chip < b.chip;
+              });
+    return out;
+}
+
+Rate
+reshardChipRate(const ChipConfig &cfg)
+{
+    return kTorusLinksPerChip * cfg.iciLinkBandwidth /
+           cfg.logicalMeshContention;
 }
 
 } // namespace meshslice

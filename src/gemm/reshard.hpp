@@ -136,6 +136,30 @@ Time reshardTime(const ChipConfig &cfg, const ReshardPlan &plan);
 Time reshardTimeModel(const ChipConfig &cfg, double moved_bytes,
                       int survivor_chips);
 
+/** Aggregate traffic of one chip across a re-shard plan. */
+struct ReshardChipTraffic
+{
+    int chip = -1;
+    Bytes ingress = 0; ///< bytes this chip receives
+    Bytes egress = 0;  ///< bytes this chip sends
+};
+
+/**
+ * Per-chip ingress/egress totals of @p plan, ordered by chip id.
+ * `max_element` over these reproduces `plan.maxChipIngress/Egress`;
+ * the simulated re-shard (`runReshard`) sizes its per-chip NIC
+ * resources from this list.
+ */
+std::vector<ReshardChipTraffic> reshardChipTraffic(const ReshardPlan &plan);
+
+/**
+ * Per-chip streaming rate both re-shard time models charge: all four
+ * torus links in parallel, derated by the logical-mesh contention
+ * factor. Exposed so the simulated re-shard uses the identical NIC
+ * capacity as the closed-form `reshardTime`.
+ */
+Rate reshardChipRate(const ChipConfig &cfg);
+
 /**
  * One block movement of a cross-mesh remap: source mesh coordinate on
  * the producing mesh, destination coordinate on the consuming mesh.

@@ -110,8 +110,16 @@ Cluster::runGemm(int chip, const GemmWork &work, std::function<void()> done)
 
     const Time begin = sim_.now();
     const bool tracing = trace_.enabled();
-    auto cb = [this, chip, begin, tracing, flops,
-               done = std::move(done)] {
+    const bool prof = profiler_.enabled();
+    // Snapshot the ambient task scope now: the completion callback
+    // runs outside the synchronous task body.
+    const int prof_task = prof ? profiler_.currentTask() : -1;
+    std::vector<int> prof_deps;
+    if (prof)
+        prof_deps = profiler_.ambientDeps();
+    auto cb = [this, chip, begin, tracing, prof, prof_task, flops,
+               prof_deps = std::move(prof_deps),
+               done = std::move(done)]() mutable {
         if (tracing) {
             trace_.record("gemm", "compute", chip, kLaneCompute, begin,
                           sim_.now());
@@ -122,7 +130,18 @@ Cluster::runGemm(int chip, const GemmWork &work, std::function<void()> done)
             stats_.add("gemm/flops", flops);
             stats_.observe("gemm/span_s", sim_.now() - begin);
         }
-        done();
+        if (prof) {
+            int node = profiler_.addNode(
+                strprintf("gemm c%d", chip), SpanCategory::kCompute,
+                begin, sim_.now(), std::move(prof_deps), chip);
+            profiler_.setNodeResource(node, net_.lastFinishedFlow());
+            profiler_.addTaskExit(prof_task, node);
+            profiler_.beginChain(prof_task, {node});
+            done();
+            profiler_.endChain();
+        } else {
+            done();
+        }
     };
     net_.startFlow(flops,
                    {Demand{coreOf(chip), core_demand},

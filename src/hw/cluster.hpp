@@ -19,6 +19,7 @@
 
 #include "hw/chip_config.hpp"
 #include "hw/compute_model.hpp"
+#include "sim/critical_path.hpp"
 #include "sim/fault.hpp"
 #include "sim/fluid.hpp"
 #include "sim/simulator.hpp"
@@ -52,6 +53,21 @@ class Cluster
     TraceRecorder &trace() { return trace_; }
     StatsRegistry &stats() { return stats_; }
     const StatsRegistry &stats() const { return stats_; }
+    SpanRecorder &profiler() { return profiler_; }
+    const SpanRecorder &profiler() const { return profiler_; }
+
+    /**
+     * Switch the critical-path profiler on/off. Enabling also makes
+     * the fluid network publish per-flow binding/throttle info, which
+     * executors fold into their span nodes. Purely observational:
+     * simulated times and event counts are bit-identical either way.
+     */
+    void
+    enableProfiler(bool on)
+    {
+        profiler_.setEnabled(on);
+        net_.setPublishFlowInfo(on);
+    }
 
     ResourceId coreOf(int chip) const { return chips_.at(chip).core; }
     ResourceId hbmOf(int chip) const { return chips_.at(chip).hbm; }
@@ -120,6 +136,7 @@ class Cluster
     FluidNetwork net_;
     TraceRecorder trace_;
     StatsRegistry stats_;
+    SpanRecorder profiler_;
     std::vector<ChipResources> chips_;
     FaultInjector *faults_ = nullptr;
     Flops issuedFlops_ = 0.0;

@@ -103,6 +103,20 @@ class RingOpBase
         : cluster_(cluster), ring_(ring), lane_(lane), name_(name),
           done_(std::move(done)), begin_(cluster.sim().now())
     {
+        // Profiler snapshot: the op is constructed inside the task
+        // body (or a recovery scope), but records its span nodes from
+        // event callbacks later, so the ambient context is captured
+        // here. A retry op constructed inside a recovery scope marks
+        // every node as a recovery detour.
+        SpanRecorder &prof = cluster.profiler();
+        profEnabled_ = prof.enabled();
+        if (profEnabled_) {
+            profTask_ = prof.currentTask();
+            profDeps_ = prof.ambientDeps();
+            profRecovery_ = prof.inRecovery();
+            if (prof.recoveryDep() >= 0)
+                profDeps_.push_back(prof.recoveryDep());
+        }
     }
 
     virtual ~RingOpBase() = default;
@@ -121,6 +135,14 @@ class RingOpBase
         if (FaultInjector *inj = cluster_.faults())
             stats_.launch += inj->nextLaunchJitter();
         launchEvent_ = cluster_.sim().scheduleAfter(stats_.launch, [this] {
+            if (profEnabled_) {
+                profLaunchNode_ = cluster_.profiler().addNode(
+                    strprintf("%s launch", name_),
+                    profCat(SpanCategory::kLaunch), begin_,
+                    cluster_.sim().now(), profDeps_, profChip());
+                profChainPrev_[0] = profLaunchNode_;
+                profChainPrev_[1] = profLaunchNode_;
+            }
             const int chains = activeChains_;
             for (int chain = 0; chain < chains; ++chain)
                 startStep(chain, 0);
@@ -224,9 +246,34 @@ class RingOpBase
                   "the fault scenario",
                   name_, err.deadResource.c_str(), err.detectedAt,
                   err.deadChip);
+        // Record the failed attempt as a recovery detour rooted at an
+        // abort marker, then run the failure continuation inside a
+        // recovery scope: the retry op it constructs inherits both the
+        // original task scope (so its exits land where the first
+        // attempt's would have) and the detour dependency.
+        Cluster &cl = cluster_;
+        const bool prof = profEnabled_;
+        const int prof_task = profTask_;
+        int abort_node = -1;
+        if (prof) {
+            abort_node = cl.profiler().addNode(
+                strprintf("%s abort", name_), SpanCategory::kRecovery,
+                begin_, cl.sim().now(), profDeps_, profChip());
+        }
         CommFail fail = std::move(fail_);
         delete this;
-        fail(err);
+        if (prof) {
+            SpanRecorder &p = cl.profiler();
+            if (prof_task >= 0)
+                p.beginTask(prof_task);
+            p.beginRecovery(abort_node);
+            fail(err);
+            p.endRecovery();
+            if (prof_task >= 0)
+                p.endTask();
+        } else {
+            fail(err);
+        }
     }
 
     /** Subclass: begin step @p step of @p chain; call stepFlows(). */
@@ -248,6 +295,10 @@ class RingOpBase
             panic("RingOpBase: step with no flows");
         }
         const Time step_begin = cluster_.sim().now();
+        if (profEnabled_) {
+            profCurrentChain_ = chain;
+            profAccum_[chain] = FlowInfoAccum{};
+        }
         Join *join = Join::create(flow_count, [this, chain, step,
                                                step_begin] {
             chainJoin_[chain] = nullptr; // the join is self-deleting now
@@ -263,6 +314,25 @@ class RingOpBase
                     lane_, cluster_.sim().now());
             }
             const Time sync = cluster_.config().syncLatency;
+            if (profEnabled_) {
+                // One transfer node per ring step, chained per
+                // direction; a fixed-latency sync node follows it.
+                SpanRecorder &prof = cluster_.profiler();
+                const int prev = profChainPrev_[chain];
+                std::vector<int> deps =
+                    prev >= 0 ? std::vector<int>{prev} : profDeps_;
+                const Time now = cluster_.sim().now();
+                int node = prof.addNode(
+                    strprintf("%s s%d.%d", name_, chain, step),
+                    profCat(SpanCategory::kComm), step_begin, now,
+                    std::move(deps), profChip());
+                if (profAccum_[chain].info.valid)
+                    prof.setNodeResource(node, profAccum_[chain].info);
+                profChainPrev_[chain] = prof.addNode(
+                    strprintf("%s y%d.%d", name_, chain, step),
+                    profCat(SpanCategory::kSync), now, now + sync,
+                    {node}, profChip());
+            }
             chainSync_[chain] =
                 cluster_.sim().scheduleAfter(sync, [this, chain, step] {
                     chainSync_[chain] = EventId{};
@@ -290,11 +360,23 @@ class RingOpBase
             forward ? ring_.fwd[static_cast<size_t>(pos)]
                     : ring_.bwd[static_cast<size_t>(pos)];
         cluster_.noteCommBytes(bytes);
+        std::function<void()> on_done;
+        if (profEnabled_) {
+            // Fold each flow's binding/throttle info into the step's
+            // accumulator before signalling the join.
+            const int chain = profCurrentChain_;
+            on_done = [this, chain, join] {
+                profAccum_[chain].fold(cluster_.net().lastFinishedFlow());
+                join->signal();
+            };
+        } else {
+            on_done = [join] { join->signal(); };
+        }
         const FlowId fid = cluster_.net().startFlow(
             static_cast<double>(bytes),
             {Demand{link, 1.0}, Demand{cluster_.hbmOf(src), 1.0},
              Demand{cluster_.hbmOf(dst), dst_hbm_demand}},
-            [join] { join->signal(); });
+            std::move(on_done));
         if (watchArmed_)
             startedFlows_.push_back(fid); // abort cancels these
     }
@@ -337,10 +419,35 @@ class RingOpBase
             st.add(base + "/bytes_per_link",
                    static_cast<double>(stats_.bytesPerLink));
         }
+        std::vector<int> exits;
+        if (profEnabled_) {
+            // The op's exits are each chain's final sync node (falling
+            // back to the launch node for a chain that never stepped).
+            SpanRecorder &prof = cluster_.profiler();
+            for (int chain = 0; chain < 2; ++chain) {
+                const int node = profChainPrev_[chain];
+                if (node >= 0 && node != profLaunchNode_)
+                    exits.push_back(node);
+            }
+            if (exits.empty() && profLaunchNode_ >= 0)
+                exits.push_back(profLaunchNode_);
+            for (int node : exits)
+                prof.addTaskExit(profTask_, node);
+        }
+        Cluster &cl = cluster_;
+        const bool prof_chain = profEnabled_ && !exits.empty();
+        const int prof_task = profTask_;
         CommDone done = std::move(done_);
         CommStats stats = stats_;
         delete this;
+        // Run the continuation inside a chain scope so a follow-on op
+        // constructed in the callback (e.g. AllReduce's AG after RdS)
+        // depends on this op's final nodes.
+        if (prof_chain)
+            cl.profiler().beginChain(prof_task, std::move(exits));
         done(stats);
+        if (prof_chain)
+            cl.profiler().endChain();
     }
 
     Cluster &cluster_;
@@ -364,6 +471,34 @@ class RingOpBase
     EventId chainSync_[2];
     /** Every flow this op started (only tracked when watch armed). */
     std::vector<FlowId> startedFlows_;
+
+    // --- critical-path profiler state (inert when disabled) ---
+
+    /** Representative chip for span nodes. */
+    int
+    profChip() const
+    {
+        return ring_.chips.empty() ? -1 : ring_.chips[0];
+    }
+    /** Category override for ops constructed inside a recovery scope
+     *  (their nodes are recorded after the scope closed). */
+    SpanCategory
+    profCat(SpanCategory cat) const
+    {
+        return profRecovery_ ? SpanCategory::kRecovery : cat;
+    }
+
+    bool profEnabled_ = false;
+    int profTask_ = -1;          ///< ambient task scope at construction
+    std::vector<int> profDeps_;  ///< entry deps (incl. recovery root)
+    bool profRecovery_ = false;
+    int profLaunchNode_ = -1;
+    /** Latest recorded node per chain (next step's dependency). */
+    int profChainPrev_[2] = {-1, -1};
+    /** Chain whose step is being populated (set by stepJoin, read by
+     *  transfer — the calls are synchronous within one step). */
+    int profCurrentChain_ = 0;
+    FlowInfoAccum profAccum_[2];
 };
 
 /**

@@ -118,7 +118,7 @@ runPipeline(PipelineCluster &pc, const PipelineExecSpec &spec)
     state->stageCompute.assign(static_cast<size_t>(P), 0.0);
     state->stageComm.assign(static_cast<size_t>(P), 0.0);
 
-    TaskGraph graph(sim);
+    TaskGraph graph(sim, &cluster.profiler());
     // graph id of each already-added program task (topo order => every
     // dep is added before its consumer).
     std::vector<int> graph_id(program.tasks.size(), -1);
@@ -151,14 +151,53 @@ runPipeline(PipelineCluster &pc, const PipelineExecSpec &spec)
                          n_pos, charge = spec.chargeLaunch](
                             std::function<void()> done) {
                 const Time begin = sim.now();
+                // Profiler context: the boundary transfer becomes one
+                // comm node (preceded by a launch node when charged);
+                // snapshot the ambient task before going async.
+                SpanRecorder &prof = cluster.profiler();
+                const bool profiling = prof.enabled();
+                const int prof_task =
+                    profiling ? prof.currentTask() : -1;
+                auto prof_deps = std::make_shared<std::vector<int>>();
+                std::shared_ptr<FlowInfoAccum> accum;
+                if (profiling) {
+                    *prof_deps = prof.ambientDeps();
+                    accum = std::make_shared<FlowInfoAccum>();
+                }
                 auto launch = [&pc, &cluster, state, stage, boundary,
                                backward, per_pos_bytes, n_pos, begin,
-                               &sim, done = std::move(done)]() {
+                               &sim, charge, profiling, prof_task,
+                               prof_deps, accum,
+                               done = std::move(done)]() {
+                    if (profiling && charge) {
+                        const int lnode = cluster.profiler().addNode(
+                            strprintf("pp launch b%d", boundary),
+                            SpanCategory::kLaunch, begin, sim.now(),
+                            *prof_deps, stage);
+                        *prof_deps = {lnode};
+                    }
+                    const Time xfer_begin = sim.now();
                     Join *join = Join::create(
-                        n_pos, [state, stage, begin, &sim,
+                        n_pos, [&cluster, state, stage, boundary,
+                                backward, begin, xfer_begin, &sim,
+                                profiling, prof_task, prof_deps, accum,
                                 done = std::move(done)]() {
                             state->stageComm[static_cast<size_t>(
                                 stage)] += sim.now() - begin;
+                            if (profiling) {
+                                SpanRecorder &p = cluster.profiler();
+                                const int node = p.addNode(
+                                    strprintf("%s b%d",
+                                              backward ? "send-"
+                                                       : "send+",
+                                              boundary),
+                                    SpanCategory::kComm, xfer_begin,
+                                    sim.now(), *prof_deps, stage);
+                                if (accum->info.valid)
+                                    p.setNodeResource(node,
+                                                      accum->info);
+                                p.addTaskExit(prof_task, node);
+                            }
                             done();
                         });
                     const int rows = pc.rows();
@@ -184,9 +223,19 @@ runPipeline(PipelineCluster &pc, const PipelineExecSpec &spec)
                                      pc.chipAt(dst_stage, r, c)),
                                  1.0},
                             };
+                            std::function<void()> on_done;
+                            if (profiling) {
+                                on_done = [&cluster, accum, join]() {
+                                    accum->fold(cluster.net()
+                                                    .lastFinishedFlow());
+                                    join->signal();
+                                };
+                            } else {
+                                on_done = [join]() { join->signal(); };
+                            }
                             cluster.net().startFlow(
                                 per_pos_bytes, std::move(demands),
-                                [join]() { join->signal(); });
+                                std::move(on_done));
                         }
                     state->bytesMoved += static_cast<Bytes>(
                         per_pos_bytes * n_pos);
@@ -206,9 +255,19 @@ runPipeline(PipelineCluster &pc, const PipelineExecSpec &spec)
                      backward = t.backward,
                      n_pos](std::function<void()> done) {
             const Time begin = sim.now();
+            SpanRecorder &prof = cluster.profiler();
+            const bool profiling = prof.enabled();
+            const int prof_task = profiling ? prof.currentTask() : -1;
+            auto prof_deps = std::make_shared<std::vector<int>>();
+            std::shared_ptr<FlowInfoAccum> accum;
+            if (profiling) {
+                *prof_deps = prof.ambientDeps();
+                accum = std::make_shared<FlowInfoAccum>();
+            }
             Join *join = Join::create(
                 n_pos, [&cluster, &sim, state, stage, begin, micro,
-                        chunk, backward, done = std::move(done)]() {
+                        chunk, backward, profiling, prof_task,
+                        prof_deps, accum, done = std::move(done)]() {
                     const Time end = sim.now();
                     state->stageCompute[static_cast<size_t>(stage)] +=
                         end - begin;
@@ -221,15 +280,37 @@ runPipeline(PipelineCluster &pc, const PipelineExecSpec &spec)
                             "pipeline", chip, kLaneCompute, begin,
                             end);
                     }
+                    if (profiling) {
+                        SpanRecorder &p = cluster.profiler();
+                        const int node = p.addNode(
+                            strprintf("%s m%d v%d s%d",
+                                      backward ? "B" : "F", micro,
+                                      chunk, stage),
+                            SpanCategory::kCompute, begin, end,
+                            *prof_deps, stage);
+                        if (accum->info.valid)
+                            p.setNodeResource(node, accum->info);
+                        p.addTaskExit(prof_task, node);
+                    }
                     done();
                 });
             const double peak = cluster.config().peakFlops;
             for (int r = 0; r < pc.rows(); ++r)
                 for (int c = 0; c < pc.cols(); ++c) {
                     const int chip = pc.chipAt(stage, r, c);
+                    std::function<void()> on_done;
+                    if (profiling) {
+                        on_done = [&cluster, accum, join]() {
+                            accum->fold(
+                                cluster.net().lastFinishedFlow());
+                            join->signal();
+                        };
+                    } else {
+                        on_done = [join]() { join->signal(); };
+                    }
                     cluster.net().startFlow(
                         dur * peak, {{cluster.coreOf(chip), 1.0}},
-                        [join]() { join->signal(); });
+                        std::move(on_done));
                 }
         };
         graph_id[idx] = graph.addTask(std::move(body), std::move(deps));

@@ -137,7 +137,18 @@ FluidNetwork::startFlow(double size, std::vector<Demand> demands,
         panic("FluidNetwork: negative flow size %g", size);
     if (size == 0.0) {
         // Zero-size work completes after the current event batch.
-        sim_.scheduleAfter(0.0, std::move(on_complete));
+        if (publishFlowInfo_) {
+            // No flow ran, so no binding/throttle info: invalidate the
+            // stash so the callback cannot read a predecessor's.
+            sim_.scheduleAfter(0.0,
+                               [this, cb = std::move(on_complete)] {
+                                   lastFlowInfo_ = FlowEndInfo{};
+                                   if (cb)
+                                       cb();
+                               });
+        } else {
+            sim_.scheduleAfter(0.0, std::move(on_complete));
+        }
         return 0;
     }
     if (demands.empty())
@@ -153,6 +164,7 @@ FluidNetwork::startFlow(double size, std::vector<Demand> demands,
     FlowId id = nextFlowId_++;
     Flow flow;
     flow.remaining = size;
+    flow.size = size;
     flow.rate = 0.0;
     flow.lastUpdate = sim_.now();
     flow.demands = std::move(demands);
@@ -236,6 +248,10 @@ FluidNetwork::advanceFlow(Flow &flow)
         flow.remaining -= flow.rate * dt;
         if (flow.remaining < 0.0)
             flow.remaining = 0.0;
+        if (publishFlowInfo_ && flow.soloRate > 0.0) {
+            flow.throttled +=
+                dt * std::max(0.0, 1.0 - flow.rate / flow.soloRate);
+        }
     }
     flow.lastUpdate = sim_.now();
 }
@@ -285,6 +301,36 @@ FluidNetwork::finishFlow(FlowId id)
     else
         settleFlowResources(it->second.demands);
     advanceFlow(it->second);
+    if (publishFlowInfo_) {
+        // Stash the profiler view of this flow before it is erased;
+        // the completion callback reads it via lastFinishedFlow().
+        const Flow &flow = it->second;
+        FlowEndInfo info;
+        info.valid = true;
+        if (flow.binding >= 0)
+            info.binding =
+                resources_[static_cast<size_t>(flow.binding)].name;
+        info.throttledSeconds = flow.throttled;
+        for (const Demand &d : flow.demands) {
+            const Resource &res =
+                resources_[static_cast<size_t>(d.resource)];
+            double solo_s = flow.size * d.perUnit / res.capacity;
+            switch (resourceClassOf(res.name)) {
+              case ResourceClass::kCore:
+                info.coreFloor = std::max(info.coreFloor, solo_s);
+                break;
+              case ResourceClass::kHbm:
+                info.hbmFloor = std::max(info.hbmFloor, solo_s);
+                break;
+              case ResourceClass::kLink:
+                info.linkFloor = std::max(info.linkFloor, solo_s);
+                break;
+              default:
+                break;
+            }
+        }
+        lastFlowInfo_ = std::move(info);
+    }
     std::function<void()> cb = std::move(it->second.onComplete);
     for (const auto &d : it->second.demands)
         resources_[static_cast<size_t>(d.resource)].activeFlows--;
@@ -317,6 +363,8 @@ FluidNetwork::recompute()
     // resource comes back up.
     scratchRate_.assign(n, 0.0);
     scratchParked_.assign(n, 0);
+    if (publishFlowInfo_)
+        scratchBinding_.assign(n, -1);
     for (size_t i = 0; i < n; ++i) {
         const Flow &flow = *scratchFlows_[i];
         double r = 1e300;
@@ -327,7 +375,12 @@ FluidNetwork::recompute()
                 scratchParked_[i] = 1;
                 break;
             }
-            r = std::min(r, res.capacity / d.perUnit);
+            double lim = res.capacity / d.perUnit;
+            if (lim < r) {
+                r = lim;
+                if (publishFlowInfo_)
+                    scratchBinding_[i] = d.resource;
+            }
         }
         scratchRate_[i] = scratchParked_[i] ? 0.0 : r;
     }
@@ -440,7 +493,14 @@ FluidNetwork::recompute()
             if (c > level) {
                 size_t i = flows_on_r[k].first;
                 double d = flows_on_r[k].second;
-                scratchRate_[i] = std::min(scratchRate_[i], level / d);
+                double cut = level / d;
+                if (cut < scratchRate_[i]) {
+                    scratchRate_[i] = cut;
+                    // Rates only decrease, so the last resource that
+                    // strictly cut the flow is its binding resource.
+                    if (publishFlowInfo_)
+                        scratchBinding_[i] = worst;
+                }
             }
         }
     }
@@ -475,6 +535,10 @@ FluidNetwork::recompute()
         bool changed = std::abs(scratchRate_[i] - flow.rate) >
                        1e-12 * std::max(1.0, flow.rate);
         flow.rate = scratchRate_[i];
+        if (publishFlowInfo_) {
+            flow.soloRate = scratchSolo_[i];
+            flow.binding = scratchBinding_[i];
+        }
         for (const auto &d : flow.demands) {
             Resource &res = resources_[static_cast<size_t>(d.resource)];
             res.load += d.perUnit * flow.rate;

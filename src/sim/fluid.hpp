@@ -47,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/critical_path.hpp"
 #include "sim/simulator.hpp"
 #include "util/arena.hpp"
 #include "util/units.hpp"
@@ -197,6 +198,23 @@ class FluidNetwork
     void setEagerAccounting(bool eager) { eagerAccounting_ = eager; }
     bool eagerAccounting() const { return eagerAccounting_; }
 
+    /**
+     * Publish per-flow critical-path info (binding resource, throttled
+     * seconds, per-class solo floors) for the span-graph profiler.
+     * Purely observational: rates, completion times and event counts
+     * are bit-identical with publishing on or off, and the off path
+     * allocates nothing extra.
+     */
+    void setPublishFlowInfo(bool on) { publishFlowInfo_ = on; }
+    bool publishFlowInfo() const { return publishFlowInfo_; }
+
+    /**
+     * Info about the most recently finished flow, valid only during
+     * that flow's completion callback (zero-size flows publish an
+     * invalid record). Callers fold this into their span nodes.
+     */
+    const FlowEndInfo &lastFinishedFlow() const { return lastFlowInfo_; }
+
   private:
     struct Resource
     {
@@ -226,6 +244,11 @@ class FluidNetwork
         std::vector<Demand> demands;
         std::function<void()> onComplete;
         EventId completion;
+        // --- profiler fields, maintained only while publishFlowInfo_
+        double size = 0.0;     ///< original size (for solo floors)
+        double soloRate = 0.0; ///< uncontended rate of last recompute
+        double throttled = 0.0; ///< integral of (1 - rate/solo) dt
+        ResourceId binding = -1; ///< rate-limiting resource
     };
 
     /** Flow map nodes live on the per-run arena. */
@@ -253,6 +276,8 @@ class FluidNetwork
     FlowId nextFlowId_ = 1;
     bool dirty_ = false;
     bool eagerAccounting_ = false;
+    bool publishFlowInfo_ = false;
+    FlowEndInfo lastFlowInfo_;
 
     // --- recompute scratch, reused across calls (capacity persists so
     // steady-state recomputes allocate nothing) ---
@@ -261,6 +286,8 @@ class FluidNetwork
     std::vector<double> scratchRate_;
     std::vector<double> scratchSolo_;
     std::vector<char> scratchParked_;
+    /** Binding resource per flow (profiler only; empty when off). */
+    std::vector<ResourceId> scratchBinding_;
     /** Resources demanded by at least one non-parked flow this round. */
     std::vector<ResourceId> memberIds_;
     /** memberLists_[memberSlot_[r]] = (flow index, coeff) pairs on r;

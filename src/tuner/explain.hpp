@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tuner-facing explain layer: attaches critical-path analyses to
+ * shortlisted candidates and serializes them into the search trace.
+ *
+ * The analytical tuners rank plans by estimated time; the explain
+ * layer answers *why* a shortlisted plan costs what it costs. Each
+ * candidate's GeMM subset is re-run on a private cluster with the
+ * critical-path profiler enabled, and the resulting `ExplainRecord`
+ * (category attribution, longest zero-slack spans, what-if
+ * sensitivities) is emitted as a `"phase":"explain"` JSONL record
+ * through `SearchTrace` — next to the `"phase":"shape"`/`"robust"`/
+ * `"pipeline"` records of the search that produced the candidate.
+ */
+#ifndef MESHSLICE_TUNER_EXPLAIN_HPP_
+#define MESHSLICE_TUNER_EXPLAIN_HPP_
+
+#include <string>
+#include <vector>
+
+#include "sim/critical_path.hpp"
+#include "tuner/autotuner.hpp"
+
+namespace meshslice {
+
+/** One shortlisted candidate with its simulated explain analysis. */
+struct CandidateExplain
+{
+    int rank = 0; ///< 0 = the shape the nominal tuner would pick
+    AutotuneResult plan;
+    Time simTime = 0.0; ///< summed simulated time of the GeMM subset
+    ExplainRecord explain;
+};
+
+/**
+ * Fold @p add into @p into: spans, category seconds, node counts and
+ * what-if predictions add (sequential composition of independent
+ * runs), hot spans are re-ranked by duration and re-truncated to 5,
+ * and the attribution residual takes the max. The category identity
+ * (sum == span) is preserved by linearity.
+ */
+void mergeExplain(ExplainRecord &into, const ExplainRecord &add);
+
+/**
+ * Simulate @p gemms of @p plan one by one on private clusters (same
+ * runner the robust tuner uses) with the profiler on, and fold the
+ * per-GeMM analyses into one record. When @p sim_time is non-null it
+ * receives the summed simulated time.
+ */
+ExplainRecord explainPlanGemms(const ChipConfig &chip, Algorithm algo,
+                               const AutotuneResult &plan,
+                               const std::vector<GemmPlan> &gemms,
+                               Time *sim_time = nullptr);
+
+/**
+ * One `"phase":"explain"` JSONL object (no trailing newline).
+ * @p context tags the emitting search ("shape", "robust", "pipeline").
+ */
+std::string explainRecordJson(const char *context, Algorithm algo,
+                              int chips, int rank, int rows, int cols,
+                              Time sim_time, const ExplainRecord &rec);
+
+/**
+ * Shortlist the top @p k phase-2 shapes with @p tuner and explain each
+ * one's first @p max_gemms planned GeMMs (0 = all 12). Entry 0 is the
+ * nominal pick. One `"phase":"explain"` record per candidate goes to
+ * the search trace when it is open. Serial and deterministic.
+ */
+std::vector<CandidateExplain> explainShortlist(
+    const LlmAutotuner &tuner, Algorithm algo,
+    const TransformerConfig &model, const TrainingConfig &train, int chips,
+    int k, bool optimize_dataflow = true, int max_gemms = 3);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_TUNER_EXPLAIN_HPP_

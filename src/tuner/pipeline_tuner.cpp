@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tuner/explain.hpp"
 #include "tuner/search_trace.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -200,10 +201,16 @@ evaluatePipelineCandidate(const LlmAutotuner &tuner,
         Cluster cluster(chip, axes.pp * tp);
         if (sim_stats != nullptr)
             cluster.stats().enable(true);
+        if (cfg.explain)
+            cluster.enableProfiler(true);
         PipelineCluster pc(cluster, axes.pp, cand.axes.tpRows,
                            cand.axes.tpCols);
         const PipelineRunResult run = runPipeline(pc, exec);
         cand.simTotal = run.time + cand.estDp;
+        if (cfg.explain) {
+            cand.explain = explainGraph(cluster.profiler().nodes());
+            cand.hasExplain = true;
+        }
         if (sim_stats != nullptr) {
             cluster.collectResourceStats(cluster.stats());
             sim_stats->merge(cluster.stats().snapshot());
@@ -330,12 +337,20 @@ tunePipeline(const LlmAutotuner &tuner, const TransformerConfig &model,
     });
     int best = 0;
     for (int i = 0; i < k; ++i) {
-        if (tracing)
+        const PipelineCandidate &cand =
+            result.candidates[static_cast<size_t>(i)];
+        if (tracing) {
             captures[static_cast<size_t>(i)].flushToGlobal();
+            if (cand.hasExplain)
+                SearchTrace::global().record(explainRecordJson(
+                    "pipeline", Algorithm::kMeshSlice, chips, i,
+                    cand.axes.tpRows, cand.axes.tpCols, cand.simTotal,
+                    cand.explain));
+        }
         if (stats != nullptr)
             stats->merge(cand_stats[static_cast<size_t>(i)],
                          strprintf("pipeline/top%d/", i));
-        if (result.candidates[static_cast<size_t>(i)].simTotal <
+        if (cand.simTotal <
             result.candidates[static_cast<size_t>(best)].simTotal)
             best = i;
     }

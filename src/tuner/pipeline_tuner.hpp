@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "pipeline/stage_model.hpp"
+#include "sim/critical_path.hpp"
 #include "sim/stats.hpp"
 #include "tuner/autotuner.hpp"
 
@@ -50,6 +51,14 @@ struct PipelineTuneConfig
     /** Fraction of the DP all-reduce hidden behind backward compute
      *  (the Sec 2.1 overlap assumption, as in `estimateClusterStep`). */
     double dpOverlap = 0.5;
+    /**
+     * Run the critical-path profiler during the shortlist simulations
+     * and attach the analysis (`PipelineCandidate::explain`) to every
+     * simulated candidate; `tunePipeline` additionally traces one
+     * `"phase":"explain"` record per shortlisted candidate when the
+     * search-trace sink is open. Observational only.
+     */
+    bool explain = false;
 };
 
 /** One (pp, dp, tp, m) decomposition, evaluated or pruned. */
@@ -66,6 +75,10 @@ struct PipelineCandidate
     /** Simulated step (span + the same DP term); < 0 = not in the
      *  shortlist, so never simulated. */
     Time simTotal = -1.0;
+    /** Critical-path analysis of the simulated replica (only filled
+     *  when simulated with `PipelineTuneConfig::explain`). */
+    ExplainRecord explain;
+    bool hasExplain = false;
     /** Peak per-chip bytes of the heaviest stage (stage 0). */
     Bytes stageMemoryBytes = 0;
     /** Peak in-flight micro-batches on stage 0 (the stash depth). */

@@ -6,6 +6,7 @@
 #include "core/fault_study.hpp"
 #include "core/recovery_study.hpp"
 #include "gemm/reshard.hpp"
+#include "tuner/explain.hpp"
 #include "tuner/search_trace.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -261,6 +262,17 @@ tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
                              strprintf("robust/cand%zu/scen%zu/", ci, si));
         }
         cand.objective = robustObjective(cand.scenarioTimes, cfg.quantile);
+        // Opt-in "why": re-run the candidate's GeMM subset fault-free
+        // with the critical-path profiler and trace the attribution.
+        if (cfg.explain && tracing) {
+            Time explain_time = 0.0;
+            const ExplainRecord rec = explainPlanGemms(
+                chip, algo, shortlist[ci], gemm_sets[ci], &explain_time);
+            SearchTrace::global().record(explainRecordJson(
+                "robust", algo, chips, static_cast<int>(ci),
+                shortlist[ci].rows, shortlist[ci].cols, explain_time,
+                rec));
+        }
         result.candidates.push_back(std::move(cand));
     }
 

@@ -63,6 +63,14 @@ struct RobustTuneConfig
      * `numScenarios`/sampling knobs are ignored).
      */
     std::vector<FaultScenario> scenarios;
+    /**
+     * Attach a `"phase":"explain"` record — critical-path category
+     * attribution, hot spans and what-if sensitivities of the
+     * fault-free run — to every shortlisted candidate. Only takes
+     * effect while the search-trace sink is open; purely additive to
+     * the trace (evaluations and the pick are unchanged).
+     */
+    bool explain = false;
 };
 
 /** One shortlisted candidate's robust evaluation. */

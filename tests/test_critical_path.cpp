@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Critical-path profiler contract: exact extraction and attribution on
+ * hand-built DAGs (diamond, chain with a gap, disjoint paths,
+ * zero-duration nodes), hand-computed slack, what-if replay both on
+ * hand graphs and validated against ground-truth re-simulation of a
+ * small torus GeMM, bit-identical simulation with the profiler off vs
+ * on, and thread-count-invariant explain records.
+ */
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "core/fault_study.hpp"
+#include "hw/chip_config.hpp"
+#include "hw/cluster.hpp"
+#include "net/topology.hpp"
+#include "sim/critical_path.hpp"
+#include "tuner/autotuner.hpp"
+#include "tuner/explain.hpp"
+#include "util/parallel.hpp"
+
+namespace meshslice {
+namespace {
+
+/** Shorthand: record a node on an always-on recorder. */
+int
+node(SpanRecorder &rec, const char *name, SpanCategory cat, Time begin,
+     Time end, std::vector<int> deps = {})
+{
+    return rec.addNode(name, cat, begin, end, std::move(deps));
+}
+
+TEST(CriticalPath, DiamondAttributionAndSlack)
+{
+    SpanRecorder rec;
+    rec.setEnabled(true);
+    const int a = node(rec, "A", SpanCategory::kCompute, 0.0, 2.0);
+    const int b = node(rec, "B", SpanCategory::kComm, 2.0, 5.0, {a});
+    const int c = node(rec, "C", SpanCategory::kCompute, 2.0, 4.0, {a});
+    const int d =
+        node(rec, "D", SpanCategory::kCompute, 5.0, 7.0, {b, c});
+
+    const Attribution attr = extractCriticalPath(rec.nodes());
+    EXPECT_DOUBLE_EQ(attr.span(), 7.0);
+    // Path = A -> B -> D; C (2s) loses to B (3s) at the join.
+    ASSERT_EQ(attr.pathNodes, (std::vector<int>{a, b, d}));
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kCompute)], 4.0);
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kComm)], 3.0);
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kBubble)], 0.0);
+    EXPECT_NEAR(attr.total(), attr.span(), 1e-12);
+
+    const std::vector<double> slack = computeSlack(rec.nodes());
+    EXPECT_DOUBLE_EQ(slack[static_cast<size_t>(a)], 0.0);
+    EXPECT_DOUBLE_EQ(slack[static_cast<size_t>(b)], 0.0);
+    // C ends at 4, D starts at 5: it can slip 1s before binding.
+    EXPECT_DOUBLE_EQ(slack[static_cast<size_t>(c)], 1.0);
+    EXPECT_DOUBLE_EQ(slack[static_cast<size_t>(d)], 0.0);
+}
+
+TEST(CriticalPath, ChainGapBecomesBubble)
+{
+    SpanRecorder rec;
+    rec.setEnabled(true);
+    const int a = node(rec, "A", SpanCategory::kCompute, 0.0, 1.0);
+    const int b = node(rec, "B", SpanCategory::kCompute, 2.0, 3.0, {a});
+
+    const Attribution attr = extractCriticalPath(rec.nodes());
+    EXPECT_DOUBLE_EQ(attr.span(), 3.0);
+    EXPECT_EQ(attr.pathNodes, (std::vector<int>{a, b}));
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kCompute)], 2.0);
+    // The [1, 2] idle gap between A and B is attributed as bubble.
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kBubble)], 1.0);
+    EXPECT_NEAR(attr.total(), attr.span(), 1e-12);
+    // Segments partition [0, 3] contiguously, in time order.
+    ASSERT_EQ(attr.segments.size(), 3u);
+    EXPECT_DOUBLE_EQ(attr.segments.front().begin, 0.0);
+    for (size_t i = 1; i < attr.segments.size(); ++i)
+        EXPECT_DOUBLE_EQ(attr.segments[i].begin,
+                         attr.segments[i - 1].end);
+    EXPECT_DOUBLE_EQ(attr.segments.back().end, 3.0);
+}
+
+TEST(CriticalPath, DisjointPathsPickTheLonger)
+{
+    SpanRecorder rec;
+    rec.setEnabled(true);
+    const int x = node(rec, "X", SpanCategory::kCompute, 0.0, 5.0);
+    const int y = node(rec, "Y", SpanCategory::kComm, 0.0, 3.0);
+
+    const Attribution attr = extractCriticalPath(rec.nodes());
+    EXPECT_DOUBLE_EQ(attr.span(), 5.0);
+    EXPECT_EQ(attr.pathNodes, (std::vector<int>{x}));
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kCompute)], 5.0);
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kComm)], 0.0);
+
+    const std::vector<double> slack = computeSlack(rec.nodes());
+    EXPECT_DOUBLE_EQ(slack[static_cast<size_t>(x)], 0.0);
+    EXPECT_DOUBLE_EQ(slack[static_cast<size_t>(y)], 2.0);
+}
+
+TEST(CriticalPath, ZeroDurationNodesStayExact)
+{
+    SpanRecorder rec;
+    rec.setEnabled(true);
+    const int a = node(rec, "A", SpanCategory::kSync, 0.0, 0.0);
+    const int b =
+        node(rec, "B", SpanCategory::kCompute, 0.5, 2.0, {a});
+
+    const Attribution attr = extractCriticalPath(rec.nodes());
+    EXPECT_DOUBLE_EQ(attr.span(), 2.0);
+    EXPECT_EQ(attr.pathNodes, (std::vector<int>{a, b}));
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kCompute)], 1.5);
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kBubble)], 0.5);
+    EXPECT_DOUBLE_EQ(
+        attr.byCategory[static_cast<int>(SpanCategory::kSync)], 0.0);
+    EXPECT_NEAR(attr.total(), attr.span(), 1e-12);
+}
+
+TEST(CriticalPath, WhatIfReplayOnHandGraph)
+{
+    SpanRecorder rec;
+    rec.setEnabled(true);
+    // Same diamond; flow-less nodes infer core/link from category.
+    const int a = node(rec, "A", SpanCategory::kCompute, 0.0, 2.0);
+    const int b = node(rec, "B", SpanCategory::kComm, 2.0, 5.0, {a});
+    const int c = node(rec, "C", SpanCategory::kCompute, 2.0, 4.0, {a});
+    node(rec, "D", SpanCategory::kCompute, 5.0, 7.0, {b, c});
+
+    WhatIfScale compute2x;
+    compute2x.core = 2.0;
+    // A 2->1, B unchanged (3), D 2->1: 1 + 3 + 1.
+    EXPECT_NEAR(whatIfReplay(rec.nodes(), compute2x), 5.0, 1e-12);
+
+    WhatIfScale link2x;
+    link2x.link = 2.0;
+    // B halves (3 -> 1.5) but the compute branch C (ends at 4) now
+    // binds the join: 2 + max(1.5, 2) + 2.
+    EXPECT_NEAR(whatIfReplay(rec.nodes(), link2x), 6.0, 1e-12);
+
+    // Scaling nothing reproduces the recorded span exactly.
+    EXPECT_NEAR(whatIfReplay(rec.nodes(), WhatIfScale{}), 7.0, 1e-12);
+}
+
+TEST(CriticalPath, RecoveryScopeOverridesCategory)
+{
+    SpanRecorder rec;
+    rec.setEnabled(true);
+    const int abort_node =
+        node(rec, "abort", SpanCategory::kRecovery, 1.0, 1.0);
+    rec.beginRecovery(abort_node);
+    const int retry =
+        node(rec, "retry xfer", SpanCategory::kComm, 1.0, 3.0);
+    rec.endRecovery();
+    ASSERT_GE(retry, 0);
+    EXPECT_EQ(rec.nodes()[static_cast<size_t>(retry)].category,
+              SpanCategory::kRecovery);
+    // The detour root was added as a dependency automatically.
+    const std::vector<int> &deps =
+        rec.nodes()[static_cast<size_t>(retry)].deps;
+    EXPECT_NE(std::find(deps.begin(), deps.end(), abort_node),
+              deps.end());
+}
+
+Gemm2DSpec
+smallSpec(const ChipConfig &cfg)
+{
+    Gemm2DSpec spec;
+    spec.m = spec.k = spec.n = 1024;
+    spec.rows = spec.cols = 2;
+    spec.sliceCount = 2;
+    spec.bytesPerElement = cfg.bytesPerElement;
+    return spec;
+}
+
+/** Simulated time + events + (optional) explain of one torus GeMM. */
+struct TorusRun
+{
+    Time time = 0.0;
+    std::uint64_t events = 0;
+    ExplainRecord rec;
+};
+
+TorusRun
+runTorus(const ChipConfig &cfg, const Gemm2DSpec &spec, bool profile)
+{
+    TorusRun out;
+    Cluster cluster(cfg, spec.chips());
+    cluster.enableProfiler(profile);
+    TorusMesh mesh(cluster, spec.rows, spec.cols);
+    GemmExecutor exec(mesh);
+    out.time = exec.run(Algorithm::kMeshSlice, spec).time;
+    out.events = cluster.sim().eventsProcessed();
+    if (profile)
+        out.rec = explainGraph(cluster.profiler().nodes());
+    return out;
+}
+
+TEST(CriticalPath, SimulatedGemmAttributionIdentity)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const TorusRun run = runTorus(cfg, smallSpec(cfg), true);
+    EXPECT_GT(run.rec.span, 0.0);
+    EXPECT_NEAR(run.rec.span, run.time, 1e-9);
+    EXPECT_LE(run.rec.attributionError, 1e-9);
+    EXPECT_GT(run.rec.nodeCount, 0);
+    EXPECT_FALSE(run.rec.hotSpans.empty());
+    for (const HotSpan &h : run.rec.hotSpans)
+        EXPECT_LE(h.slack, 1e-12);
+}
+
+TEST(CriticalPath, WhatIfMatchesResimulationOnTorus)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const Gemm2DSpec spec = smallSpec(cfg);
+    const TorusRun base = runTorus(cfg, spec, true);
+
+    ChipConfig c2 = cfg;
+    c2.peakFlops *= 2.0;
+    const TorusRun resim_c2 = runTorus(c2, spec, false);
+    EXPECT_LE(std::fabs(base.rec.whatifCompute2x - resim_c2.time),
+              0.15 * resim_c2.time);
+
+    ChipConfig l2 = cfg;
+    l2.iciLinkBandwidth *= 2.0;
+    const TorusRun resim_l2 = runTorus(l2, spec, false);
+    EXPECT_LE(std::fabs(base.rec.whatifLink2x - resim_l2.time),
+              0.15 * resim_l2.time);
+}
+
+TEST(CriticalPath, ProfilerOffIsBitIdentical)
+{
+    const ChipConfig cfg = tpuV4Config();
+    const Gemm2DSpec spec = smallSpec(cfg);
+    const TorusRun dark = runTorus(cfg, spec, false);
+    const TorusRun lit = runTorus(cfg, spec, true);
+    EXPECT_EQ(dark.time, lit.time); // bit-identical, not approximate
+    EXPECT_EQ(dark.events, lit.events);
+}
+
+TEST(CriticalPath, ExplainShortlistIsThreadCountInvariant)
+{
+    const CostModel cost = CostModel::calibrated(tpuV4Config());
+    const LlmAutotuner tuner(cost);
+    TransformerConfig model;
+    model.name = "tiny";
+    model.layers = 4;
+    model.hiddenDim = 1024;
+    model.heads = 8;
+    model.ffnDim = 4096;
+    TrainingConfig train;
+    train.batch = 4;
+    train.seqLen = 512;
+
+    auto run_with = [&](int threads) {
+        ThreadPool::setGlobalThreads(threads);
+        return explainShortlist(tuner, Algorithm::kMeshSlice, model,
+                                train, /*chips=*/4, /*k=*/2,
+                                /*optimize_dataflow=*/true,
+                                /*max_gemms=*/1);
+    };
+    const std::vector<CandidateExplain> one = run_with(1);
+    const std::vector<CandidateExplain> eight = run_with(8);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+
+    ASSERT_EQ(one.size(), eight.size());
+    for (size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].rank, eight[i].rank);
+        EXPECT_EQ(one[i].plan.rows, eight[i].plan.rows);
+        EXPECT_EQ(one[i].plan.cols, eight[i].plan.cols);
+        EXPECT_EQ(one[i].simTime, eight[i].simTime);
+        EXPECT_EQ(one[i].explain.span, eight[i].explain.span);
+        EXPECT_EQ(one[i].explain.whatifCompute2x,
+                  eight[i].explain.whatifCompute2x);
+        EXPECT_EQ(one[i].explain.whatifLink2x,
+                  eight[i].explain.whatifLink2x);
+        for (int c = 0; c < kSpanCategoryCount; ++c)
+            EXPECT_EQ(one[i].explain.byCategory[c],
+                      eight[i].explain.byCategory[c]);
+    }
+}
+
+} // namespace
+} // namespace meshslice

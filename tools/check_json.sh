@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Runs the observability report (and, when given, the robustness,
-# recovery, pipeline and micro-kernel reports) in a scratch directory
+# recovery, pipeline, explain and micro-kernel reports) in a scratch
+# directory
 # and validates every JSON artifact they produce with
 # `python3 -m json.tool`, plus per-line checks of the JSONL search
 # traces. A missing-but-expected artifact is a failure — including a
@@ -9,7 +10,8 @@
 # tier-1 `check_json` ctest and the `check-json` build target fast.
 #
 # Usage: check_json.sh <observability_report> [robustness_report]
-#        [recovery_report] [pipeline_report] [micro_kernels] [chips]
+#        [recovery_report] [pipeline_report] [explain_report]
+#        [micro_kernels] [chips]
 set -euo pipefail
 
 bin=$(readlink -f "$1")
@@ -17,6 +19,7 @@ shift
 robust_bin=""
 recovery_bin=""
 pipeline_bin=""
+explain_bin=""
 micro_bin=""
 chips=16
 for arg in "$@"; do
@@ -27,6 +30,8 @@ for arg in "$@"; do
             recovery_bin=$(readlink -f "$arg")
         elif [ -z "$pipeline_bin" ]; then
             pipeline_bin=$(readlink -f "$arg")
+        elif [ -z "$explain_bin" ]; then
+            explain_bin=$(readlink -f "$arg")
         elif [ -z "$micro_bin" ]; then
             micro_bin=$(readlink -f "$arg")
         else
@@ -137,6 +142,34 @@ EOF
         echo "ok   BENCH_pipeline.json cross-checks"
     else
         echo "FAIL BENCH_pipeline.json cross-checks"
+        status=1
+    fi
+fi
+
+if [ -n "$explain_bin" ]; then
+    "$explain_bin" "$chips" --smoke > explain_report.out
+    check_file BENCH_explain.json
+    check_file explain_trace.json
+    check_jsonl explain_search.jsonl
+    # The profiler report embeds its own acceptance cross-checks
+    # (attribution identity, what-if validation, bit-identical-off,
+    # disabled overhead); every one must hold.
+    if "$python3" - BENCH_explain.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+checks = doc.get("cross_checks", {})
+if not checks:
+    sys.exit("BENCH_explain.json: missing cross_checks section")
+bad = [k for k, v in checks.items() if v is not True]
+if bad:
+    sys.exit("BENCH_explain.json cross-checks failed: %s" % ", ".join(bad))
+EOF
+    then
+        echo "ok   BENCH_explain.json cross-checks"
+    else
+        echo "FAIL BENCH_explain.json cross-checks"
         status=1
     fi
 fi

@@ -6,8 +6,13 @@
 # microbenchmark, whose BENCH_kernels.json must carry a valid
 # sim_throughput section (batched-accounting identity and
 # thread-count-invariant robust picks are checked inside it). Every
-# ctest pass also runs the `sim-throughput-smoke`-labelled test, so
-# the concurrent-candidate path executes under both sanitizers.
+# ctest pass also runs the `sim-throughput-smoke`- and
+# `profiler-smoke`-labelled tests, so the concurrent-candidate path
+# and the critical-path recorder execute under both sanitizers. The
+# release leg finishes with a bench-diff report: the smoke BENCH
+# artifacts are regenerated and compared against the previous run's
+# via tools/bench_diff.py (throughput keys gated at 20%, embedded
+# cross-checks must stay true).
 #
 # Usage: tools/run_ci.sh [build-root]
 #   build-root defaults to ./build-ci; one subdirectory per config.
@@ -48,6 +53,36 @@ for config in $configs; do
             echo "=== [release] check-json (BENCH_*.json artifacts) ==="
             cmake --build "$root/release" --target check-json ||
                 failures+=("release/check-json")
+            # Bench-diff report: regenerate the profiler/kernel smoke
+            # artifacts and diff them against the previous CI run's
+            # (seeded on the first run; override the baseline location
+            # with BENCH_BASELINE_DIR). Gates throughput keys and the
+            # embedded cross-checks via tools/bench_diff.py.
+            echo "=== [release] bench-diff (vs previous run) ==="
+            artifacts="$root/release/bench-artifacts"
+            baseline="${BENCH_BASELINE_DIR:-$root/bench-baseline}"
+            mkdir -p "$artifacts"
+            if (cd "$artifacts" &&
+                "$root/release/bench/explain_report" --smoke \
+                    > explain_report.out &&
+                "$root/release/bench/micro_kernels" --smoke \
+                    > micro_kernels.out); then
+                if ls "$baseline"/BENCH_*.json > /dev/null 2>&1; then
+                    for f in "$artifacts"/BENCH_*.json; do
+                        name=$(basename "$f")
+                        [ -f "$baseline/$name" ] || continue
+                        python3 "$repo/tools/bench_diff.py" \
+                            "$baseline/$name" "$f" ||
+                            failures+=("release/bench-diff:$name")
+                    done
+                else
+                    echo "no baseline in $baseline; seeding from this run"
+                fi
+                mkdir -p "$baseline"
+                cp "$artifacts"/BENCH_*.json "$baseline"/
+            else
+                failures+=("release/bench-artifacts")
+            fi
         else
             failures+=("release")
         fi
