@@ -1,6 +1,7 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "core/mesh_ops.hpp"
 #include "core/taskgraph.hpp"
+#include "net/onesided.hpp"
 #include "sim/join.hpp"
 #include "util/logging.hpp"
 
@@ -529,6 +531,245 @@ buildCannon(TaskGraph &graph, TorusMesh &mesh, const Gemm2DSpec &spec,
     }
 }
 
+// --------------------------------------------------------------------
+// OneSided (Brock & Golin): stationary-C tiles pull their A/B slices
+// via async RDMA gets. No mesh-wide task exists anywhere — the
+// schedule is rows*cols independent per-tile chains (gets(s) ->
+// compute(s)), so a straggling or killed chip delays only the tiles
+// whose gets read from it.
+// --------------------------------------------------------------------
+
+/** Per-chip schedule state of one OneSided run. */
+struct OneSidedChip
+{
+    /** Fail-stop detected on this chip: its remaining tasks complete
+     *  vacuously (per-tile independence — nobody else waits for it). */
+    bool dead = false;
+    /** In-flight compute flow, cancelled if the chip dies mid-GeMM. */
+    FlowId compute = -1;
+    /** Pending compute-task continuation, fired on death so the graph
+     *  drains without a global abort. */
+    std::function<void()> computeDone;
+    /** Per-chip accumulated get stats (summed over slices). */
+    CommStats h, v;
+};
+
+struct OneSidedState
+{
+    explicit OneSidedState(TorusMesh &mesh) : comm(mesh) {}
+    OneSidedComm comm;
+    std::vector<OneSidedChip> chips;
+};
+
+void
+buildOneSided(TaskGraph &graph, TorusMesh &mesh, const Gemm2DSpec &spec,
+              GemmRunResult *state)
+{
+    if (spec.dataflow != Dataflow::kOS)
+        panic("OneSided pulls into a stationary C tile: dataflow must "
+              "be OS, got %s", dataflowName(spec.dataflow));
+    Cluster &cluster = mesh.cluster();
+    const bool overlap = cluster.config().allowSendRecvOverlap;
+    const int rows = spec.rows;
+    const int cols = spec.cols;
+    const int s_count = spec.sliceCount;
+    const GemmWork work = localSliceWork(spec);
+    const auto sides = sidesOf(spec);
+    const Bytes h_shard = sides[0].shardPerIter;
+    const Bytes v_shard = sides[1].shardPerIter;
+
+    auto st = std::make_shared<OneSidedState>(mesh);
+    st->chips.resize(static_cast<size_t>(rows) * cols);
+
+    // Per-chip fail-stop watch (guarded by hasKills, so kill-free runs
+    // schedule nothing extra): when a chip dies, cancel its in-flight
+    // compute and complete its pending task so the rest of the graph
+    // keeps draining. Gets *from* the corpse retry over a detour, gets
+    // *into* it are written off — both inside OneSidedComm.
+    if (FaultInjector *inj = cluster.faults();
+        inj != nullptr && inj->hasKills()) {
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                const int chip = mesh.chipAt(r, c);
+                const size_t idx = static_cast<size_t>(r) * cols + c;
+                const Time kill = inj->earliestKillAfter(
+                    cluster.sim().now(),
+                    {cluster.coreOf(chip), cluster.hbmOf(chip)});
+                if (kill < 0.0)
+                    continue;
+                cluster.sim().schedule(
+                    kill + inj->detectionLatency(),
+                    [st, &cluster, inj, chip, idx] {
+                        OneSidedChip &cs = st->chips[idx];
+                        cs.dead = true;
+                        // Broadcast HBM deaths to the membership cache
+                        // so later gets skip their own detection window
+                        // (a core-only kill leaves the HBM readable).
+                        if (inj->isKilled(cluster.hbmOf(chip)))
+                            st->comm.markDead(chip);
+                        if (cs.compute >= 0) {
+                            cluster.net().cancelFlow(cs.compute);
+                            cs.compute = -1;
+                        }
+                        if (cluster.stats().enabled())
+                            cluster.stats().add("onesided/chip_writeoff",
+                                                1.0);
+                        if (cs.computeDone) {
+                            auto done = std::move(cs.computeDone);
+                            cs.computeDone = nullptr;
+                            done();
+                        }
+                    });
+            }
+        }
+    }
+
+    // Get batch of one (chip, slice): a single host launch posts the
+    // (cols-1) row gets and (rows-1) col gets; all pull concurrently
+    // (contending at this chip's NIC queue) and a join fires the task's
+    // completion when the last one lands.
+    auto get_task = [st, &mesh, rows, cols, h_shard, v_shard](int r,
+                                                              int c) {
+        return [st, &mesh, rows, cols, h_shard, v_shard, r,
+                c](std::function<void()> done) {
+            Cluster &cl = mesh.cluster();
+            const size_t idx = static_cast<size_t>(r) * cols + c;
+            const int count = (cols - 1) + (rows - 1);
+            if (st->chips[idx].dead || count == 0) {
+                cl.sim().scheduleAfter(0.0, std::move(done));
+                return;
+            }
+            const int chip = mesh.chipAt(r, c);
+            Time launch = cl.config().launchOverhead;
+            if (FaultInjector *inj = cl.faults())
+                launch += inj->nextLaunchJitter();
+            SpanRecorder &prof = cl.profiler();
+            const bool profe = prof.enabled();
+            const int ptask = profe ? prof.currentTask() : -1;
+            std::vector<int> pdeps;
+            if (profe)
+                pdeps = prof.ambientDeps();
+            const Time begin = cl.sim().now();
+            cl.sim().scheduleAfter(
+                launch,
+                [st, &mesh, rows, cols, h_shard, v_shard, r, c, chip, idx,
+                 count, launch, begin, profe, ptask,
+                 pdeps = std::move(pdeps),
+                 done = std::move(done)]() mutable {
+                    Cluster &cl = mesh.cluster();
+                    int launch_node = -1;
+                    if (profe)
+                        launch_node = cl.profiler().addNode(
+                            strprintf("getbatch c%d launch", chip),
+                            SpanCategory::kLaunch, begin, cl.sim().now(),
+                            std::move(pdeps), chip);
+                    // Parallel-merge the batch's gets per direction,
+                    // then fold into the chip's running totals.
+                    auto acc = std::make_shared<std::array<CommStats, 2>>();
+                    Join *join = Join::create(
+                        count, [st, idx, acc, launch,
+                                done = std::move(done)]() mutable {
+                            OneSidedChip &cs = st->chips[idx];
+                            CommStats h = (*acc)[0];
+                            h.launch = launch;
+                            h.total += launch;
+                            cs.h += h;
+                            cs.v += (*acc)[1];
+                            done();
+                        });
+                    const bool chain = profe && launch_node >= 0;
+                    if (chain)
+                        cl.profiler().beginChain(ptask, {launch_node});
+                    for (int cc = 0; cc < cols; ++cc) {
+                        if (cc == c)
+                            continue;
+                        st->comm.get(GetAxis::kRow, r, c, r, cc, h_shard,
+                                     kLaneHorizontalComm,
+                                     [acc, join](const CommStats &s) {
+                                         (*acc)[0].mergeParallel(s);
+                                         join->signal();
+                                     });
+                    }
+                    for (int rr = 0; rr < rows; ++rr) {
+                        if (rr == r)
+                            continue;
+                        st->comm.get(GetAxis::kCol, r, c, rr, c, v_shard,
+                                     kLaneVerticalComm,
+                                     [acc, join](const CommStats &s) {
+                                         (*acc)[1].mergeParallel(s);
+                                         join->signal();
+                                     });
+                    }
+                    if (chain)
+                        cl.profiler().endChain();
+                });
+        };
+    };
+
+    auto comp_task = [st, &mesh, cols, work](int r, int c) {
+        return [st, &mesh, cols, work, r, c](std::function<void()> done) {
+            Cluster &cl = mesh.cluster();
+            const size_t idx = static_cast<size_t>(r) * cols + c;
+            OneSidedChip &cs = st->chips[idx];
+            if (cs.dead) {
+                cl.sim().scheduleAfter(0.0, std::move(done));
+                return;
+            }
+            cs.computeDone = std::move(done);
+            cs.compute = cl.runGemm(mesh.chipAt(r, c), work, [st, idx] {
+                OneSidedChip &cs2 = st->chips[idx];
+                cs2.compute = -1;
+                if (cs2.computeDone) {
+                    auto d = std::move(cs2.computeDone);
+                    cs2.computeDone = nullptr;
+                    d();
+                }
+            });
+        };
+    };
+
+    // Per-tile chains: gets(s) -> compute(s), with gets(s+1) pipelined
+    // over compute(s) unless SendRecv-style overlap is disabled (the
+    // real-TPUv4 mode serializes RDMA behind the consuming compute).
+    std::vector<int> prev_get(st->chips.size(), -1);
+    std::vector<int> prev_comp(st->chips.size(), -1);
+    for (int s = 0; s < s_count; ++s) {
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                const size_t idx = static_cast<size_t>(r) * cols + c;
+                std::vector<int> gdeps;
+                if (prev_get[idx] >= 0)
+                    gdeps.push_back(prev_get[idx]);
+                if (!overlap && prev_comp[idx] >= 0)
+                    gdeps.push_back(prev_comp[idx]);
+                prev_get[idx] = graph.addTask(get_task(r, c), gdeps);
+                std::vector<int> cdeps{prev_get[idx]};
+                if (prev_comp[idx] >= 0)
+                    cdeps.push_back(prev_comp[idx]);
+                prev_comp[idx] = graph.addTask(comp_task(r, c), cdeps);
+            }
+        }
+    }
+
+    // Collector: chips ran concurrently, so the run-level stats are the
+    // parallel merge (component-wise max) of the per-chip sums — the
+    // same convention as concurrent rings in the collective executors.
+    // Costs nothing: it depends on tasks the graph waits for anyway.
+    std::vector<int> finals;
+    for (int t : prev_comp)
+        if (t >= 0)
+            finals.push_back(t);
+    graph.addTask(
+        [st, state](std::function<void()> done) {
+            for (const OneSidedChip &cs : st->chips) {
+                state->horizontal.mergeParallel(cs.h);
+                state->vertical.mergeParallel(cs.v);
+            }
+            done();
+        },
+        finals);
+}
+
 } // namespace
 
 void
@@ -557,6 +798,9 @@ buildGemmSchedule(TaskGraph &graph, TorusMesh &mesh, Algorithm algo,
       case Algorithm::kCannon:
         buildCannon(graph, mesh, eff, accum);
         break;
+      case Algorithm::kOneSided:
+        buildOneSided(graph, mesh, eff, accum);
+        break;
       default:
         panic("buildGemmSchedule: %s is not a 2D algorithm",
               algorithmName(algo));
@@ -566,10 +810,11 @@ buildGemmSchedule(TaskGraph &graph, TorusMesh &mesh, Algorithm algo,
 GemmRunResult
 GemmExecutor::run(Algorithm algo, const Gemm2DSpec &spec)
 {
-    // Only MeshSlice consumes the slice count; the baselines ignore it,
-    // so don't hold them to its divisibility constraint.
+    // Only MeshSlice and OneSided consume the slice count; the
+    // baselines ignore it, so don't hold them to its divisibility
+    // constraint.
     Gemm2DSpec checked = spec;
-    if (algo != Algorithm::kMeshSlice)
+    if (algo != Algorithm::kMeshSlice && algo != Algorithm::kOneSided)
         checked.sliceCount = 1;
     validateSpec(checked);
     Cluster &cluster = mesh_.cluster();
@@ -581,11 +826,18 @@ GemmExecutor::run(Algorithm algo, const Gemm2DSpec &spec)
 
     const double core_busy_before = sumCoreBusy(cluster);
     const Time begin = cluster.sim().now();
-    graph.start([&finished] { finished = true; });
+    // Timestamp the *graph's* completion, not the simulator's drain:
+    // a fault window whose end boundary outlives the GeMM (or a death
+    // watch armed past it) must not inflate the reported step time.
+    Time end = begin;
+    graph.start([&finished, &end, &cluster] {
+        finished = true;
+        end = cluster.sim().now();
+    });
     cluster.sim().run();
     if (!finished)
         panic("GemmExecutor: schedule did not drain");
-    result.time = cluster.sim().now() - begin;
+    result.time = end - begin;
     finishRunTelemetry(cluster, algorithmName(algo), result,
                        core_busy_before, cluster.numChips());
     return result;
@@ -682,11 +934,17 @@ runGemm1D(RingNetwork &net, const Gemm1DSpec &spec, Algorithm algo)
 
     const double core_busy_before = sumCoreBusy(cluster);
     const Time begin = cluster.sim().now();
-    graph.start([&finished] { finished = true; });
+    // As in GemmExecutor::run: the graph's completion time, not the
+    // simulator's drain time (fault-window boundaries may outlive it).
+    Time end = begin;
+    graph.start([&finished, &end, &cluster] {
+        finished = true;
+        end = cluster.sim().now();
+    });
     cluster.sim().run();
     if (!finished)
         panic("runGemm1D: schedule did not drain");
-    result.time = cluster.sim().now() - begin;
+    result.time = end - begin;
     finishRunTelemetry(cluster, algorithmName(algo), result,
                        core_busy_before, cluster.numChips());
     return result;

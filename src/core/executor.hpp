@@ -16,6 +16,13 @@
  *  - SUMMA: S unrolled iterations of pipelined bcast/reduce.
  *  - Cannon: square mesh only; skew prologue then P systolic SendRecv
  *    iterations.
+ *  - OneSided: no collectives at all — per (tile, slice), one
+ *    launch-batched set of RDMA gets (`net/onesided`) pulls the A/B
+ *    slices from the row/column peers, then the tile's compute; the
+ *    only dependencies are within each tile's own chain, so a
+ *    straggling or killed source chip delays exactly the tiles that
+ *    read from it (gets from a corpse retry over a detour, gets into
+ *    it are written off, its compute completes vacuously).
  *  - 1DTP / FSDP: a ring with Wang-style overlapped shifts.
  *
  * When `ChipConfig::allowCollectiveOverlap` is false (the real-TPUv4
@@ -46,7 +53,8 @@ class GemmExecutor
      * Simulate @p algo executing @p spec (blocking until the simulated
      * schedule drains). @p algo must be a 2D algorithm; `kCollective`
      * ignores `spec.sliceCount`, Cannon requires a square mesh and uses
-     * `mesh rows` iterations.
+     * `mesh rows` iterations, `kOneSided` uses `spec.sliceCount` as the
+     * per-tile get/compute chain depth.
      */
     GemmRunResult run(Algorithm algo, const Gemm2DSpec &spec);
 

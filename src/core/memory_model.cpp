@@ -80,6 +80,13 @@ gemmMemoryFootprint(Algorithm algo, const Gemm2DSpec &spec)
         fp.gatherBuffers = 2 * (h_panel + v_panel) / p_iter;
         return fp;
       }
+      case Algorithm::kOneSided: {
+        // Each tile pulls 1/S slices of both panels via one-sided
+        // gets, double-buffered so the next slice's gets overlap this
+        // slice's compute — same working set as MeshSlice at equal S.
+        fp.gatherBuffers = 2 * (h_panel + v_panel) / s;
+        return fp;
+      }
       case Algorithm::kCannon: {
         // Shards rotate: one extra receive buffer per input matrix.
         const Bytes e = spec.bytesPerElement;

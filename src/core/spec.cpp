@@ -35,6 +35,8 @@ algorithmName(Algorithm algo)
         return "SUMMA";
       case Algorithm::kCannon:
         return "Cannon";
+      case Algorithm::kOneSided:
+        return "OneSided";
       case Algorithm::kOneDTP:
         return "1DTP";
       case Algorithm::kFsdp:
@@ -47,15 +49,15 @@ std::vector<Algorithm>
 all2DAlgorithms()
 {
     return {Algorithm::kMeshSlice, Algorithm::kCollective, Algorithm::kWang,
-            Algorithm::kSumma, Algorithm::kCannon};
+            Algorithm::kSumma, Algorithm::kCannon, Algorithm::kOneSided};
 }
 
 std::vector<Algorithm>
 allAlgorithms()
 {
     return {Algorithm::kMeshSlice, Algorithm::kCollective, Algorithm::kWang,
-            Algorithm::kSumma, Algorithm::kCannon, Algorithm::kOneDTP,
-            Algorithm::kFsdp};
+            Algorithm::kSumma, Algorithm::kCannon, Algorithm::kOneSided,
+            Algorithm::kOneDTP, Algorithm::kFsdp};
 }
 
 std::string

@@ -38,7 +38,8 @@ const char *dataflowName(Dataflow df);
 /** The collective a moving matrix needs. */
 enum class CollKind { kAllGather, kReduceScatter };
 
-/** The distributed GeMM algorithms evaluated in the paper (Sec 4.2/4.3). */
+/** The distributed GeMM algorithms evaluated in the paper (Sec 4.2/4.3),
+ *  plus the one-sided sliced GeMM (Brock & Golin) added on top. */
 enum class Algorithm
 {
     kMeshSlice,
@@ -46,16 +47,17 @@ enum class Algorithm
     kWang,
     kSumma,
     kCannon,
+    kOneSided,
     kOneDTP,
     kFsdp,
 };
 
 const char *algorithmName(Algorithm algo);
 
-/** The five 2D algorithms (Fig 9..12 baselines). */
+/** The six 2D algorithms (Fig 9..12 baselines + OneSided). */
 std::vector<Algorithm> all2DAlgorithms();
 
-/** All seven algorithms including the 1D baselines. */
+/** All eight algorithms including the 1D baselines. */
 std::vector<Algorithm> allAlgorithms();
 
 /** A 2D distributed GeMM problem instance. */

@@ -145,6 +145,47 @@ funcMeshSliceRS(const DistMatrix &a, const DistMatrix &b, int s_count,
 }
 
 // --------------------------------------------------------------------
+// OneSided (Brock & Golin): per-tile RDMA pulls, no collectives
+// --------------------------------------------------------------------
+
+DistMatrix
+funcOneSidedOS(const DistMatrix &a, const DistMatrix &b, int s_count,
+               int block)
+{
+    checkSameMesh(a, b, "funcOneSidedOS");
+    const MeshShape mesh = a.mesh();
+    if (a.cols() != b.rows())
+        panic("funcOneSidedOS: K mismatch");
+    DistMatrix c(mesh, a.rows(), b.cols());
+
+    // Per-tile loop: tile (i, j) independently pulls the s-th column
+    // sub-shard of A from each row peer and the s-th row sub-shard of
+    // B from each column peer, then accumulates into its stationary C.
+    // Mathematically identical to funcMeshSliceOS — the difference is
+    // that no two tiles ever synchronize, which is exactly what lets
+    // the timed executor survive per-chip faults.
+    for (int i = 0; i < mesh.rows; ++i) {
+        for (int j = 0; j < mesh.cols; ++j) {
+            for (int s = 0; s < s_count; ++s) {
+                std::vector<Matrix> a_parts;
+                a_parts.reserve(static_cast<size_t>(mesh.cols));
+                for (int jj = 0; jj < mesh.cols; ++jj)
+                    a_parts.push_back(
+                        sliceCols(a.shardAt(i, jj), s_count, s, block));
+                std::vector<Matrix> b_parts;
+                b_parts.reserve(static_cast<size_t>(mesh.rows));
+                for (int ii = 0; ii < mesh.rows; ++ii)
+                    b_parts.push_back(
+                        sliceRows(b.shardAt(ii, j), s_count, s, block));
+                Matrix::gemmAcc(Matrix::hcat(a_parts),
+                                Matrix::vcat(b_parts), c.shardAt(i, j));
+            }
+        }
+    }
+    return c;
+}
+
+// --------------------------------------------------------------------
 // Collective 2D GeMM (Fig 2b)
 // --------------------------------------------------------------------
 

@@ -32,6 +32,15 @@ DistMatrix funcMeshSliceRS(const DistMatrix &a, const DistMatrix &b,
                            int s_count, int block);
 /** @} */
 
+/**
+ * OneSided sliced GeMM (Brock & Golin): every tile independently pulls
+ * the slices it needs from its row/column peers (no collectives, no
+ * inter-tile synchronization) and accumulates into its stationary C.
+ * Same interleaved blocked slicing as MeshSlice.
+ */
+DistMatrix funcOneSidedOS(const DistMatrix &a, const DistMatrix &b,
+                          int s_count, int block);
+
 /** @name Collective 2D GeMM (Fig 2b) — one AG/RdS per direction. @{ */
 DistMatrix funcCollectiveOS(const DistMatrix &a, const DistMatrix &b);
 DistMatrix funcCollectiveLS(const DistMatrix &a, const DistMatrix &b);

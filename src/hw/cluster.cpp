@@ -54,6 +54,18 @@ Cluster::addLink(const std::string &name)
                                       cfg_.logicalMeshContention);
 }
 
+ResourceId
+Cluster::nicOf(int chip)
+{
+    ChipResources &res = chips_.at(static_cast<size_t>(chip));
+    if (res.nic < 0)
+        res.nic = net_.addResource(
+            strprintf("chip%d.nic", chip),
+            kNicLinksPerChip * cfg_.iciLinkBandwidth /
+                cfg_.logicalMeshContention);
+    return res.nic;
+}
+
 void
 Cluster::sampleCounters()
 {
@@ -91,12 +103,12 @@ Cluster::collectResourceStats(StatsRegistry &stats) const
     }
 }
 
-void
+FlowId
 Cluster::runGemm(int chip, const GemmWork &work, std::function<void()> done)
 {
     if (work.empty()) {
         sim_.scheduleAfter(0.0, std::move(done));
-        return;
+        return FlowId{-1};
     }
     const Flops flops = gemmFlops(work);
     issuedFlops_ += flops;
@@ -143,10 +155,10 @@ Cluster::runGemm(int chip, const GemmWork &work, std::function<void()> done)
             done();
         }
     };
-    net_.startFlow(flops,
-                   {Demand{coreOf(chip), core_demand},
-                    Demand{hbmOf(chip), hbm_demand}},
-                   std::move(cb));
+    return net_.startFlow(flops,
+                          {Demand{coreOf(chip), core_demand},
+                           Demand{hbmOf(chip), hbm_demand}},
+                          std::move(cb));
 }
 
 } // namespace meshslice

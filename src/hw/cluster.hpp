@@ -4,11 +4,18 @@
  *
  * Each chip contributes two shared resources to the fluid network: its
  * compute core (capacity = peak FLOP/s) and its HBM (capacity = memory
- * bandwidth). The NIC has no throughput limit of its own — per the
- * paper's TPU model (Fig 8) it drives four independent ICI links and
- * contends with the cores only through the shared HBM, which is exactly
- * how transfers are modelled here: a link flow demands the link plus the
- * source and destination HBMs.
+ * bandwidth). For ring collectives the NIC has no throughput limit of
+ * its own — per the paper's TPU model (Fig 8) it drives four
+ * independent ICI links and contends with the cores only through the
+ * shared HBM, which is exactly how transfers are modelled there: a link
+ * flow demands the link plus the source and destination HBMs. The
+ * one-sided layer (`net/onesided`) additionally models NIC *queue
+ * occupancy*: many concurrent RDMA gets can land on one chip, so each
+ * chip exposes a lazily-registered `chip<i>.nic` resource whose
+ * capacity is the aggregate bandwidth of its four ICI links — beyond
+ * four concurrent full-rate gets the NIC queue becomes the bottleneck.
+ * Lazy registration keeps runs that never issue one-sided ops
+ * bit-identical (and their resource-stats dumps unchanged).
  */
 #ifndef MESHSLICE_HW_CLUSTER_HPP_
 #define MESHSLICE_HW_CLUSTER_HPP_
@@ -73,6 +80,18 @@ class Cluster
     ResourceId hbmOf(int chip) const { return chips_.at(chip).hbm; }
 
     /**
+     * The chip's NIC queue resource ("chip<i>.nic"), registered on
+     * first use at `kNicLinksPerChip` times the per-link bandwidth.
+     * NOTE: resources registered after a `FaultInjector::arm()` are not
+     * fault targets (same precedent as detour links) — scenarios
+     * address the NIC indirectly through the chip's HBM and links.
+     */
+    ResourceId nicOf(int chip);
+
+    /** Independent ICI links a chip's NIC drives (TPU model, Fig 8). */
+    static constexpr double kNicLinksPerChip = 4.0;
+
+    /**
      * Attach a fault injector (non-owning; may be nullptr to detach).
      * Collectives consult it for launch jitter and link availability;
      * a cluster with no injector attached takes the exact code paths
@@ -90,8 +109,12 @@ class Cluster
      * Run a local GeMM on @p chip: a flow on the chip's core (demand
      * scaled by the shape's padding inefficiency) and HBM (demand =
      * bytes/FLOP of the tiled schedule). Calls @p done on completion.
+     * Returns the compute flow's id (-1 for empty work, which completes
+     * via a zero-delay event instead of a flow) so fail-stop aware
+     * executors can cancel a killed chip's in-flight compute.
      */
-    void runGemm(int chip, const GemmWork &work, std::function<void()> done);
+    FlowId runGemm(int chip, const GemmWork &work,
+                   std::function<void()> done);
 
     /** Total FLOPs issued through runGemm so far (for utilization). */
     Flops issuedFlops() const { return issuedFlops_; }
@@ -129,6 +152,7 @@ class Cluster
     {
         ResourceId core;
         ResourceId hbm;
+        ResourceId nic = -1; ///< lazily registered (see nicOf)
     };
 
     ChipConfig cfg_;

@@ -825,14 +825,22 @@ runRecoverableCollective(TorusMesh &mesh, RingCollectiveKind kind,
         };
         // One retry is the recovery budget: a second fail-stop during
         // the retry means the survivor set changed again mid-recovery,
-        // which is checkpoint-restart territory, not ring surgery.
-        CommFail retry_fail = [](const CollectiveError &err2) {
+        // which is checkpoint-restart territory, not ring surgery. The
+        // audit text names both corpses — the failure the ring was
+        // rebuilt around and the fresh one on the rebuilt ring — with
+        // their ring positions, so the operator can line the pair up
+        // against the fault scenario without replaying the run.
+        CommFail retry_fail = [err](const CollectiveError &err2) {
             fatal("%s: retry on the rebuilt ring also hit a dead "
-                  "resource (%s, detected at %g s) — one retry is the "
-                  "recovery budget; restart from the last checkpoint "
-                  "on the surviving mesh",
-                  err2.op.c_str(), err2.deadResource.c_str(),
-                  err2.detectedAt);
+                  "resource — first failure %s (ring position %d, chip "
+                  "%d, detected at %g s), second failure %s (rebuilt-"
+                  "ring position %d, chip %d, detected at %g s) — one "
+                  "retry is the recovery budget; restart from the last "
+                  "checkpoint on the surviving mesh",
+                  err2.op.c_str(), err.deadResource.c_str(),
+                  err.deadRingPos, err.deadChip, err.detectedAt,
+                  err2.deadResource.c_str(), err2.deadRingPos,
+                  err2.deadChip, err2.detectedAt);
         };
         startShardCollective(cl, kind, rebuilt, shard_bytes, lane,
                              std::move(retry_ok), std::move(retry_fail));

@@ -1,0 +1,463 @@
+#include "net/onesided.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+namespace {
+
+/** Store-and-forward hops of a detour route through an adjacent ring
+ *  (down, across, up) — the detour resource gets 1/hops bandwidth,
+ *  matching the collectives' detour-ring model. */
+constexpr double kGetDetourHops = 3.0;
+
+/** Directed links of the @p forward orientation path from ring
+ *  position @p src to @p dst. */
+std::vector<ResourceId>
+pathLinks(const Ring &ring, int src, int dst, bool forward)
+{
+    const int n = ring.size();
+    std::vector<ResourceId> links;
+    if (forward) {
+        for (int p = src; p != dst; p = (p + 1) % n)
+            links.push_back(ring.fwd[static_cast<size_t>(p)]);
+    } else {
+        for (int p = src; p != dst; p = (p - 1 + n) % n)
+            links.push_back(ring.bwd[static_cast<size_t>(p)]);
+    }
+    return links;
+}
+
+bool
+allAvailable(Cluster &cluster, const std::vector<ResourceId> &links)
+{
+    for (ResourceId id : links)
+        if (!cluster.net().isAvailable(id))
+            return false;
+    return true;
+}
+
+/**
+ * One self-deleting RDMA get: a single fluid flow over the routed path
+ * plus both endpoints' HBM and NIC queues. When the fault scenario
+ * kills a watched resource, the get aborts after the detection latency
+ * and either retries once over the corpse's shared detour resource
+ * (source or path failure) or writes the transfer off (destination
+ * died — its whole tile is gone; completing keeps the graph draining).
+ */
+class OneSidedGetOp
+{
+  public:
+    OneSidedGetOp(OneSidedComm &comm, const Ring &ring, int src_pos,
+                  int dst_pos, Bytes bytes, int lane, CommDone done)
+        : comm_(comm), cluster_(comm.mesh().cluster()), ring_(ring),
+          srcPos_(src_pos), dstPos_(dst_pos), bytes_(bytes), lane_(lane),
+          done_(std::move(done)), begin_(cluster_.sim().now())
+    {
+        // Profiler snapshot (same pattern as the collectives): the op
+        // is constructed inside a task body or chain scope but records
+        // its nodes from event callbacks later.
+        SpanRecorder &prof = cluster_.profiler();
+        profEnabled_ = prof.enabled();
+        if (profEnabled_) {
+            profTask_ = prof.currentTask();
+            profDeps_ = prof.ambientDeps();
+            profRecovery_ = prof.inRecovery();
+            if (prof.recoveryDep() >= 0)
+                profDeps_.push_back(prof.recoveryDep());
+        }
+
+        const int n = ring_.size();
+        const int fwd_hops = (dstPos_ - srcPos_ + n) % n;
+        const int bwd_hops = n - fwd_hops;
+        // Degraded/dead-link-aware routing: shortest orientation first,
+        // the long way round if the short one has an unavailable link.
+        // Neither available: take the short path anyway — the flow
+        // parks through transient capacity windows, and a *kill* on the
+        // path is handled by the fail-stop watch below.
+        bool forward = fwd_hops <= bwd_hops;
+        std::vector<ResourceId> links =
+            pathLinks(ring_, srcPos_, dstPos_, forward);
+        if (!allAvailable(cluster_, links)) {
+            std::vector<ResourceId> other =
+                pathLinks(ring_, srcPos_, dstPos_, !forward);
+            if (allAvailable(cluster_, other)) {
+                forward = !forward;
+                links = std::move(other);
+            }
+        }
+        // Membership cache: a corpse already detected by an earlier get
+        // (or the executor's death watch) is not re-detected — the
+        // detection latency is paid once per corpse, not once per get.
+        if (comm_.isKnownDead(dstChip())) {
+            // The pulling tile itself is a known corpse: write the get
+            // off immediately so the survivors' graph drains.
+            cluster_.sim().scheduleAfter(0.0, [this] {
+                StatsRegistry &st = cluster_.stats();
+                if (st.enabled())
+                    st.add("onesided/get/writeoff", 1.0);
+                finish(CommStats{}, {});
+            });
+            return;
+        }
+        if (comm_.isKnownDead(srcChip())) {
+            redirectToReplica();
+            return;
+        }
+        armFailStop(links);
+        startFlow(srcChip(), std::move(links));
+    }
+
+  private:
+    int srcChip() const { return ring_.chips[static_cast<size_t>(srcPos_)]; }
+    int dstChip() const { return ring_.chips[static_cast<size_t>(dstPos_)]; }
+
+    SpanCategory
+    profCat(SpanCategory cat) const
+    {
+        return profRecovery_ ? SpanCategory::kRecovery : cat;
+    }
+
+    /** Schedule the abort for the earliest kill among the resources the
+     *  current attempt depends on (guarded by hasKills, so kill-free
+     *  runs stay bit-identical to runs without an injector). */
+    void
+    armFailStop(const std::vector<ResourceId> &links)
+    {
+        FaultInjector *inj = cluster_.faults();
+        if (!inj || !inj->hasKills())
+            return;
+        std::vector<ResourceId> watch{cluster_.hbmOf(srcChip()),
+                                      cluster_.hbmOf(dstChip())};
+        watch.insert(watch.end(), links.begin(), links.end());
+        const Time kill =
+            inj->earliestKillAfter(cluster_.sim().now(), watch);
+        if (kill < 0.0)
+            return;
+        watchArmed_ = true;
+        abortEvent_ = cluster_.sim().schedule(
+            kill + inj->detectionLatency(), [this] { abortFailStop(); });
+    }
+
+    void
+    startFlow(int src_chip, std::vector<ResourceId> links)
+    {
+        curSrc_ = src_chip;
+        links_ = std::move(links);
+        const int dst = dstChip();
+        std::vector<Demand> demands;
+        demands.reserve(links_.size() + 4);
+        for (ResourceId id : links_)
+            demands.push_back(Demand{id, 1.0});
+        if (src_chip != dst) {
+            demands.push_back(Demand{cluster_.hbmOf(src_chip), 1.0});
+            demands.push_back(Demand{cluster_.nicOf(src_chip), 1.0});
+        }
+        demands.push_back(Demand{cluster_.hbmOf(dst), 1.0});
+        demands.push_back(Demand{cluster_.nicOf(dst), 1.0});
+        cluster_.noteCommBytes(bytes_);
+        flow_ = cluster_.net().startFlow(
+            static_cast<double>(bytes_), std::move(demands),
+            [this] { complete(); });
+    }
+
+    /** The attempt's flow finished: assemble stats and self-delete. */
+    void
+    complete()
+    {
+        if (watchArmed_) {
+            cluster_.sim().cancel(abortEvent_);
+            watchArmed_ = false;
+        }
+        CommStats stats;
+        stats.total = cluster_.sim().now() - begin_;
+        stats.transfer = stats.total;
+        stats.bytesPerLink = bytes_;
+        const ChipConfig &cfg = cluster_.config();
+        const double solo_rate =
+            cfg.iciLinkBandwidth / cfg.logicalMeshContention;
+        stats.bubble = std::max(
+            0.0, stats.transfer - static_cast<double>(bytes_) / solo_rate);
+        StatsRegistry &st = cluster_.stats();
+        if (st.enabled()) {
+            st.add("onesided/get/count", 1.0);
+            st.add("onesided/get/bytes", static_cast<double>(bytes_));
+            st.observe("onesided/get/total_s", stats.total);
+            if (retried_)
+                st.add("onesided/get/retry", 1.0);
+        }
+        if (cluster_.trace().enabled()) {
+            cluster_.trace().record("get", "comm", dstChip(), lane_,
+                                    begin_, cluster_.sim().now());
+        }
+        std::vector<int> exits;
+        if (profEnabled_) {
+            SpanRecorder &prof = cluster_.profiler();
+            // The retry leg is a recovery detour rooted at the abort
+            // marker; a clean get is a comm span.
+            const int node = prof.addNode(
+                strprintf("get c%d<-c%d%s", dstChip(), srcChip(),
+                          retried_ ? " retry" : ""),
+                retried_ ? SpanCategory::kRecovery
+                         : profCat(SpanCategory::kComm),
+                retried_ ? retryBegin_ : begin_, cluster_.sim().now(),
+                retried_ && abortNode_ >= 0 ? std::vector<int>{abortNode_}
+                                            : profDeps_,
+                dstChip());
+            prof.setNodeResource(node, cluster_.net().lastFinishedFlow());
+            prof.addTaskExit(profTask_, node);
+            exits.push_back(node);
+        }
+        finish(stats, std::move(exits));
+    }
+
+    /** Call `done` inside a chain scope on the final node(s) so the
+     *  continuation (e.g. the compute fed by this get's join) records
+     *  its dependency on the get. */
+    void
+    finish(const CommStats &stats, std::vector<int> exits)
+    {
+        Cluster &cl = cluster_;
+        const bool prof_chain = profEnabled_ && !exits.empty();
+        const int prof_task = profTask_;
+        CommDone done = std::move(done_);
+        delete this;
+        if (prof_chain)
+            cl.profiler().beginChain(prof_task, std::move(exits));
+        done(stats);
+        if (prof_chain)
+            cl.profiler().endChain();
+    }
+
+    /**
+     * The detection timeout fired. Identify the corpse, cancel the
+     * in-flight transfer, and take the per-get recovery action: a dead
+     * *destination* writes the get off (the pulling tile is gone, so
+     * completing lets the survivors' graph drain); anything else
+     * retries once over the corpse's shared detour resource, reading a
+     * dead source's slice from its ring-neighbour replica.
+     */
+    void
+    abortFailStop()
+    {
+        FaultInjector *inj = cluster_.faults();
+        watchArmed_ = false;
+        const ResourceId src_hbm = cluster_.hbmOf(curSrc_);
+        const ResourceId dst_hbm = cluster_.hbmOf(dstChip());
+        ResourceId corpse = -1;
+        int corpse_chip = -1;
+        if (curSrc_ != dstChip() && inj->isKilled(src_hbm)) {
+            corpse = src_hbm;
+            corpse_chip = curSrc_;
+        } else if (inj->isKilled(dst_hbm)) {
+            corpse = dst_hbm;
+            corpse_chip = dstChip();
+        } else {
+            const int n = ring_.size();
+            for (size_t i = 0; i < links_.size() && corpse < 0; ++i)
+                if (inj->isKilled(links_[i])) {
+                    corpse = links_[i];
+                    // fwd[p]/bwd[p] belong to the chip at position p.
+                    int p = srcPos_;
+                    for (size_t h = 0; h < i; ++h)
+                        p = routeForward() ? (p + 1) % n
+                                           : (p - 1 + n) % n;
+                    corpse_chip = ring_.chips[static_cast<size_t>(p)];
+                }
+        }
+        if (corpse < 0)
+            panic("onesided get: fail-stop abort fired but no killed "
+                  "resource was found on the route");
+        // First detection broadcasts membership: gets issued from here
+        // on skip their own detection window for this corpse.
+        if (corpse == src_hbm || corpse == dst_hbm)
+            comm_.markDead(corpse_chip);
+        cluster_.net().cancelFlow(flow_);
+        StatsRegistry &st = cluster_.stats();
+        if (st.enabled())
+            st.add("onesided/get/abort", 1.0);
+
+        if (profEnabled_) {
+            abortNode_ = cluster_.profiler().addNode(
+                strprintf("get c%d<-c%d abort", dstChip(), srcChip()),
+                SpanCategory::kRecovery, begin_, cluster_.sim().now(),
+                profDeps_, dstChip());
+        }
+
+        if (retried_) {
+            fatal("onesided get (chip %d <- chip %d): retry over the "
+                  "detour also hit a dead resource (%s, detected at "
+                  "%g s) — one retry is the recovery budget; restart "
+                  "from the last checkpoint on the surviving mesh",
+                  dstChip(), srcChip(),
+                  cluster_.net().resourceName(corpse).c_str(),
+                  cluster_.sim().now());
+        }
+        if (corpse == dst_hbm) {
+            // Destination tile is dead: its pull can never land. Write
+            // the transfer off so the graph drains; the dead chip's
+            // schedule completes vacuously from here on.
+            if (st.enabled())
+                st.add("onesided/get/writeoff", 1.0);
+            CommStats stats;
+            stats.total = cluster_.sim().now() - begin_;
+            stats.transfer = stats.total;
+            std::vector<int> exits;
+            if (abortNode_ >= 0) {
+                cluster_.profiler().addTaskExit(profTask_, abortNode_);
+                exits.push_back(abortNode_);
+            }
+            finish(stats, std::move(exits));
+            return;
+        }
+
+        // Retry once over the corpse's shared detour resource. A dead
+        // source's slice is re-read from its ring-neighbour replica
+        // (the chip that would have forwarded it in a ring collective);
+        // a dead path link keeps the original source and just routes
+        // around the failure.
+        retried_ = true;
+        retryBegin_ = cluster_.sim().now();
+        int retry_src = srcChip();
+        if (corpse == src_hbm) {
+            const int n = ring_.size();
+            int pos = (srcPos_ + 1) % n;
+            if (pos == dstPos_)
+                pos = (srcPos_ - 1 + n) % n;
+            // On a 2-ring the only survivor is the destination itself:
+            // the replica is local and the "get" is an HBM-side re-read.
+            retry_src = ring_.chips[static_cast<size_t>(pos)];
+        }
+        const ResourceId detour = comm_.detourAround(corpse_chip);
+        armRetryFailStop(retry_src);
+        startFlow(retry_src, {detour});
+    }
+
+    /** The source was already a known corpse when this get was issued:
+     *  skip the doomed attempt (no second detection window) and read
+     *  the slice from its ring-neighbour replica over the corpse's
+     *  shared detour. Counts as the get's one retry, so a further kill
+     *  on the replica path still exhausts the budget. */
+    void
+    redirectToReplica()
+    {
+        retried_ = true;
+        retryBegin_ = begin_;
+        StatsRegistry &st = cluster_.stats();
+        if (st.enabled())
+            st.add("onesided/get/redirect", 1.0);
+        const int corpse_chip = srcChip();
+        const int n = ring_.size();
+        int pos = (srcPos_ + 1) % n;
+        if (pos == dstPos_)
+            pos = (srcPos_ - 1 + n) % n;
+        // On a 2-ring the only survivor is the destination itself: the
+        // replica is local and the "get" is an HBM-side re-read.
+        const int retry_src = ring_.chips[static_cast<size_t>(pos)];
+        const ResourceId detour = comm_.detourAround(corpse_chip);
+        armRetryFailStop(retry_src);
+        startFlow(retry_src, {detour});
+    }
+
+    /** Second-kill watch over the retry's endpoints (the detour
+     *  resource itself is registered post-arm, so it cannot die). */
+    void
+    armRetryFailStop(int retry_src)
+    {
+        FaultInjector *inj = cluster_.faults();
+        std::vector<ResourceId> watch{cluster_.hbmOf(retry_src),
+                                      cluster_.hbmOf(dstChip())};
+        const Time kill =
+            inj->earliestKillAfter(cluster_.sim().now(), watch);
+        if (kill < 0.0)
+            return;
+        watchArmed_ = true;
+        abortEvent_ = cluster_.sim().schedule(
+            kill + inj->detectionLatency(), [this] { abortFailStop(); });
+    }
+
+    /** Orientation of `links_` (true = fwd). Only valid when the path
+     *  is non-empty; used to map a dead link back to its owner chip. */
+    bool
+    routeForward() const
+    {
+        return !links_.empty() &&
+               links_[0] == ring_.fwd[static_cast<size_t>(srcPos_)];
+    }
+
+    OneSidedComm &comm_;
+    Cluster &cluster_;
+    const Ring ring_; // copy: caller's Ring may be a temporary
+    int srcPos_;
+    int dstPos_;
+    Bytes bytes_;
+    int lane_;
+    CommDone done_;
+    Time begin_;
+    Time retryBegin_ = 0.0;
+    /** Source chip of the current attempt (the replica's after a
+     *  dead-source retry). */
+    int curSrc_ = -1;
+    /** Route of the current attempt ({detour} on the retry leg). */
+    std::vector<ResourceId> links_;
+    FlowId flow_ = -1;
+    bool watchArmed_ = false;
+    EventId abortEvent_;
+    bool retried_ = false;
+
+    bool profEnabled_ = false;
+    int profTask_ = -1;
+    std::vector<int> profDeps_;
+    bool profRecovery_ = false;
+    int abortNode_ = -1;
+};
+
+} // namespace
+
+ResourceId
+OneSidedComm::detourAround(int chip)
+{
+    auto it = detours_.find(chip);
+    if (it != detours_.end())
+        return it->second;
+    Cluster &cluster = mesh_.cluster();
+    const double bw = cluster.config().iciLinkBandwidth /
+                      cluster.config().logicalMeshContention /
+                      kGetDetourHops;
+    const ResourceId id = cluster.net().addResource(
+        strprintf("link.detour.get.chip%d", chip), bw);
+    detours_.emplace(chip, id);
+    return id;
+}
+
+void
+OneSidedComm::get(GetAxis axis, int dst_r, int dst_c, int src_r, int src_c,
+                  Bytes bytes, int lane, CommDone done)
+{
+    Cluster &cluster = mesh_.cluster();
+    if (axis == GetAxis::kRow && src_r != dst_r)
+        panic("OneSidedComm::get: row-axis get between rows %d and %d",
+              src_r, dst_r);
+    if (axis == GetAxis::kCol && src_c != dst_c)
+        panic("OneSidedComm::get: col-axis get between cols %d and %d",
+              src_c, dst_c);
+    if (bytes <= 0 || (src_r == dst_r && src_c == dst_c)) {
+        cluster.sim().scheduleAfter(0.0, [done = std::move(done)] {
+            done(CommStats{});
+        });
+        return;
+    }
+    const Ring &ring = axis == GetAxis::kRow ? mesh_.rowRing(dst_r)
+                                             : mesh_.colRing(dst_c);
+    const int src_pos = axis == GetAxis::kRow ? src_c : src_r;
+    const int dst_pos = axis == GetAxis::kRow ? dst_c : dst_r;
+    new OneSidedGetOp(*this, ring, src_pos, dst_pos, bytes, lane,
+                      std::move(done));
+}
+
+} // namespace meshslice

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * One-sided (RDMA-style) communication primitives on the torus mesh.
+ *
+ * Brock & Golin's "Slicing Is All You Need" replaces bulk sliced
+ * collectives with asynchronous one-sided *gets*: a stationary-C tile
+ * pulls the A/B slices it needs directly from the owners' memories,
+ * with no global synchronization point anywhere. This file provides
+ * the timed primitive on the existing fluid link controllers:
+ *
+ *  - `OneSidedComm::get`: a routed, timed RDMA get of `bytes` from a
+ *    source chip's HBM into the destination chip's HBM along the row
+ *    or column ring connecting them. The flow demands every directed
+ *    link on the (shortest available) path, both HBMs, and both chips'
+ *    NIC queue resources (`Cluster::nicOf`) — so many concurrent gets
+ *    landing on one chip queue up at its NIC once the four-link
+ *    aggregate bandwidth is exceeded.
+ *  - Degraded/dead-link awareness: routing prefers the orientation
+ *    whose links are all currently available (`FluidNetwork::
+ *    isAvailable`, which reflects `FaultScenario` capacity windows and
+ *    kills), falling back to the longer way round.
+ *  - Per-get retry instead of collective-wide abort: when the fault
+ *    scenario *kills* a resource the get depends on, the get aborts
+ *    `detectionLatency` seconds after the kill, cancels its flow, and
+ *    retries once over a store-and-forward detour resource (1/3 link
+ *    bandwidth, shared per corpse) — re-reading a dead source's slice
+ *    from its ring-neighbour replica. The abort and the retry are
+ *    recorded as `kRecovery` spans for `sim/critical_path`, so
+ *    detoured gets show up under the recovery category. A second kill
+ *    during the retry is fatal (one retry is the recovery budget,
+ *    matching the collectives' policy).
+ *
+ * Only the tiles whose gets touch the failed resource pay the detour;
+ * every other tile's chain proceeds untouched — the fault-tolerance
+ * property the `OneSided` executor builds on.
+ */
+#ifndef MESHSLICE_NET_ONESIDED_HPP_
+#define MESHSLICE_NET_ONESIDED_HPP_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/collectives.hpp"
+#include "net/topology.hpp"
+
+namespace meshslice {
+
+/** Which ring a one-sided get routes along. */
+enum class GetAxis
+{
+    kRow, ///< source and destination share a mesh row
+    kCol, ///< source and destination share a mesh column
+};
+
+/**
+ * One-sided get/put engine bound to a mesh. Stateless apart from the
+ * per-corpse detour-resource cache (so every retried get around one
+ * dead chip contends on the same narrow recovery path) and stats.
+ * Construct once per executor run; `get` may be called concurrently
+ * (in simulated time) without any coordination between calls.
+ */
+class OneSidedComm
+{
+  public:
+    explicit OneSidedComm(TorusMesh &mesh) : mesh_(mesh) {}
+
+    /**
+     * Timed RDMA get: the chip at (dst_r, dst_c) pulls @p bytes from
+     * the chip at (src_r, src_c)'s HBM. The two must share a row
+     * (@p axis == kRow) or a column (kCol). @p done receives the
+     * get's CommStats (pure transfer: no launch or sync components —
+     * batching of launch overhead is the caller's schedule decision).
+     * A put is the mirror image with identical cost; model puts by
+     * swapping src and dst.
+     */
+    void get(GetAxis axis, int dst_r, int dst_c, int src_r, int src_c,
+             Bytes bytes, int lane, CommDone done);
+
+    TorusMesh &mesh() { return mesh_; }
+
+    /**
+     * The shared detour resource used to route around @p chip once it
+     * (or a link next to it) is dead: a store-and-forward path through
+     * an adjacent ring at 1/3 link bandwidth, registered on first use.
+     */
+    ResourceId detourAround(int chip);
+
+    /**
+     * Membership cache: a chip whose HBM death has already been
+     * detected (by an aborted get, or by the executor's death watch).
+     * Later gets consult it and go straight to the replica read over
+     * the detour instead of re-paying the detection latency — the
+     * first detection is broadcast, exactly like a membership service.
+     * Only ever populated under kill scenarios, so fault-free runs are
+     * bit-identical with or without the cache.
+     */
+    bool isKnownDead(int chip) const
+    {
+        return knownDead_.count(chip) != 0;
+    }
+    void markDead(int chip) { knownDead_.insert(chip); }
+
+  private:
+    TorusMesh &mesh_;
+    std::unordered_map<int, ResourceId> detours_;
+    std::unordered_set<int> knownDead_;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_NET_ONESIDED_HPP_

@@ -285,6 +285,41 @@ CostModel::estimateGemmTime(Algorithm algo, const Gemm2DSpec &spec) const
                                     comp_total - t_c) +
                t_c;
       }
+      case Algorithm::kOneSided: {
+        // Brock & Golin one-sided gets: no sync term anywhere. Per
+        // slice every tile pulls (P-1) peer shards along its row and
+        // its column ring with shortest-path routing; averaged over a
+        // ring's 2P directed links the per-link bytes come to
+        // hopsSum(P)/2 * shard, hopsSum(P) = sum_d min(d, P-d).
+        const int s = std::max(1, spec.sliceCount);
+        auto hops_sum = [](int p) {
+            Bytes total = 0;
+            for (int d = 1; d < p; ++d)
+                total += std::min(d, p - d);
+            return total;
+        };
+        const Bytes h_shard = h.matrixBytes / (chips * s);
+        const Bytes v_shard = v.matrixBytes / (chips * s);
+        const double link_bytes =
+            (static_cast<double>(hops_sum(spec.cols)) * h_shard +
+             static_cast<double>(hops_sum(spec.rows)) * v_shard) /
+            2.0;
+        // Each get crosses both endpoints' NIC queues and HBMs, and
+        // by symmetry every chip serves exactly what it pulls.
+        const double endpoint_bytes =
+            static_cast<double>(spec.cols - 1) * h_shard +
+            static_cast<double>(spec.rows - 1) * v_shard;
+        const double nic_bw = Cluster::kNicLinksPerChip * params_.bw;
+        const Time t_get =
+            params_.tLaunch +
+            std::max({link_bytes / params_.bw,
+                      endpoint_bytes / nic_bw,
+                      2.0 * endpoint_bytes / cfg_.hbmBandwidth});
+        const Time t_c = computeTime(localSliceWork(spec));
+        if (!cfg_.allowSendRecvOverlap)
+            return s * (t_get + t_c);
+        return t_get + (s - 1) * std::max(t_get, t_c) + t_c;
+      }
       case Algorithm::kCannon: {
         if (spec.rows != spec.cols)
             return 1e300; // infeasible configuration

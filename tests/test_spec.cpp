@@ -123,8 +123,9 @@ TEST(Spec, ValidSliceCountsRespectCap)
 TEST(Spec, AlgorithmNamesRoundTrip)
 {
     EXPECT_STREQ(algorithmName(Algorithm::kMeshSlice), "MeshSlice");
-    EXPECT_EQ(all2DAlgorithms().size(), 5u);
-    EXPECT_EQ(allAlgorithms().size(), 7u);
+    EXPECT_STREQ(algorithmName(Algorithm::kOneSided), "OneSided");
+    EXPECT_EQ(all2DAlgorithms().size(), 6u);
+    EXPECT_EQ(allAlgorithms().size(), 8u);
 }
 
 TEST(Spec, UtilizationComputation)

@@ -11,7 +11,7 @@
 #
 # Usage: check_json.sh <observability_report> [robustness_report]
 #        [recovery_report] [pipeline_report] [explain_report]
-#        [micro_kernels] [chips]
+#        [micro_kernels] [onesided_report] [chips]
 set -euo pipefail
 
 bin=$(readlink -f "$1")
@@ -21,6 +21,7 @@ recovery_bin=""
 pipeline_bin=""
 explain_bin=""
 micro_bin=""
+onesided_bin=""
 chips=16
 for arg in "$@"; do
     if [ -f "$arg" ] && [ -x "$arg" ]; then
@@ -34,6 +35,8 @@ for arg in "$@"; do
             explain_bin=$(readlink -f "$arg")
         elif [ -z "$micro_bin" ]; then
             micro_bin=$(readlink -f "$arg")
+        elif [ -z "$onesided_bin" ]; then
+            onesided_bin=$(readlink -f "$arg")
         else
             echo "check_json.sh: too many report binaries: $arg" >&2
             exit 2
@@ -206,6 +209,39 @@ EOF
         echo "ok   BENCH_kernels.json sim_throughput"
     else
         echo "FAIL BENCH_kernels.json sim_throughput"
+        status=1
+    fi
+fi
+
+if [ -n "$onesided_bin" ]; then
+    "$onesided_bin" "$chips" --smoke > onesided_report.out
+    check_file BENCH_onesided.json
+    check_jsonl onesided_search.jsonl
+    # The one-sided report embeds its own acceptance cross-checks
+    # (functional identity, fault-free parity, straggler dominance,
+    # kill bounded by one detection, robust pick flip); every one must
+    # hold.
+    if "$python3" - BENCH_onesided.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+checks = doc.get("cross_checks", {})
+if not checks:
+    sys.exit("BENCH_onesided.json: missing cross_checks section")
+for key in ("functional_identity", "faultfree_parity",
+            "straggler_dominance", "kill_bounded_by_one_detection",
+            "robust_pick_flip"):
+    if key not in checks:
+        sys.exit("BENCH_onesided.json: cross_checks missing %r" % key)
+bad = [k for k, v in checks.items() if v is not True]
+if bad:
+    sys.exit("BENCH_onesided.json cross-checks failed: %s" % ", ".join(bad))
+EOF
+    then
+        echo "ok   BENCH_onesided.json cross-checks"
+    else
+        echo "FAIL BENCH_onesided.json cross-checks"
         status=1
     fi
 fi
