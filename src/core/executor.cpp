@@ -390,12 +390,14 @@ buildWang(TaskGraph &graph, TorusMesh &mesh, const Gemm2DSpec &spec,
     auto shift_task = [&mesh, ov_side, iter_bytes, bidir, state](
                           std::function<void()> done) {
         if (bidir) {
-            auto *merged = new CommStats();
+            // shared_ptr (not a raw new/delete pair): if the phase is
+            // abandoned mid-shift the Join is reclaimed by the abandon
+            // sweep, and destroying its callback must release the
+            // half-merged stats too.
+            auto merged = std::make_shared<CommStats>();
             CommDone sink = statsSink(state, ov_side.dir, std::move(done));
             Join *join = Join::create(2, [merged, sink] {
-                CommStats stats = *merged;
-                delete merged;
-                sink(stats);
+                sink(*merged);
             });
             auto half_done = [merged, join](const CommStats &stats) {
                 merged->mergeParallel(stats);
@@ -835,8 +837,17 @@ GemmExecutor::run(Algorithm algo, const Gemm2DSpec &spec)
         end = cluster.sim().now();
     });
     cluster.sim().run();
-    if (!finished)
+    if (!finished) {
+        // A requested stop is a deliberate abandonment (the elastic
+        // runtime's fail-stop handler fired mid-schedule): hand back a
+        // partial result the caller will discard. Anything else is the
+        // historical invariant violation.
+        if (cluster.sim().stopRequested()) {
+            result.time = cluster.sim().now() - begin;
+            return result;
+        }
         panic("GemmExecutor: schedule did not drain");
+    }
     result.time = end - begin;
     finishRunTelemetry(cluster, algorithmName(algo), result,
                        core_busy_before, cluster.numChips());
@@ -880,11 +891,11 @@ runGemm1D(RingNetwork &net, const Gemm1DSpec &spec, Algorithm algo)
         CommDone sink =
             statsSink(&result, Dir::kHorizontal, std::move(done));
         if (bidir) {
-            auto *merged = new CommStats();
+            // shared_ptr for the same abandonment-safety reason as the
+            // 2D shift task above.
+            auto merged = std::make_shared<CommStats>();
             Join *join = Join::create(2, [merged, sink] {
-                CommStats stats = *merged;
-                delete merged;
-                sink(stats);
+                sink(*merged);
             });
             auto half_done = [merged, join](const CommStats &stats) {
                 merged->mergeParallel(stats);
@@ -942,8 +953,14 @@ runGemm1D(RingNetwork &net, const Gemm1DSpec &spec, Algorithm algo)
         end = cluster.sim().now();
     });
     cluster.sim().run();
-    if (!finished)
+    if (!finished) {
+        // Same abandonment escape as GemmExecutor::run.
+        if (cluster.sim().stopRequested()) {
+            result.time = cluster.sim().now() - begin;
+            return result;
+        }
         panic("runGemm1D: schedule did not drain");
+    }
     result.time = end - begin;
     finishRunTelemetry(cluster, algorithmName(algo), result,
                        core_busy_before, cluster.numChips());

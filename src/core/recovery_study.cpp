@@ -134,4 +134,72 @@ runCollectiveRecovery(const ChipConfig &cfg, int rows, int cols,
     return result;
 }
 
+ElasticWallPrediction
+predictElasticWall(const ElasticPredictionInput &in)
+{
+    if (in.steps <= 0)
+        fatal("predictElasticWall: steps must be positive (got %d)",
+              in.steps);
+    if (!(in.stepTime > 0.0))
+        fatal("predictElasticWall: stepTime must be positive (got %g)",
+              in.stepTime);
+
+    ElasticWallPrediction out;
+    out.usefulTime = in.steps * in.stepTime;
+
+    // Walk the elastic runtime's state machine with estimates in place
+    // of simulated phases. One pass, single-kill: after recovery the
+    // kill can't fire again.
+    Time wall = 0.0;
+    Time since_ckpt = 0.0; // useful seconds since the last checkpoint
+    int step = 0;
+    int committed_at_ckpt = 0; // steps safe in the last checkpoint
+    bool faulted = false;
+    const bool has_kill = in.killTime >= 0.0;
+
+    while (step < in.steps) {
+        const Time t_step = faulted ? in.survivorStepTime : in.stepTime;
+        if (!faulted && has_kill && in.killTime < wall + t_step) {
+            // The kill lands inside this step (or a checkpoint that
+            // preceded it — the runtime aborts whichever phase is
+            // live). Recovery: detect, re-plan, re-shard + restore,
+            // roll back to the last checkpoint.
+            wall = in.killTime + in.detectionLatency + in.replanTime +
+                   in.reshardTime;
+            out.redoneSteps = step - committed_at_ckpt;
+            step = committed_at_ckpt;
+            since_ckpt = 0.0;
+            faulted = true;
+            out.recovered = true;
+            continue;
+        }
+        wall += t_step;
+        since_ckpt += t_step;
+        ++step;
+        if (step < in.steps && in.checkpointInterval > 0.0 &&
+            since_ckpt >= in.checkpointInterval) {
+            const Time c = faulted ? in.survivorCheckpointCost
+                                   : in.checkpointCost;
+            if (!faulted && has_kill && in.killTime < wall + c) {
+                wall = in.killTime + in.detectionLatency + in.replanTime +
+                       in.reshardTime;
+                out.redoneSteps = step - committed_at_ckpt;
+                step = committed_at_ckpt;
+                since_ckpt = 0.0;
+                faulted = true;
+                out.recovered = true;
+                continue;
+            }
+            wall += c;
+            ++out.checkpoints;
+            committed_at_ckpt = step;
+            since_ckpt = 0.0;
+        }
+    }
+
+    out.wall = wall;
+    out.goodput = out.usefulTime / wall;
+    return out;
+}
+
 } // namespace meshslice

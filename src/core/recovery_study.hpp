@@ -138,6 +138,52 @@ CollectiveRecoveryResult runCollectiveRecovery(
     RingCollectiveKind kind = RingCollectiveKind::kAllGather,
     bool row_ring = true, int index = 0);
 
+/**
+ * Closed-form inputs of `predictElasticWall`: per-phase cost estimates
+ * for the elastic runtime's state machine (step loop + checkpoint rule
+ * + single-kill recovery transaction).
+ */
+struct ElasticPredictionInput
+{
+    int steps = 0;                  ///< training steps to commit
+    Time stepTime = 0.0;            ///< est. step time, full mesh
+    Time survivorStepTime = 0.0;    ///< est. step time, survivor mesh
+    Time checkpointCost = 0.0;      ///< est. checkpoint span, full mesh
+    Time survivorCheckpointCost = 0.0; ///< est. span, survivor mesh
+    /** Checkpoint interval τ: a checkpoint is emitted after the step
+     *  that pushes accumulated useful time since the last one past τ. */
+    Time checkpointInterval = 0.0;
+    /** Global simulated time of the kill; negative = fault-free. */
+    Time killTime = -1.0;
+    Time detectionLatency = 0.0;
+    /** Re-plan + restart overhead charged once per recovery. */
+    Time replanTime = 0.0;
+    /** Estimated recovery re-shard span (`reshardTime` of the plan). */
+    Time reshardTime = 0.0;
+};
+
+/** Analytic mirror of one elastic run. */
+struct ElasticWallPrediction
+{
+    Time wall = 0.0;       ///< predicted end-to-end wall clock
+    Time usefulTime = 0.0; ///< steps x full-mesh step time (the ideal)
+    double goodput = 0.0;  ///< usefulTime / wall
+    int checkpoints = 0;   ///< checkpoints emitted (incl. post-fault)
+    int redoneSteps = 0;   ///< steps rolled back and re-executed
+    bool recovered = false; ///< the kill fired inside the run
+};
+
+/**
+ * Deterministic analytic prediction of one elastic run's wall clock:
+ * walks the runtime's exact state machine (step, checkpoint-after-step
+ * at interval τ, single-kill detect → re-plan → re-shard → rollback →
+ * resume) with closed-form per-phase costs instead of simulation. The
+ * measured/predicted ratio is the model error band the elastic bench
+ * reports; `evaluateTrainingRun` remains the expectation over the
+ * failure process, this is the prediction for one concrete scenario.
+ */
+ElasticWallPrediction predictElasticWall(const ElasticPredictionInput &in);
+
 } // namespace meshslice
 
 #endif // MESHSLICE_CORE_RECOVERY_STUDY_HPP_

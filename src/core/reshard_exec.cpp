@@ -11,9 +11,16 @@
 
 namespace meshslice {
 
+namespace {
+
+/**
+ * Shared body of `runReshard` (dead_chip < 0) and `runRecoveryReshard`
+ * (dead_chip >= 0: moves sourced at the corpse stream from the shared
+ * `ckpt.restore` resource instead of the corpse's NIC + HBM).
+ */
 void
-runReshard(Cluster &cluster, const ReshardPlan &plan,
-           std::function<void(Time)> done)
+runReshardImpl(Cluster &cluster, const ReshardPlan &plan, int dead_chip,
+               Rate restore_bandwidth, std::function<void(Time)> done)
 {
     Cluster *cl = &cluster;
     Simulator &sim = cluster.sim();
@@ -60,7 +67,8 @@ runReshard(Cluster &cluster, const ReshardPlan &plan,
         }
     }
 
-    sim.scheduleAfter(cfg.launchOverhead, [cl, st, plan,
+    sim.scheduleAfter(cfg.launchOverhead, [cl, st, plan, dead_chip,
+                                           restore_bandwidth,
                                            prof_deps =
                                                std::move(prof_deps)]() mutable {
         Simulator &sim = cl->sim();
@@ -123,32 +131,174 @@ runReshard(Cluster &cluster, const ReshardPlan &plan,
                         prof.endChain();
                     });
             });
+        // Restore path of the recovery variant: one shared resource
+        // standing in for the checkpoint target's egress (host DMA /
+        // DCN), registered only when a corpse-sourced move exists so
+        // the plain re-shard's resource census is unchanged.
+        ResourceId restore_res = -1;
+        auto restore_of = [cl, &restore_res, restore_bandwidth]() {
+            if (restore_res < 0)
+                restore_res = cl->net().addResource("ckpt.restore",
+                                                    restore_bandwidth);
+            return restore_res;
+        };
         for (const ReshardMove &mv : plan.moves) {
             cl->noteCommBytes(mv.bytes);
-            auto flow_done = [cl, st, join, xfer_cat, src = mv.srcChip,
-                              dst = mv.dstChip] {
+            const bool from_ckpt = mv.srcChip == dead_chip && dead_chip >= 0;
+            auto flow_done = [cl, st, join, xfer_cat, from_ckpt,
+                              src = mv.srcChip, dst = mv.dstChip] {
                 if (st->profiling) {
                     SpanRecorder &prof = cl->profiler();
                     std::vector<int> deps;
                     if (st->launchNode >= 0)
                         deps.push_back(st->launchNode);
                     const int node = prof.addNode(
-                        strprintf("reshard %d->%d", src, dst), xfer_cat,
-                        st->xferBegin, cl->sim().now(), std::move(deps),
-                        dst);
+                        from_ckpt
+                            ? strprintf("restore %d->%d", src, dst)
+                            : strprintf("reshard %d->%d", src, dst),
+                        xfer_cat, st->xferBegin, cl->sim().now(),
+                        std::move(deps), dst);
                     prof.setNodeResource(node,
                                          cl->net().lastFinishedFlow());
                     st->moveNodes.push_back(node);
                 }
                 join->signal();
             };
-            cl->net().startFlow(
-                static_cast<double>(mv.bytes),
-                {Demand{nic_of(mv.srcChip, false), 1.0},
-                 Demand{nic_of(mv.dstChip, true), 1.0},
-                 Demand{cl->hbmOf(mv.srcChip), 1.0},
-                 Demand{cl->hbmOf(mv.dstChip), 1.0}},
-                std::move(flow_done));
+            std::vector<Demand> demands;
+            if (from_ckpt) {
+                demands = {Demand{restore_of(), 1.0},
+                           Demand{nic_of(mv.dstChip, true), 1.0},
+                           Demand{cl->hbmOf(mv.dstChip), 1.0}};
+            } else {
+                demands = {Demand{nic_of(mv.srcChip, false), 1.0},
+                           Demand{nic_of(mv.dstChip, true), 1.0},
+                           Demand{cl->hbmOf(mv.srcChip), 1.0},
+                           Demand{cl->hbmOf(mv.dstChip), 1.0}};
+            }
+            cl->net().startFlow(static_cast<double>(mv.bytes),
+                                std::move(demands), std::move(flow_done));
+        }
+        join->signal();
+    });
+}
+
+} // namespace
+
+void
+runReshard(Cluster &cluster, const ReshardPlan &plan,
+           std::function<void(Time)> done)
+{
+    runReshardImpl(cluster, plan, -1, 0.0, std::move(done));
+}
+
+void
+runRecoveryReshard(Cluster &cluster, const ReshardPlan &plan, int dead_chip,
+                   Rate restore_bandwidth, std::function<void(Time)> done)
+{
+    if (dead_chip < 0 || dead_chip >= cluster.numChips())
+        panic("runRecoveryReshard: dead chip %d outside the %d-chip "
+              "cluster", dead_chip, cluster.numChips());
+    if (!(restore_bandwidth > 0.0))
+        panic("runRecoveryReshard: restore bandwidth must be positive "
+              "(got %g)", restore_bandwidth);
+    runReshardImpl(cluster, plan, dead_chip, restore_bandwidth,
+                   std::move(done));
+}
+
+void
+runCheckpoint(Cluster &cluster, const CheckpointSpec &spec,
+              std::function<void(Time)> done)
+{
+    if (spec.bytesPerChip <= 0)
+        panic("runCheckpoint: bytesPerChip must be positive (got %lld)",
+              static_cast<long long>(spec.bytesPerChip));
+    if (!(spec.targetBandwidth > 0.0))
+        panic("runCheckpoint: target bandwidth must be positive (got %g)",
+              spec.targetBandwidth);
+
+    Cluster *cl = &cluster;
+    Simulator &sim = cluster.sim();
+    const ChipConfig &cfg = cluster.config();
+    SpanRecorder &prof = cluster.profiler();
+
+    struct State
+    {
+        std::function<void(Time)> done;
+        Time begin = 0.0;
+        Time xferBegin = 0.0;
+        bool profiling = false;
+        int profTask = -1;
+        int launchNode = -1;
+        std::vector<int> writeNodes;
+    };
+    auto st = std::make_shared<State>();
+    st->done = std::move(done);
+    st->begin = sim.now();
+    st->profiling = prof.enabled();
+
+    std::vector<int> prof_deps;
+    if (st->profiling) {
+        st->profTask = prof.currentTask();
+        prof_deps = prof.ambientDeps();
+    }
+
+    sim.scheduleAfter(cfg.launchOverhead, [cl, st, spec,
+                                           prof_deps =
+                                               std::move(prof_deps)]() mutable {
+        Simulator &sim = cl->sim();
+        SpanRecorder &prof = cl->profiler();
+        if (st->profiling)
+            st->launchNode = prof.addNode(
+                "checkpoint launch", SpanCategory::kCheckpoint, st->begin,
+                sim.now(), std::move(prof_deps), -1);
+        st->xferBegin = sim.now();
+
+        const ResourceId target =
+            cl->net().addResource("ckpt.target", spec.targetBandwidth);
+        const int chips = cl->numChips();
+        Join *join = Join::create(chips + 1, [cl, st] {
+            const Time xfer_end = cl->sim().now();
+            cl->sim().scheduleAfter(
+                cl->config().syncLatency, [cl, st, xfer_end] {
+                    const Time now = cl->sim().now();
+                    if (!st->profiling) {
+                        st->done(now - st->begin);
+                        return;
+                    }
+                    SpanRecorder &prof = cl->profiler();
+                    std::vector<int> deps = st->writeNodes;
+                    if (deps.empty() && st->launchNode >= 0)
+                        deps.push_back(st->launchNode);
+                    const int sync = prof.addNode(
+                        "checkpoint sync", SpanCategory::kCheckpoint,
+                        xfer_end, now, std::move(deps), -1);
+                    prof.addTaskExit(st->profTask, sync);
+                    prof.beginChain(st->profTask, {sync});
+                    st->done(now - st->begin);
+                    prof.endChain();
+                });
+        });
+        for (int chip = 0; chip < chips; ++chip) {
+            auto flow_done = [cl, st, join, chip] {
+                if (st->profiling) {
+                    SpanRecorder &prof = cl->profiler();
+                    std::vector<int> deps;
+                    if (st->launchNode >= 0)
+                        deps.push_back(st->launchNode);
+                    const int node = prof.addNode(
+                        strprintf("ckpt write c%d", chip),
+                        SpanCategory::kCheckpoint, st->xferBegin,
+                        cl->sim().now(), std::move(deps), chip);
+                    prof.setNodeResource(node,
+                                         cl->net().lastFinishedFlow());
+                    st->writeNodes.push_back(node);
+                }
+                join->signal();
+            };
+            cl->net().startFlow(static_cast<double>(spec.bytesPerChip),
+                                {Demand{cl->hbmOf(chip), 1.0},
+                                 Demand{target, 1.0}},
+                                std::move(flow_done));
         }
         join->signal();
     });

@@ -38,6 +38,47 @@ namespace meshslice {
 void runReshard(Cluster &cluster, const ReshardPlan &plan,
                 std::function<void(Time)> done);
 
+/**
+ * Recovery-transaction variant of `runReshard`: @p dead_chip died and
+ * cannot source its blocks over the ICI, so every move whose source is
+ * the corpse instead streams from the checkpoint target — a shared
+ * `ckpt.restore` resource registered at @p restore_bandwidth (the
+ * host-DMA/DCN path the checkpoint was written through), demanding
+ * only the destination side's ingress NIC and HBM. Moves between
+ * surviving chips (including the retired line's healthy spares) run on
+ * real links exactly as in `runReshard`. Call inside a recovery scope
+ * so the profiler attributes the transfers to `kRecovery`.
+ */
+void runRecoveryReshard(Cluster &cluster, const ReshardPlan &plan,
+                        int dead_chip, Rate restore_bandwidth,
+                        std::function<void(Time)> done);
+
+/** Timed checkpoint emitted by the elastic runtime at the Young–Daly
+ *  interval. */
+struct CheckpointSpec
+{
+    /** Bytes each chip streams out (optimizer + weight shards). */
+    Bytes bytesPerChip = 0;
+    /** Aggregate ingest bandwidth of the checkpoint target (the shared
+     *  `ckpt.target` resource all per-chip write flows contend on). */
+    Rate targetBandwidth = 0.0;
+};
+
+/**
+ * Execute one checkpoint on @p cluster: a launch overhead, then one
+ * flow per chip demanding the chip's HBM plus the shared checkpoint
+ * target, then a closing barrier of one sync latency. Calls @p done
+ * with the end-to-end span (the caller drives `cluster.sim().run()`).
+ * All recorded span nodes carry the `kCheckpoint` category, so
+ * checkpoint traffic is a first-class slice of the critical-path
+ * attribution. The write also leaves each chip's checkpoint copy in
+ * local HBM — which is why a later recovery re-shard can source
+ * survivor blocks over real links and only the corpse's blocks from
+ * the target (`runRecoveryReshard`).
+ */
+void runCheckpoint(Cluster &cluster, const CheckpointSpec &spec,
+                   std::function<void(Time)> done);
+
 } // namespace meshslice
 
 #endif // MESHSLICE_CORE_RESHARD_EXEC_HPP_

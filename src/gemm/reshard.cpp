@@ -66,6 +66,41 @@ SurvivorMesh::validate() const
               "no survivors would remain", from.rows, from.cols);
 }
 
+std::vector<SurvivorMesh>
+survivorOptionsForChip(MeshShape from, int dead_chip)
+{
+    if (from.rows < 1 || from.cols < 1)
+        fatal("survivorOptionsForChip: mesh %dx%d is empty", from.rows,
+              from.cols);
+    if (dead_chip < 0 || dead_chip >= from.chips())
+        fatal("survivorOptionsForChip: chip %d outside the %dx%d mesh",
+              dead_chip, from.rows, from.cols);
+    const int dead_row = dead_chip / from.cols;
+    const int dead_col = dead_chip % from.cols;
+    std::vector<SurvivorMesh> options;
+    if (from.rows >= 2)
+        options.push_back(SurvivorMesh{from, dead_row, -1});
+    if (from.cols >= 2)
+        options.push_back(SurvivorMesh{from, -1, dead_col});
+    if (options.empty())
+        fatal("survivorOptionsForChip: a 1x1 mesh has no survivor "
+              "option after chip %d dies", dead_chip);
+    return options;
+}
+
+std::vector<int>
+oldToNewChipMap(const SurvivorMesh &sv)
+{
+    sv.validate();
+    const MeshShape to = sv.to();
+    std::vector<int> map(static_cast<size_t>(sv.from.chips()), -1);
+    for (int p = 0; p < to.rows; ++p)
+        for (int q = 0; q < to.cols; ++q)
+            map[static_cast<size_t>(sv.oldChipAt(p, q))] =
+                p * to.cols + q;
+    return map;
+}
+
 ReshardPlan
 planReshard(std::int64_t rows, std::int64_t cols, int bytes_per_element,
             const SurvivorMesh &sv)

@@ -95,6 +95,25 @@ struct ReshardPlan
 };
 
 /**
+ * The survivor meshes reachable after chip @p dead_chip (old linear
+ * id) fails on a `from`-shaped mesh: retire its row (when the mesh has
+ * at least two rows) and/or retire its column (at least two columns).
+ * Ordered retire-row first for determinism; fatal when neither exists
+ * (a 1x1 mesh has no survivors) or the chip id is out of range. The
+ * elastic re-planner ranks these options by degraded step time plus
+ * re-shard cost.
+ */
+std::vector<SurvivorMesh> survivorOptionsForChip(MeshShape from,
+                                                 int dead_chip);
+
+/**
+ * Old linear chip id -> new linear chip id under @p sv, with -1 for
+ * every chip of the retired line. The elastic runtime uses this to
+ * renumber scenario patterns and straggler ids after a shrink.
+ */
+std::vector<int> oldToNewChipMap(const SurvivorMesh &sv);
+
+/**
  * Exact block-movement plan for re-sharding a global (rows x cols)
  * matrix of @p bytes_per_element-byte elements from `sv.from` onto
  * `sv.to()`. Dimensions must divide evenly by both mesh shapes (the

@@ -102,6 +102,42 @@ class Cluster
     /** The attached injector, or nullptr (the fault-free fast path). */
     FaultInjector *faults() const { return faults_; }
 
+    /**
+     * A fail-stop failure observed by a collective (or synthesized by
+     * the elastic runtime's watchdog): which op saw it, which resource
+     * died, the owning chip (-1 for a link), and the simulated time
+     * detection completed.
+     */
+    struct Failure
+    {
+        std::string op;
+        std::string deadResource;
+        int deadChip = -1;
+        Time detectedAt = 0.0;
+    };
+
+    /**
+     * Install a cluster-level fail-stop handler. When set, a ring
+     * collective that completes its fail-stop teardown with no
+     * per-operation recovery continuation does NOT `fatal()` — it
+     * reports the failure here instead, and the handler (the elastic
+     * runtime) is expected to stop the simulator and run the recovery
+     * transaction. Without a handler the historical behaviour stands:
+     * an unhandled kill aborts the process.
+     */
+    void
+    setFailStopHandler(std::function<void(const Failure &)> handler)
+    {
+        failStopHandler_ = std::move(handler);
+    }
+
+    /** The installed handler, or an empty function. */
+    const std::function<void(const Failure &)> &
+    failStopHandler() const
+    {
+        return failStopHandler_;
+    }
+
     /** Register a directed link resource (used by topology builders). */
     ResourceId addLink(const std::string &name);
 
@@ -163,6 +199,7 @@ class Cluster
     SpanRecorder profiler_;
     std::vector<ChipResources> chips_;
     FaultInjector *faults_ = nullptr;
+    std::function<void(const Failure &)> failStopHandler_;
     Flops issuedFlops_ = 0.0;
     Bytes commBytesIssued_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/abandon.hpp"
 #include "sim/fault.hpp"
 #include "sim/join.hpp"
 #include "util/logging.hpp"
@@ -117,9 +118,21 @@ class RingOpBase
             if (prof.recoveryDep() >= 0)
                 profDeps_.push_back(prof.recoveryDep());
         }
+        // An op stranded by a phase abandonment (its remaining events
+        // cancelled by `Simulator::requestStop`) is reclaimed by the
+        // elastic runtime's abandon sweep. Free when no registry is
+        // installed (every non-elastic caller).
+        if (AbandonRegistry *reg = AbandonRegistry::current()) {
+            abandonRegistry_ = reg;
+            abandonId_ = reg->track([this] { delete this; });
+        }
     }
 
-    virtual ~RingOpBase() = default;
+    virtual ~RingOpBase()
+    {
+        if (abandonRegistry_ != nullptr)
+            abandonRegistry_->untrack(abandonId_);
+    }
 
   protected:
     /** Start @p chains concurrent step chains after the launch delay. */
@@ -237,15 +250,33 @@ class RingOpBase
                                            "fault", ring_.chips[0], lane_,
                                            cluster_.sim().now());
         }
-        if (!fail_)
-            fatal("%s: %s failed permanently (kill detected at %g s) and "
-                  "the collective cannot complete; no recovery handler "
-                  "installed — use the recoverable variant to retry on a "
-                  "ring rebuilt without chip %d "
-                  "(TorusMesh::rowRingWithout/colRingWithout), or revise "
-                  "the fault scenario",
-                  name_, err.deadResource.c_str(), err.detectedAt,
-                  err.deadChip);
+        if (!fail_) {
+            // No per-op recovery continuation: if the cluster has a
+            // fail-stop handler (the elastic runtime), report the typed
+            // failure and stop the phase — the runtime abandons this
+            // cluster and executes the recovery transaction on a
+            // survivor mesh. Otherwise the historical contract stands.
+            const auto &handler = cluster_.failStopHandler();
+            if (!handler)
+                fatal("%s: %s failed permanently (kill detected at %g s) "
+                      "and the collective cannot complete; no recovery "
+                      "handler installed — use the recoverable variant to "
+                      "retry on a ring rebuilt without chip %d "
+                      "(TorusMesh::rowRingWithout/colRingWithout), or "
+                      "revise the fault scenario",
+                      name_, err.deadResource.c_str(), err.detectedAt,
+                      err.deadChip);
+            Cluster &cl = cluster_;
+            Cluster::Failure failure;
+            failure.op = name_;
+            failure.deadResource = err.deadResource;
+            failure.deadChip = err.deadChip;
+            failure.detectedAt = err.detectedAt;
+            delete this;
+            cl.sim().requestStop();
+            cl.failStopHandler()(failure);
+            return;
+        }
         // Record the failed attempt as a recovery detour rooted at an
         // abort marker, then run the failure continuation inside a
         // recovery scope: the retry op it constructs inherits both the
@@ -471,6 +502,9 @@ class RingOpBase
     EventId chainSync_[2];
     /** Every flow this op started (only tracked when watch armed). */
     std::vector<FlowId> startedFlows_;
+    /** Abandon-sweep bookkeeping (null outside elastic phases). */
+    AbandonRegistry *abandonRegistry_ = nullptr;
+    std::uint64_t abandonId_ = 0;
 
     // --- critical-path profiler state (inert when disabled) ---
 

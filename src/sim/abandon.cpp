@@ -1,0 +1,7 @@
+#include "sim/abandon.hpp"
+
+namespace meshslice {
+
+thread_local AbandonRegistry *AbandonRegistry::current_ = nullptr;
+
+} // namespace meshslice

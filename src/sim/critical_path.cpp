@@ -19,6 +19,7 @@ spanCategoryName(SpanCategory cat)
       case SpanCategory::kSync: return "sync";
       case SpanCategory::kBubble: return "bubble";
       case SpanCategory::kRecovery: return "recovery";
+      case SpanCategory::kCheckpoint: return "checkpoint";
     }
     return "?";
 }

@@ -58,8 +58,9 @@ enum class SpanCategory : int
     kSync = 3,     ///< fixed per-step synchronization latency
     kBubble = 4,   ///< idle gap on the critical path (no node runs)
     kRecovery = 5, ///< recovery detour (abort + retried work)
+    kCheckpoint = 6, ///< elastic-runtime checkpoint write traffic
 };
-constexpr int kSpanCategoryCount = 6;
+constexpr int kSpanCategoryCount = 7;
 
 /** Display name of @p cat ("compute", "comm", ...). */
 const char *spanCategoryName(SpanCategory cat);
@@ -242,7 +243,7 @@ struct Attribution
     /** Node ids on the path, in time order (gaps excluded). */
     std::vector<int> pathNodes;
     /** Seconds per category, indexed by SpanCategory. */
-    double byCategory[kSpanCategoryCount] = {0, 0, 0, 0, 0, 0};
+    double byCategory[kSpanCategoryCount] = {0, 0, 0, 0, 0, 0, 0};
 
     double span() const { return spanEnd - spanBegin; }
     /** Sum of per-category seconds (== span() to float tolerance). */
@@ -301,7 +302,7 @@ struct ExplainRecord
 {
     double span = 0.0; ///< spanEnd - spanBegin of the recorded graph
     /** Critical-path seconds per category (sums to `span`). */
-    double byCategory[kSpanCategoryCount] = {0, 0, 0, 0, 0, 0};
+    double byCategory[kSpanCategoryCount] = {0, 0, 0, 0, 0, 0, 0};
     /** Up to 5 longest zero-slack spans (the bottleneck work). */
     std::vector<HotSpan> hotSpans;
     /** Predicted spans under 2x compute / 2x link bandwidth. */

@@ -351,6 +351,171 @@ validateWindow(double factor, Time start, Time duration, const char *what,
 
 } // namespace
 
+void
+validateScenario(const FaultScenario &scenario, const std::string &context)
+{
+    if (scenario.detectionLatency < 0.0 ||
+        !std::isfinite(scenario.detectionLatency))
+        fatal("FaultScenario: \"detection_latency_s\" must be finite and "
+              ">= 0 in %s (got %g)", context.c_str(),
+              scenario.detectionLatency);
+    // Two kills can hit the same resource only when one pattern
+    // contains the other (substring matching). For such a pair the
+    // later kill is meaningless at best: either the resource was dead
+    // long enough that the runtime already noticed (a "second kill of
+    // a corpse"), or the second kill lands inside the first one's
+    // detection window, which would make detection-latency accounting
+    // ambiguous. Both are scenario bugs worth failing loudly on.
+    for (size_t i = 0; i < scenario.kills.size(); ++i) {
+        for (size_t j = 0; j < scenario.kills.size(); ++j) {
+            if (i == j)
+                continue;
+            const KillFault &first = scenario.kills[i];
+            const KillFault &second = scenario.kills[j];
+            const bool patterns_collide =
+                first.pattern.find(second.pattern) != std::string::npos ||
+                second.pattern.find(first.pattern) != std::string::npos;
+            if (!patterns_collide)
+                continue;
+            // Break the symmetric pair deterministically: report with
+            // `first` as the earlier kill (ties by index).
+            if (second.at < first.at ||
+                (second.at == first.at && j < i))
+                continue;
+            if (second.at < first.at + scenario.detectionLatency)
+                fatal("FaultScenario: kill #%zu (pattern \"%s\", at %g s) "
+                      "lies inside kill #%zu's detection window "
+                      "[%g s, %g s) on the same resource in %s — a "
+                      "failure cannot be re-detected while the first "
+                      "detection is still in flight",
+                      j, second.pattern.c_str(), second.at, i, first.at,
+                      first.at + scenario.detectionLatency,
+                      context.c_str());
+            fatal("FaultScenario: kill #%zu (pattern \"%s\", at %g s) "
+                  "kills a resource kill #%zu (pattern \"%s\", at %g s) "
+                  "already took down in %s — a fail-stop resource dies "
+                  "exactly once",
+                  j, second.pattern.c_str(), second.at, i,
+                  first.pattern.c_str(), first.at, context.c_str());
+        }
+    }
+}
+
+std::uint64_t
+derivePhaseSeed(std::uint64_t seed, std::uint64_t phase)
+{
+    // Decorrelate (seed, phase) pairs with one splitmix64 mix; the
+    // golden-ratio stride keeps phase 0 distinct from the raw seed.
+    std::uint64_t state = seed + (phase + 1) * 0x9e3779b97f4a7c15ULL;
+    return splitmix64(state);
+}
+
+namespace {
+
+/** Shift one window by -start; false = fully elapsed, drop it. */
+bool
+sliceWindow(Time start, Time &w_start, Time &w_duration)
+{
+    if (w_start >= start) {
+        w_start -= start;
+        return true;
+    }
+    if (w_duration < 0.0) { // persists to end of run
+        w_start = 0.0;
+        return true;
+    }
+    const Time remaining = w_start + w_duration - start;
+    if (remaining <= 0.0)
+        return false;
+    w_start = 0.0;
+    w_duration = remaining;
+    return true;
+}
+
+} // namespace
+
+FaultScenario
+sliceScenarioForPhase(const FaultScenario &scenario, Time start,
+                      std::uint64_t phase_seed)
+{
+    if (!(start >= 0.0) || !std::isfinite(start))
+        fatal("sliceScenarioForPhase: phase start %g must be finite and "
+              ">= 0", start);
+    FaultScenario out;
+    out.seed = phase_seed;
+    out.maxLaunchJitter = scenario.maxLaunchJitter;
+    out.detectionLatency = scenario.detectionLatency;
+    for (CapacityFault f : scenario.faults)
+        if (sliceWindow(start, f.start, f.duration))
+            out.faults.push_back(std::move(f));
+    for (StragglerFault s : scenario.stragglers)
+        if (sliceWindow(start, s.start, s.duration))
+            out.stragglers.push_back(s);
+    for (KillFault k : scenario.kills) {
+        // A kill is permanent: one that predates the phase is still in
+        // effect, so it becomes a kill at local t=0.
+        k.at = std::max(0.0, k.at - start);
+        out.kills.push_back(std::move(k));
+    }
+    return out;
+}
+
+FaultScenario
+remapScenarioChips(const FaultScenario &scenario,
+                   const std::vector<int> &old_to_new)
+{
+    if (!scenario.kills.empty())
+        fatal("remapScenarioChips: %zu kill(s) remain in the scenario — "
+              "the elastic runtime consumes the kill before remapping "
+              "onto the survivor mesh", scenario.kills.size());
+    // "chip<i>." prefix -> old chip id, or -1 for non-chip patterns.
+    auto chip_of = [](const std::string &pattern) -> int {
+        if (pattern.rfind("chip", 0) != 0)
+            return -1;
+        size_t pos = 4;
+        if (pos >= pattern.size() ||
+            !std::isdigit(static_cast<unsigned char>(pattern[pos])))
+            return -1;
+        int chip = 0;
+        while (pos < pattern.size() &&
+               std::isdigit(static_cast<unsigned char>(pattern[pos])))
+            chip = chip * 10 + (pattern[pos++] - '0');
+        return chip;
+    };
+    auto renumber = [&](int old_chip) -> int {
+        if (old_chip < 0 || old_chip >= static_cast<int>(old_to_new.size()))
+            fatal("remapScenarioChips: chip %d outside the old mesh "
+                  "(%zu chips)", old_chip, old_to_new.size());
+        return old_to_new[old_chip];
+    };
+    FaultScenario out;
+    out.seed = scenario.seed;
+    out.maxLaunchJitter = scenario.maxLaunchJitter;
+    out.detectionLatency = scenario.detectionLatency;
+    for (const CapacityFault &f : scenario.faults) {
+        const int old_chip = chip_of(f.pattern);
+        if (old_chip < 0)
+            continue; // link names are renumbered on the survivor mesh
+        const int new_chip = renumber(old_chip);
+        if (new_chip < 0)
+            continue; // addressed a retired chip
+        CapacityFault g = f;
+        const std::string old_prefix = strprintf("chip%d", old_chip);
+        g.pattern = strprintf("chip%d", new_chip) +
+                    f.pattern.substr(old_prefix.size());
+        out.faults.push_back(std::move(g));
+    }
+    for (const StragglerFault &s : scenario.stragglers) {
+        const int new_chip = renumber(s.chip);
+        if (new_chip < 0)
+            continue;
+        StragglerFault t = s;
+        t.chip = new_chip;
+        out.stragglers.push_back(t);
+    }
+    return out;
+}
+
 bool
 FaultScenario::empty() const
 {
@@ -551,6 +716,7 @@ FaultScenario::fromJson(const std::string &text, const std::string &context)
                       context.c_str());
         }
     }
+    validateScenario(scenario, context);
     return scenario;
 }
 
@@ -609,9 +775,7 @@ FaultInjector::arm()
     }
     if (scenario_.maxLaunchJitter < 0.0)
         fatal("FaultInjector: maxLaunchJitter must be >= 0");
-    if (scenario_.detectionLatency < 0.0 ||
-        !std::isfinite(scenario_.detectionLatency))
-        fatal("FaultInjector: detectionLatency must be finite and >= 0");
+    validateScenario(scenario_, "<programmatic scenario>");
 
     // Resolve kills first: the capacity-window `apply` below consults
     // `killAt_` so a window boundary can never resurrect a corpse.
@@ -630,7 +794,11 @@ FaultInjector::arm()
             matched_kill = true;
             auto [it, inserted] = killAt_.emplace(id, k.at);
             if (!inserted)
-                it->second = std::min(it->second, k.at); // first kill wins
+                fatal("FaultInjector: kill pattern \"%s\" (at %g s) hits "
+                      "resource \"%s\", which another kill already takes "
+                      "down at %g s — a fail-stop resource dies exactly "
+                      "once", k.pattern.c_str(), k.at,
+                      net_.resourceName(id).c_str(), it->second);
         }
         if (!matched_kill)
             fatal("FaultInjector: kill pattern \"%s\" matches no "

@@ -134,6 +134,50 @@ struct FaultScenario
 };
 
 /**
+ * Malformed-scenario checks shared by `fromJson` and `FaultInjector::
+ * arm()`: negative `detectionLatency`, a second kill of an already-dead
+ * resource (two kills with colliding patterns where the later one fires
+ * at or after the earlier one's detection window), and a kill whose
+ * `at` lies inside another kill's detection window on the same
+ * resource. Each violation is a `fatal()` naming the offending kill
+ * indices. Patterns are substring matches, so two kills can hit the
+ * same resource only when one pattern contains the other.
+ */
+void validateScenario(const FaultScenario &scenario,
+                      const std::string &context);
+
+/**
+ * The deterministic jitter seed of phase @p phase of an elastic run
+ * re-based on @p seed (one splitmix64 mix; stable across hosts).
+ */
+std::uint64_t derivePhaseSeed(std::uint64_t seed, std::uint64_t phase);
+
+/**
+ * Re-base @p scenario onto a phase whose global start time is
+ * @p start, with @p phase_seed as the jitter seed: window starts shift
+ * by `-start` (a window already in progress is clamped to start at 0
+ * with its remaining duration; a fully elapsed window is dropped), and
+ * kill times clamp to `max(0, at - start)` — a chip that died before
+ * the phase began is still dead *at* phase start. The elastic runtime
+ * runs every phase on a fresh cluster at local t=0; this is the
+ * scenario each phase's injector arms.
+ */
+FaultScenario sliceScenarioForPhase(const FaultScenario &scenario,
+                                    Time start, std::uint64_t phase_seed);
+
+/**
+ * Rewrite chip-addressed entries ("chip<i>." patterns, straggler chip
+ * ids) after a mesh shrink: @p old_to_new maps old linear chip ids to
+ * survivor ids (-1 = retired). Entries addressing retired chips are
+ * dropped; link-pattern capacity faults are dropped too (survivor
+ * links are renumbered, so old link names are meaningless). Kills must
+ * already be consumed (the elastic runtime handles one kill per run);
+ * a remaining kill is fatal.
+ */
+FaultScenario remapScenarioChips(const FaultScenario &scenario,
+                                 const std::vector<int> &old_to_new);
+
+/**
  * Applies a `FaultScenario` to a live `FluidNetwork`.
  *
  * `arm()` resolves every fault's pattern against the network's resource

@@ -10,8 +10,10 @@
 #ifndef MESHSLICE_SIM_JOIN_HPP_
 #define MESHSLICE_SIM_JOIN_HPP_
 
+#include <cstdint>
 #include <functional>
 
+#include "sim/abandon.hpp"
 #include "util/logging.hpp"
 
 namespace meshslice {
@@ -48,14 +50,31 @@ class Join
         }
     }
 
+    /** Public so owners that cancel a pending join (fail-stop abort
+     *  teardown, abandon sweeps) can `delete` it directly. */
+    ~Join()
+    {
+        if (registry_ != nullptr)
+            registry_->untrack(trackId_);
+    }
+
   private:
     Join(int expected, std::function<void()> on_done)
         : remaining_(expected), onDone_(std::move(on_done))
     {
+        // A latch abandoned mid-count (its remaining signals cancelled
+        // by a fail-stop stop request) is reclaimed by the phase's
+        // abandon sweep. Without an ambient registry this is free.
+        if (AbandonRegistry *reg = AbandonRegistry::current()) {
+            registry_ = reg;
+            trackId_ = reg->track([this] { delete this; });
+        }
     }
 
     int remaining_;
     std::function<void()> onDone_;
+    AbandonRegistry *registry_ = nullptr;
+    std::uint64_t trackId_ = 0;
 };
 
 } // namespace meshslice

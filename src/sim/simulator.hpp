@@ -87,6 +87,19 @@ class Simulator
     /** Register a watchdog check (the fluid network installs one). */
     void addQuiescenceCheck(QuiescenceCheck check);
 
+    /**
+     * Ask the event loop to stop before executing the next event. Used
+     * by the elastic runtime's fail-stop handler to abandon a phase
+     * mid-flight: pending events stay queued (they are simply never
+     * run), and the quiescence watchdog is skipped — a stopped run is
+     * an abandonment, not a completion, so stalled work is expected.
+     * Safe to call from inside an event callback or before `run()`.
+     */
+    void requestStop() { stopRequested_ = true; }
+
+    /** True once `requestStop()` has been called. Never reset. */
+    bool stopRequested() const { return stopRequested_; }
+
     /** Number of events executed so far (cancelled events never
      *  count, whether cancelled before or after their heap entry
      *  surfaces). */
@@ -121,6 +134,7 @@ class Simulator
     void checkQuiescence() const;
 
     Time now_ = 0.0;
+    bool stopRequested_ = false;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t processed_ = 0;
     size_t live_ = 0; ///< heap entries whose slot is still current

@@ -383,4 +383,152 @@ tuneWithRecovery(const LlmAutotuner &tuner, Algorithm algo,
     return result;
 }
 
+namespace {
+
+/** Does @p algo's mesh partition of @p spec divide evenly on a
+ *  `rows x cols` survivor shape? (The sliceCount axis is re-tuned
+ *  separately; S=1 always divides.) */
+bool
+meshDivides(Algorithm algo, const Gemm2DSpec &spec, int rows, int cols)
+{
+    if (algo == Algorithm::kOneDTP)
+        return spec.n % (static_cast<std::int64_t>(rows) * cols) == 0;
+    if (algo == Algorithm::kFsdp)
+        return spec.m % (static_cast<std::int64_t>(rows) * cols) == 0;
+    switch (spec.dataflow) {
+      case Dataflow::kOS:
+        return spec.m % rows == 0 && spec.n % cols == 0;
+      case Dataflow::kLS:
+        return spec.m % rows == 0 && spec.k % cols == 0;
+      case Dataflow::kRS:
+        return spec.k % rows == 0 && spec.n % cols == 0;
+    }
+    return false;
+}
+
+void
+traceReplanEval(Algorithm algo, int dead_chip, const ReplanCandidate &cand)
+{
+    const MeshShape to = cand.mesh.to();
+    SearchTrace::global().record(strprintf(
+        "{\"phase\":\"replan\",\"algo\":%s,\"dead_chip\":%d,"
+        "\"retire\":%s,\"rows\":%d,\"cols\":%d,\"feasible\":%s,"
+        "\"slices\":%d,\"step_s\":%s,\"reshard_bytes\":%s,"
+        "\"reshard_s\":%s,\"objective_s\":%s}",
+        jsonString(algorithmName(algo)).c_str(), dead_chip,
+        cand.mesh.failedRow >= 0 ? "\"row\"" : "\"col\"", to.rows,
+        to.cols, cand.feasible ? "true" : "false",
+        cand.feasible ? cand.spec.sliceCount : 0,
+        jsonNumber(cand.stepTime).c_str(),
+        jsonNumber(cand.reshardBytes).c_str(),
+        jsonNumber(cand.reshardTime).c_str(),
+        jsonNumber(cand.objective).c_str()));
+}
+
+void
+traceReplanPick(Algorithm algo, int dead_chip, const ReplanResult &result)
+{
+    if (!result.feasible()) {
+        SearchTrace::global().record(strprintf(
+            "{\"phase\":\"replan_pick\",\"algo\":%s,\"dead_chip\":%d,"
+            "\"feasible\":false}",
+            jsonString(algorithmName(algo)).c_str(), dead_chip));
+        return;
+    }
+    const ReplanCandidate &picked = result.picked();
+    const MeshShape to = picked.mesh.to();
+    SearchTrace::global().record(strprintf(
+        "{\"phase\":\"replan_pick\",\"algo\":%s,\"dead_chip\":%d,"
+        "\"feasible\":true,\"retire\":%s,\"rows\":%d,\"cols\":%d,"
+        "\"slices\":%d,\"objective_s\":%s}",
+        jsonString(algorithmName(algo)).c_str(), dead_chip,
+        picked.mesh.failedRow >= 0 ? "\"row\"" : "\"col\"", to.rows,
+        to.cols, picked.spec.sliceCount,
+        jsonNumber(picked.objective).c_str()));
+}
+
+} // namespace
+
+const ReplanCandidate &
+ReplanResult::picked() const
+{
+    if (pickedIndex < 0)
+        fatal("ReplanResult::picked: no feasible survivor mesh — check "
+              "feasible() first");
+    return candidates.at(static_cast<size_t>(pickedIndex));
+}
+
+ReplanResult
+replanAfterFailure(const CostModel &cost, Algorithm algo,
+                   const Gemm2DSpec &spec, int dead_chip,
+                   int remaining_steps)
+{
+    if (remaining_steps < 0)
+        fatal("replanAfterFailure: remaining_steps must be non-negative "
+              "(got %d)", remaining_steps);
+
+    // Live state that must migrate: all three operands (A, B and the
+    // accumulated C) are resident `DistMatrix` shards.
+    const double live_bytes =
+        static_cast<double>(spec.bytesPerElement) *
+        (static_cast<double>(spec.m) * static_cast<double>(spec.k) +
+         static_cast<double>(spec.k) * static_cast<double>(spec.n) +
+         static_cast<double>(spec.m) * static_cast<double>(spec.n));
+
+    ReplanResult result;
+    const std::vector<SurvivorMesh> options =
+        survivorOptionsForChip(MeshShape{spec.rows, spec.cols}, dead_chip);
+    const bool tracing = SearchTrace::global().enabled();
+    for (const SurvivorMesh &sv : options) {
+        ReplanCandidate cand;
+        cand.mesh = sv;
+        const MeshShape to = sv.to();
+        cand.reshardBytes = reshardBytesModel(live_bytes, sv);
+        cand.reshardTime = reshardTimeModel(cost.chip(), cand.reshardBytes,
+                                            to.rows * to.cols);
+        // Cannon needs a square mesh and a one-line shrink never
+        // preserves squareness from a square start; the elastic runtime
+        // re-plans Cannon runs under a substitute 2D algorithm instead.
+        const bool algo_fits =
+            algo != Algorithm::kCannon || to.rows == to.cols;
+        if (algo_fits && meshDivides(algo, spec, to.rows, to.cols)) {
+            cand.feasible = true;
+            cand.spec = spec;
+            cand.spec.rows = to.rows;
+            cand.spec.cols = to.cols;
+            cand.spec.sliceCount = 1; // re-tuned below; S=1 always divides
+            // The closed-form estimator covers the 2D family; the 1D
+            // baselines rank via the ring-collective proxy (kCollective
+            // on the same 1 x C mesh — an AG of the moving matrix plus
+            // the local GeMM, the same first-order shape).
+            const Algorithm est_algo =
+                (algo == Algorithm::kOneDTP || algo == Algorithm::kFsdp)
+                    ? Algorithm::kCollective
+                    : algo;
+            const auto tuned = cost.tuneSliceCount(est_algo, cand.spec);
+            cand.spec.sliceCount = tuned.first;
+            cand.stepTime = tuned.second;
+            cand.objective =
+                cand.reshardTime + remaining_steps * cand.stepTime;
+        }
+        if (tracing)
+            traceReplanEval(algo, dead_chip, cand);
+        result.candidates.push_back(std::move(cand));
+    }
+
+    for (size_t i = 0; i < result.candidates.size(); ++i) {
+        const ReplanCandidate &cand = result.candidates[i];
+        if (!cand.feasible)
+            continue;
+        if (result.pickedIndex < 0 ||
+            cand.objective <
+                result.candidates[static_cast<size_t>(result.pickedIndex)]
+                    .objective)
+            result.pickedIndex = static_cast<int>(i);
+    }
+    if (tracing)
+        traceReplanPick(algo, dead_chip, result);
+    return result;
+}
+
 } // namespace meshslice

@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "gemm/reshard.hpp"
 #include "sim/fault.hpp"
 #include "sim/stats.hpp"
 #include "tuner/autotuner.hpp"
+#include "tuner/cost_model.hpp"
 
 namespace meshslice {
 
@@ -209,6 +211,58 @@ RecoveryTuneResult tuneWithRecovery(const LlmAutotuner &tuner,
                                     const TrainingConfig &train, int chips,
                                     const RecoveryTuneConfig &cfg,
                                     bool optimize_dataflow = true);
+
+/** One survivor-mesh option of a mid-run re-plan. */
+struct ReplanCandidate
+{
+    /** The shrink under consideration (retire the dead chip's row or
+     *  column). */
+    SurvivorMesh mesh;
+    /** False when the running spec's dimensions don't divide the
+     *  survivor shape — the option is traced but never picked. */
+    bool feasible = false;
+    /** The running spec re-fit to the survivor mesh with a re-tuned
+     *  slice count. Meaningful iff `feasible`. */
+    Gemm2DSpec spec;
+    Time stepTime = 0.0;       ///< cost-model step estimate on `spec`
+    double reshardBytes = 0.0; ///< modeled live-state bytes changing owner
+    Time reshardTime = 0.0;    ///< modeled recovery re-shard span
+    /** The ranking objective: reshardTime + remaining * stepTime —
+     *  pay the migration once, the degraded step rate until the end. */
+    Time objective = 0.0;
+};
+
+/** Outcome of `replanAfterFailure`. */
+struct ReplanResult
+{
+    /** All survivor options, `survivorOptionsForChip` order (retire-row
+     *  first) — including infeasible ones, for the trace. */
+    std::vector<ReplanCandidate> candidates;
+    /** Index of the pick, or -1 when no option is feasible. */
+    int pickedIndex = -1;
+
+    bool feasible() const { return pickedIndex >= 0; }
+    const ReplanCandidate &picked() const;
+};
+
+/**
+ * Incremental re-plan after chip @p dead_chip fail-stops mid-run while
+ * executing @p spec under @p algo. Incremental because the expensive
+ * tuning phases are *reused*, not redone: phase 1's calibrated cost
+ * model arrives via @p cost (the process-wide memoized calibration) and
+ * phase 2's shape sweep is replaced by the survivor geometry itself —
+ * the only reachable shapes are `survivorOptionsForChip`'s one-row- or
+ * one-column-smaller meshes. What is redone is the *ranking*: each
+ * feasible option gets a re-tuned slice count (`tuneSliceCount` on the
+ * degraded shape) and is charged `reshardTime + remaining_steps *
+ * stepTime`, so a cheaper migration can beat a faster degraded mesh
+ * when few steps remain and vice versa. Candidates and the pick are
+ * emitted through `SearchTrace` as `"phase":"replan"` /
+ * `"phase":"replan_pick"` records.
+ */
+ReplanResult replanAfterFailure(const CostModel &cost, Algorithm algo,
+                                const Gemm2DSpec &spec, int dead_chip,
+                                int remaining_steps);
 
 } // namespace meshslice
 

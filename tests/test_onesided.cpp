@@ -24,6 +24,7 @@
 #include "gemm/functional_gemm.hpp"
 #include "net/onesided.hpp"
 #include "net/topology.hpp"
+#include "pipeline/pipeline_exec.hpp"
 #include "sim/fault.hpp"
 
 namespace meshslice {
@@ -435,6 +436,116 @@ TEST(FaultScenarioFuzz, SeededScenariosSimulateToCompletionBounded)
         EXPECT_EQ(completed, 4) << "trial " << trial << " scenario "
                                 << s.toJson();
         EXPECT_LT(cluster.sim().now(), 1e6) << "trial " << trial;
+    }
+}
+
+/**
+ * Remap the sampled scenario's torus link-direction patterns onto the
+ * resource names of a non-torus topology (ring: CW/CCW, pipeline:
+ * pp+/pp-) so `FaultInjector::arm()`'s no-match fatal doesn't fire.
+ * Chip-addressed entries (stragglers, kills) are topology-neutral.
+ */
+FaultScenario
+remapLinkPatterns(FaultScenario s, const char *fwd, const char *bwd)
+{
+    for (CapacityFault &f : s.faults) {
+        if (f.pattern == "link.E" || f.pattern == "link.S")
+            f.pattern = fwd;
+        else if (f.pattern == "link.W" || f.pattern == "link.N")
+            f.pattern = bwd;
+    }
+    return s;
+}
+
+TEST(FaultScenarioFuzz, AllAlgorithmsAndPipelineSimulateBounded)
+{
+    // The original fuzzer drove the one-sided layer only; this sweep
+    // drives every algorithm's full executor schedule — the six 2D
+    // algorithms on a torus, the two 1D baselines on a ring — plus one
+    // pipeline schedule, under seeded scenarios. Kills stay restricted
+    // to the OneSided trials (its per-get retry absorbs one kill);
+    // kill recovery for the collective executors is the elastic
+    // runtime's job and is soaked in test_elastic.cpp. Every iteration
+    // also round-trips the scenario byte-identically, and a deadline
+    // stop event bounds each simulation: a wedged schedule fails the
+    // executor's drain invariant instead of hanging the suite.
+    const ChipConfig cfg = simpleConfig();
+    const std::vector<Algorithm> algos = allAlgorithms();
+    ASSERT_EQ(algos.size(), 8u);
+    std::mt19937_64 rng(20260810);
+    constexpr Time kDeadline = 1e7;
+    for (int trial = 0; trial < 27; ++trial) {
+        FaultScenario s = randomScenario(rng, trial);
+        const int kind = trial % 9; // 0..7 = algorithms, 8 = pipeline
+        const bool is_pipeline = kind == 8;
+        const Algorithm algo = is_pipeline ? Algorithm::kMeshSlice
+                                           : algos[static_cast<size_t>(kind)];
+        if (algo != Algorithm::kOneSided || is_pipeline)
+            s.kills.clear();
+        const bool is_1d = !is_pipeline &&
+                           (algo == Algorithm::kOneDTP ||
+                            algo == Algorithm::kFsdp);
+        if (is_1d)
+            s = remapLinkPatterns(std::move(s), "link.CW", "link.CCW");
+        else if (is_pipeline)
+            s = remapLinkPatterns(std::move(s), "link.pp+", "link.pp-");
+
+        const std::string json = s.toJson();
+        EXPECT_EQ(FaultScenario::fromJson(json, "fuzz").toJson(), json)
+            << "trial " << trial;
+
+        const int chips = is_pipeline ? 8 : 4;
+        Cluster cluster(cfg, chips);
+        cluster.sim().scheduleAfter(kDeadline, [&cluster] {
+            if (!cluster.sim().stopRequested())
+                cluster.sim().requestStop();
+        });
+        Time measured = -1.0;
+        if (is_pipeline) {
+            PipelineCluster pc(cluster, 2, 2, 2);
+            FaultInjector injector(cluster.sim(), cluster.net(), s);
+            injector.arm();
+            cluster.attachFaults(&injector);
+            PipelineExecSpec pspec;
+            pspec.microBatches = 3;
+            pspec.fwdTime = 2.0;
+            pspec.bwdTime = 4.0;
+            pspec.boundaryBytes = 400;
+            measured = runPipeline(pc, pspec).time;
+        } else if (is_1d) {
+            RingNetwork ring(cluster);
+            FaultInjector injector(cluster.sim(), cluster.net(), s);
+            injector.arm();
+            cluster.attachFaults(&injector);
+            Gemm1DSpec spec1d;
+            spec1d.m = spec1d.k = spec1d.n = 16;
+            spec1d.chips = 4;
+            spec1d.bytesPerElement = 2;
+            if (algo == Algorithm::kOneDTP) {
+                spec1d.commBytes = 16 * 16 * 2;
+                spec1d.local = GemmWork{16, 16, 4};
+            } else {
+                spec1d.commBytes = 16 * 16 * 2;
+                spec1d.local = GemmWork{4, 16, 16};
+            }
+            measured = runGemm1D(ring, spec1d, algo).time;
+        } else {
+            TorusMesh mesh(cluster, 2, 2);
+            FaultInjector injector(cluster.sim(), cluster.net(), s);
+            injector.arm();
+            cluster.attachFaults(&injector);
+            Gemm2DSpec spec;
+            spec.m = spec.k = spec.n = 16;
+            spec.rows = spec.cols = 2;
+            spec.sliceCount = algo == Algorithm::kOneSided ? 1 : 2;
+            GemmExecutor executor(mesh);
+            measured = executor.run(algo, spec).time;
+        }
+        EXPECT_GT(measured, 0.0) << "trial " << trial << " "
+                                 << algorithmName(algo);
+        EXPECT_LT(measured, kDeadline)
+            << "trial " << trial << " " << algorithmName(algo)
+            << " scenario " << json;
     }
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the observability report (and, when given, the robustness,
-# recovery, pipeline, explain and micro-kernel reports) in a scratch
-# directory
+# recovery, pipeline, explain, micro-kernel, one-sided and elastic
+# reports) in a scratch directory
 # and validates every JSON artifact they produce with
 # `python3 -m json.tool`, plus per-line checks of the JSONL search
 # traces. A missing-but-expected artifact is a failure — including a
@@ -11,7 +11,7 @@
 #
 # Usage: check_json.sh <observability_report> [robustness_report]
 #        [recovery_report] [pipeline_report] [explain_report]
-#        [micro_kernels] [onesided_report] [chips]
+#        [micro_kernels] [onesided_report] [elastic_report] [chips]
 set -euo pipefail
 
 bin=$(readlink -f "$1")
@@ -22,6 +22,7 @@ pipeline_bin=""
 explain_bin=""
 micro_bin=""
 onesided_bin=""
+elastic_bin=""
 chips=16
 for arg in "$@"; do
     if [ -f "$arg" ] && [ -x "$arg" ]; then
@@ -37,6 +38,8 @@ for arg in "$@"; do
             micro_bin=$(readlink -f "$arg")
         elif [ -z "$onesided_bin" ]; then
             onesided_bin=$(readlink -f "$arg")
+        elif [ -z "$elastic_bin" ]; then
+            elastic_bin=$(readlink -f "$arg")
         else
             echo "check_json.sh: too many report binaries: $arg" >&2
             exit 2
@@ -242,6 +245,43 @@ EOF
         echo "ok   BENCH_onesided.json cross-checks"
     else
         echo "FAIL BENCH_onesided.json cross-checks"
+        status=1
+    fi
+fi
+
+if [ -n "$elastic_bin" ]; then
+    "$elastic_bin" "$chips" --smoke > elastic_report.out
+    for f in BENCH_elastic.json elastic_scenario.json \
+             elastic_stats.json; do
+        check_file "$f"
+    done
+    check_jsonl elastic_trace.jsonl
+    # The elastic report embeds its own acceptance cross-checks
+    # (fault-free bit-identity with the plain step loop, measured
+    # goodput within the analytic model-error band, goodput monotone
+    # in MTBF, bit-exact functional state, byte-identical seeded
+    # replay); every one must hold.
+    if "$python3" - BENCH_elastic.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+checks = doc.get("cross_checks", {})
+if not checks:
+    sys.exit("BENCH_elastic.json: missing cross_checks section")
+for key in ("faultfree_bit_identity", "goodput_within_band",
+            "goodput_monotone_mtbf", "functional_identity",
+            "replay_bit_identical"):
+    if key not in checks:
+        sys.exit("BENCH_elastic.json: cross_checks missing %r" % key)
+bad = [k for k, v in checks.items() if v is not True]
+if bad:
+    sys.exit("BENCH_elastic.json cross-checks failed: %s" % ", ".join(bad))
+EOF
+    then
+        echo "ok   BENCH_elastic.json cross-checks"
+    else
+        echo "FAIL BENCH_elastic.json cross-checks"
         status=1
     fi
 fi

@@ -40,7 +40,11 @@ build_and_test() {
     cmake --build "$dir" -j "$jobs" > "$dir-build.log" 2>&1 ||
         { echo "build failed (see $dir-build.log)"; return 1; }
     echo "=== [$name] ctest ==="
-    (cd "$dir" && ctest -j "$jobs" --output-on-failure)
+    # --timeout is the per-test watchdog: a wedged simulation (e.g. an
+    # elastic run that never drains) fails its one test instead of
+    # hanging the whole CI leg. Individual tests may still set tighter
+    # TIMEOUT properties of their own.
+    (cd "$dir" && ctest -j "$jobs" --timeout 900 --output-on-failure)
 }
 
 mkdir -p "$root"
@@ -66,7 +70,9 @@ for config in $configs; do
                 "$root/release/bench/explain_report" --smoke \
                     > explain_report.out &&
                 "$root/release/bench/micro_kernels" --smoke \
-                    > micro_kernels.out); then
+                    > micro_kernels.out &&
+                "$root/release/bench/elastic_report" --smoke \
+                    > elastic_report.out); then
                 if ls "$baseline"/BENCH_*.json > /dev/null 2>&1; then
                     for f in "$artifacts"/BENCH_*.json; do
                         name=$(basename "$f")
