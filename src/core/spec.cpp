@@ -45,6 +45,26 @@ algorithmName(Algorithm algo)
     return "?";
 }
 
+Dataflow
+dataflowFromName(std::string_view name, const std::string &context)
+{
+    for (Dataflow df : {Dataflow::kOS, Dataflow::kLS, Dataflow::kRS})
+        if (name == dataflowName(df))
+            return df;
+    fatal("%s: unknown dataflow \"%.*s\" (want OS/LS/RS)",
+          context.c_str(), static_cast<int>(name.size()), name.data());
+}
+
+Algorithm
+algorithmFromName(std::string_view name, const std::string &context)
+{
+    for (Algorithm algo : allAlgorithms())
+        if (name == algorithmName(algo))
+            return algo;
+    fatal("%s: unknown algorithm \"%.*s\"", context.c_str(),
+          static_cast<int>(name.size()), name.data());
+}
+
 std::vector<Algorithm>
 all2DAlgorithms()
 {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hw/chip_config.hpp"
@@ -34,6 +35,13 @@ namespace meshslice {
 enum class Dataflow { kOS, kLS, kRS };
 
 const char *dataflowName(Dataflow df);
+
+/**
+ * Inverse of `dataflowName` for plan deserialization. Unknown names
+ * are `fatal` with @p context naming the offending document.
+ */
+Dataflow dataflowFromName(std::string_view name,
+                          const std::string &context);
 
 /** The collective a moving matrix needs. */
 enum class CollKind { kAllGather, kReduceScatter };
@@ -53,6 +61,10 @@ enum class Algorithm
 };
 
 const char *algorithmName(Algorithm algo);
+
+/** Inverse of `algorithmName`; `fatal` on an unknown name. */
+Algorithm algorithmFromName(std::string_view name,
+                            const std::string &context);
 
 /** The six 2D algorithms (Fig 9..12 baselines + OneSided). */
 std::vector<Algorithm> all2DAlgorithms();

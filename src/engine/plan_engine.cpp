@@ -1,0 +1,331 @@
+#include "engine/plan_engine.hpp"
+
+#include <utility>
+
+#include "engine/plan_json.hpp"
+#include "tuner/cost_model.hpp"
+#include "tuner/pipeline_tuner.hpp"
+#include "tuner/robust.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+
+namespace meshslice {
+
+const char *
+planSourceName(PlanSource source)
+{
+    switch (source) {
+      case PlanSource::kCold:
+        return "cold";
+      case PlanSource::kCacheHit:
+        return "cache_hit";
+      case PlanSource::kCoalesced:
+        return "coalesced";
+      case PlanSource::kIncremental:
+        return "incremental";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Set the plan's 2D TP decision (shape + per-GeMM plans), keeping the
+ *  3D cluster axes in sync for the phases that run pre-pipeline. */
+void
+adoptTpPick(PlanState &state, const AutotuneResult &pick,
+            const char *phase_name)
+{
+    state.plan.tp = pick;
+    state.plan.cluster.tpRows = pick.rows;
+    state.plan.cluster.tpCols = pick.cols;
+    state.plan.pickedBy = phase_name;
+}
+
+/** Phase 1+2 of the paper's autotuner: the ranked top-K mesh-shape
+ *  shortlist, each entry a complete plan (stationary selection, tuned
+ *  slice counts). Fault-independent, so cached and reused across
+ *  fault-profile deltas. */
+class ShortlistPhase : public PlanPhase
+{
+  public:
+    const char *name() const override { return "phase1-shortlist"; }
+    bool reusableAcrossFaultProfiles() const override { return true; }
+    bool enabled(const PlanQuery &) const override { return true; }
+
+    void
+    run(const LlmAutotuner &tuner, PlanState &state) const override
+    {
+        const PlanQuery &q = state.query;
+        state.shortlist =
+            tuner.rankShapes(q.algo, q.model, q.train, q.chips,
+                             shortlistSizeFor(q), q.optimizeDataflow);
+    }
+};
+
+/** Fix the nominal decision: the shortlist head becomes the plan's 2D
+ *  TP pick (per-GeMM dataflow + slice counts). Downstream phases may
+ *  override the pick; this phase guarantees every plan has one. */
+class DataflowSlicePhase : public PlanPhase
+{
+  public:
+    const char *name() const override { return "phase2-dataflow-slice"; }
+    bool reusableAcrossFaultProfiles() const override { return false; }
+    bool enabled(const PlanQuery &) const override { return true; }
+
+    void
+    run(const LlmAutotuner &, PlanState &state) const override
+    {
+        if (state.shortlist.empty())
+            panic("PlanEngine: phase1-shortlist produced no candidates");
+        state.plan.cluster.dp = 1;
+        state.plan.cluster.pp = 1;
+        state.plan.cluster.oneD = false;
+        adoptTpPick(state, state.shortlist.front(), name());
+    }
+};
+
+/** Robust re-rank of the shortlist under the query's fault profile. */
+class RobustRerankPhase : public PlanPhase
+{
+  public:
+    const char *name() const override { return "robust-rerank"; }
+    bool reusableAcrossFaultProfiles() const override { return false; }
+
+    bool
+    enabled(const PlanQuery &q) const override
+    {
+        return q.runRobust;
+    }
+
+    void
+    run(const LlmAutotuner &tuner, PlanState &state) const override
+    {
+        const PlanQuery &q = state.query;
+        state.robust = tuneRobustShortlist(tuner, q.algo, state.shortlist,
+                                           q.chips, q.robust);
+        state.plan.hasRobust = true;
+        state.plan.robustObjective = state.robust.picked().objective;
+        state.plan.robustPickIndex = state.robust.pickedIndex;
+        adoptTpPick(state, state.robust.picked().plan, name());
+    }
+};
+
+/** Recovery-economics pricing over the same shortlist. */
+class RecoveryPricingPhase : public PlanPhase
+{
+  public:
+    const char *name() const override { return "recovery-pricing"; }
+    bool reusableAcrossFaultProfiles() const override { return false; }
+
+    bool
+    enabled(const PlanQuery &q) const override
+    {
+        return q.runRecovery;
+    }
+
+    void
+    run(const LlmAutotuner &tuner, PlanState &state) const override
+    {
+        const PlanQuery &q = state.query;
+        state.recovery = tuneWithRecoveryShortlist(
+            tuner, q.algo, state.shortlist, q.chips, q.recovery);
+        const RecoveryCandidate &picked = state.recovery.picked();
+        state.plan.hasRecovery = true;
+        state.plan.checkpointInterval = picked.checkpointInterval;
+        state.plan.goodput = picked.goodput;
+        state.plan.effectiveStepTime = picked.effectiveStepTime;
+        adoptTpPick(state, picked.plan, name());
+    }
+};
+
+/** Phase-3 3D composition (pp x dp x tp). Runs its own shape search at
+ *  the micro-batch size, so it replaces the 2D pick wholesale. */
+class Pipeline3dPhase : public PlanPhase
+{
+  public:
+    const char *name() const override { return "pipeline-3d"; }
+    bool reusableAcrossFaultProfiles() const override { return false; }
+
+    bool
+    enabled(const PlanQuery &q) const override
+    {
+        return q.runPipeline;
+    }
+
+    void
+    run(const LlmAutotuner &tuner, PlanState &state) const override
+    {
+        const PlanQuery &q = state.query;
+        state.pipeline3d = tunePipeline(tuner, q.model, q.train, q.chips,
+                                        q.pipeline);
+        const PipelineCandidate &picked = state.pipeline3d.picked();
+        state.plan.hasPipeline = true;
+        state.plan.axes = picked.axes;
+        state.plan.pipelineEstTotal = picked.estTotal;
+        state.plan.pipelineSimTotal = picked.simTotal;
+        state.plan.stageMemoryBytes = picked.stageMemoryBytes;
+        state.plan.peakStash = picked.peakStash;
+        state.plan.cluster.dp = picked.axes.dp;
+        state.plan.cluster.pp = picked.axes.pp;
+        adoptTpPick(state, picked.tpPlan, name());
+    }
+};
+
+std::vector<std::unique_ptr<PlanPhase>>
+buildPhases()
+{
+    std::vector<std::unique_ptr<PlanPhase>> phases;
+    phases.push_back(std::make_unique<ShortlistPhase>());
+    phases.push_back(std::make_unique<DataflowSlicePhase>());
+    phases.push_back(std::make_unique<RobustRerankPhase>());
+    phases.push_back(std::make_unique<RecoveryPricingPhase>());
+    phases.push_back(std::make_unique<Pipeline3dPhase>());
+    return phases;
+}
+
+} // namespace
+
+PlanEngine::PlanEngine() : PlanEngine(Options{}) {}
+
+PlanEngine::PlanEngine(Options options)
+    : options_(std::move(options)), phases_(buildPhases()),
+      cache_(options_.cacheCapacity, &stats_)
+{
+    stats_.enable(true);
+    if (!options_.persistPath.empty())
+        cache_.loadFileIfExists(options_.persistPath);
+}
+
+std::vector<std::string>
+PlanEngine::phaseNames()
+{
+    std::vector<std::string> names;
+    for (const auto &phase : buildPhases())
+        names.push_back(phase->name());
+    return names;
+}
+
+PlanState
+PlanEngine::runPhases(const PlanQuery &query, const PlanKey &key,
+                      const std::string &cached_shortlist_json)
+{
+    PlanState state;
+    state.query = query;
+    state.key = key;
+    if (!cached_shortlist_json.empty()) {
+        state.shortlist = shortlistFromJson(
+            cached_shortlist_json, "PlanCache shortlist " + key.digest());
+        state.shortlistFromCache = true;
+    }
+    const LlmAutotuner tuner(CostModel::calibrated(query.chip));
+    for (const auto &phase : phases_) {
+        if (!phase->enabled(query))
+            continue;
+        if (state.shortlistFromCache &&
+            phase->reusableAcrossFaultProfiles())
+            continue;
+        phase->run(tuner, state);
+        stats_.add(std::string("engine/phase/") + phase->name() + "/runs",
+                   1.0);
+    }
+    return state;
+}
+
+PlanResult
+PlanEngine::plan(const PlanQuery &query)
+{
+    if (query.chips <= 0)
+        fatal("PlanEngine: chips must be positive (got %d)", query.chips);
+    const PlanKey key = planKeyOf(query);
+    const std::string full = key.full();
+
+    bool waited = false;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        std::string cached;
+        if (cache_.lookup(full, &cached)) {
+            lock.unlock();
+            stats_.add(waited ? "engine/serve/coalesced"
+                              : "engine/serve/cache_hit", 1.0);
+            PlanResult result;
+            result.key = key;
+            result.plan = enginePlanFromJson(
+                cached, "PlanCache entry " + key.digest());
+            result.planJson = std::move(cached);
+            result.source = waited ? PlanSource::kCoalesced
+                                   : PlanSource::kCacheHit;
+            return result;
+        }
+        if (inflight_.count(full) == 0)
+            break;
+        waited = true;
+        cv_.wait(lock);
+    }
+    inflight_.insert(full);
+    std::string cached_shortlist;
+    const bool incremental =
+        cache_.shortlistForBase(key.base(), &cached_shortlist);
+    lock.unlock();
+
+    const PlanState state =
+        runPhases(query, key, incremental ? cached_shortlist : "");
+    std::string plan_json = enginePlanToJson(state.plan);
+    std::string shortlist_json = shortlistToJson(state.shortlist);
+
+    if (incremental && options_.verifyIncremental) {
+        const PlanState cold = runPhases(query, key, "");
+        if (enginePlanToJson(cold.plan) != plan_json ||
+            shortlistToJson(cold.shortlist) != shortlist_json)
+            panic("PlanEngine: incremental re-tune of %s is not "
+                  "bit-identical to the cold full tune",
+                  key.digest().c_str());
+        stats_.add("engine/serve/incremental_verified", 1.0);
+    }
+
+    lock.lock();
+    cache_.insert(full, key.base(), plan_json, std::move(shortlist_json));
+    inflight_.erase(full);
+    lock.unlock();
+    cv_.notify_all();
+    stats_.add(incremental ? "engine/serve/incremental"
+                           : "engine/serve/cold", 1.0);
+    stats_.add("engine/serve/computed", 1.0);
+
+    PlanResult result;
+    result.plan = state.plan;
+    result.planJson = std::move(plan_json);
+    result.key = key;
+    result.source =
+        incremental ? PlanSource::kIncremental : PlanSource::kCold;
+    return result;
+}
+
+std::vector<PlanResult>
+PlanEngine::planMany(const std::vector<PlanQuery> &queries)
+{
+    std::vector<PlanResult> results(queries.size());
+    parallelFor(static_cast<std::int64_t>(queries.size()), 1,
+                [&](std::int64_t begin, std::int64_t end) {
+                    for (std::int64_t i = begin; i < end; ++i)
+                        results[static_cast<size_t>(i)] =
+                            plan(queries[static_cast<size_t>(i)]);
+                });
+    return results;
+}
+
+void
+PlanEngine::persist() const
+{
+    if (options_.persistPath.empty())
+        fatal("PlanEngine: persist() requires Options::persistPath");
+    std::unique_lock<std::mutex> lock(mu_);
+    cache_.saveFile(options_.persistPath);
+}
+
+long
+PlanEngine::computedCount() const
+{
+    return static_cast<long>(stats_.counter("engine/serve/computed"));
+}
+
+} // namespace meshslice

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * PlanEngine: the concurrent plan-serving facade (DESIGN.md §4k).
+ *
+ * All tuning routes through one declared sequence of `PlanPhase`
+ * stages — phase1-shortlist → phase2-dataflow-slice → robust-rerank →
+ * recovery-pricing → pipeline-3d — each consuming and producing the
+ * typed `PlanState`. The facade wraps the existing `LlmAutotuner` /
+ * robust / recovery / pipeline entry points; new search stages are
+ * added by inserting a phase, not by growing another ad-hoc function.
+ *
+ * Serving semantics:
+ *  - **Content-addressed cache**: results are stored under the exact
+ *    `PlanKey` fingerprint; a repeated query is a lookup, not a tune.
+ *  - **Single-flight**: two identical queries in flight compute once;
+ *    the second blocks on the first and returns the cached plan
+ *    (`kCoalesced`).
+ *  - **Incremental re-tune**: a query whose key differs from a cached
+ *    entry only in the fault component reuses that entry's phase-1/2
+ *    shortlist and re-runs only the fault-aware phases — bit-identical
+ *    to a cold full tune because the shortlist itself is deterministic
+ *    (optionally verified per serve via `Options::verifyIncremental`).
+ *  - **Concurrency**: `planMany` fans queries out on the global
+ *    `util/parallel` pool; per-query results are bit-identical for any
+ *    `MESHSLICE_THREADS`, only the cold/coalesced attribution varies.
+ */
+#ifndef MESHSLICE_ENGINE_PLAN_ENGINE_HPP_
+#define MESHSLICE_ENGINE_PLAN_ENGINE_HPP_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/plan_cache.hpp"
+#include "engine/plan_types.hpp"
+
+namespace meshslice {
+
+/** One stage of the engine's declared search pipeline. */
+class PlanPhase
+{
+  public:
+    virtual ~PlanPhase() = default;
+
+    /** Stable phase name (appears in docs, stats and `pickedBy`). */
+    virtual const char *name() const = 0;
+
+    /**
+     * True when the phase's output is a pure function of the query's
+     * *base* key (model|cluster|tune) — independent of the fault
+     * profile — and is cached as an intermediate. Incremental queries
+     * skip reusable phases and warm-start from the cached state.
+     */
+    virtual bool reusableAcrossFaultProfiles() const = 0;
+
+    /** True when @p query asks for this phase at all. */
+    virtual bool enabled(const PlanQuery &query) const = 0;
+
+    /** Consume/extend @p state. @p tuner is calibrated for the query's
+     *  chip config. */
+    virtual void run(const LlmAutotuner &tuner, PlanState &state) const
+        = 0;
+};
+
+/** How a served plan was obtained. */
+enum class PlanSource
+{
+    kCold,        ///< full phase pipeline ran
+    kCacheHit,    ///< exact key already cached
+    kCoalesced,   ///< waited on an identical in-flight query
+    kIncremental, ///< fault-only delta; reused the cached shortlist
+};
+
+const char *planSourceName(PlanSource source);
+
+/** One served plan. */
+struct PlanResult
+{
+    EnginePlan plan;
+    /** The canonical serialized plan (`enginePlanToJson`); cache hits
+     *  and incremental serves are byte-identical to the cold serve. */
+    std::string planJson;
+    PlanKey key;
+    PlanSource source = PlanSource::kCold;
+};
+
+/** The long-running plan-serving subsystem. */
+class PlanEngine
+{
+  public:
+    struct Options
+    {
+        /** LRU capacity of the plan cache. */
+        size_t cacheCapacity = 64;
+        /**
+         * Warm-start/persistence file: loaded (if present) at
+         * construction, written by `persist()`. Empty = in-memory only.
+         */
+        std::string persistPath;
+        /**
+         * Cross-check every incremental serve against a cold full tune
+         * and `panic` on any byte difference (the acceptance guarantee,
+         * paid for by doubling incremental work — benches and tests).
+         */
+        bool verifyIncremental = false;
+    };
+
+    explicit PlanEngine(Options options);
+    PlanEngine(); ///< default options
+
+    /** Serve one query (thread-safe; callable from pool tasks). */
+    PlanResult plan(const PlanQuery &query);
+
+    /**
+     * Serve a batch concurrently on the global thread pool. Results
+     * are returned in input order, and every result's `planJson` is
+     * bit-identical to serving the same list serially.
+     */
+    std::vector<PlanResult> planMany(const std::vector<PlanQuery> &queries);
+
+    /** The declared phase sequence, in execution order. */
+    static std::vector<std::string> phaseNames();
+
+    /** Write the cache to `Options::persistPath` (fatal if empty). */
+    void persist() const;
+
+    /** Hit/miss/eviction and serve counters (`engine/...`). */
+    const StatsRegistry &stats() const { return stats_; }
+
+    /** Serves that actually ran the phase pipeline (cold+incremental). */
+    long computedCount() const;
+
+  private:
+    PlanState runPhases(const PlanQuery &query, const PlanKey &key,
+                        const std::string &cached_shortlist_json);
+
+    Options options_;
+    StatsRegistry stats_;
+    std::vector<std::unique_ptr<PlanPhase>> phases_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    PlanCache cache_;
+    std::unordered_set<std::string> inflight_;
+};
+
+} // namespace meshslice
+
+#endif // MESHSLICE_ENGINE_PLAN_ENGINE_HPP_

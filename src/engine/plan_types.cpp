@@ -1,0 +1,141 @@
+#include "engine/plan_types.hpp"
+
+#include <algorithm>
+
+#include "tuner/cost_model.hpp"
+#include "util/fingerprint.hpp"
+#include "util/logging.hpp"
+
+namespace meshslice {
+
+std::string
+PlanKey::digest() const
+{
+    return fnv1a64Hex(full());
+}
+
+namespace {
+
+Fingerprint
+modelComponent(const PlanQuery &q)
+{
+    Fingerprint model;
+    model.field("name", std::string_view(q.model.name))
+        .field("layers", q.model.layers)
+        .field("hiddenDim", q.model.hiddenDim)
+        .field("heads", q.model.heads)
+        .field("ffnDim", q.model.ffnDim)
+        .field("vocab", q.model.vocab);
+    Fingerprint train;
+    train.field("batch", q.train.batch).field("seqLen", q.train.seqLen);
+    Fingerprint fp;
+    fp.sub("model", model).sub("train", train);
+    return fp;
+}
+
+Fingerprint
+clusterComponent(const PlanQuery &q)
+{
+    Fingerprint fp;
+    fp.field("chips", q.chips)
+        .field("chip", std::string_view(chipConfigFingerprint(q.chip)));
+    return fp;
+}
+
+Fingerprint
+tuneComponent(const PlanQuery &q)
+{
+    Fingerprint fp;
+    fp.field("algo", std::string_view(algorithmName(q.algo)))
+        .field("optimizeDataflow", q.optimizeDataflow)
+        .field("runRobust", q.runRobust)
+        .field("runRecovery", q.runRecovery)
+        .field("runPipeline", q.runPipeline);
+    if (q.runRobust) {
+        // Only the *objective* knobs; the scenario source lives in the
+        // fault component so a scenario-only delta stays incremental.
+        Fingerprint robust;
+        robust.field("topK", q.robust.topK)
+            .field("quantile", q.robust.quantile)
+            .field("maxGemmsPerEval", q.robust.maxGemmsPerEval)
+            .field("explain", q.robust.explain);
+        fp.sub("robust", robust);
+    }
+    if (q.runRecovery) {
+        Fingerprint rec;
+        rec.field("chipMtbf", q.recovery.chipMtbf)
+            .field("checkpointBytesPerChip",
+                   q.recovery.checkpointBytesPerChip)
+            .field("detectionLatency", q.recovery.detectionLatency)
+            .field("restartTime", q.recovery.restartTime)
+            .field("topK", q.recovery.topK);
+        fp.sub("recovery", rec);
+    }
+    if (q.runPipeline) {
+        Fingerprint pipe;
+        pipe.field("schedule", std::string_view(pipelineScheduleName(
+                                   q.pipeline.schedule)))
+            .field("chunks", q.pipeline.chunks)
+            .field("maxMicroBatches", q.pipeline.maxMicroBatches)
+            .field("topK", q.pipeline.topK)
+            .field("recompute", q.pipeline.recompute)
+            .field("dpOverlap", q.pipeline.dpOverlap)
+            .field("explain", q.pipeline.explain);
+        fp.sub("pipeline", pipe);
+    }
+    return fp;
+}
+
+Fingerprint
+faultComponent(const PlanQuery &q)
+{
+    Fingerprint fp;
+    if (!q.runRobust) {
+        fp.field("none", true);
+        return fp;
+    }
+    if (!q.robust.scenarios.empty()) {
+        // Explicit scenarios: the serialized scenario IS the profile.
+        fp.field("scenarioCount",
+                 static_cast<std::int64_t>(q.robust.scenarios.size()));
+        for (size_t i = 0; i < q.robust.scenarios.size(); ++i)
+            fp.field(strprintf("scenario%zu", i),
+                     std::string_view(q.robust.scenarios[i].toJson()));
+        return fp;
+    }
+    // Sampled scenarios: the sampler knobs determine them exactly.
+    fp.field("numScenarios", q.robust.numScenarios)
+        .field("seed", static_cast<std::int64_t>(q.robust.seed))
+        .field("linkDegradeFactor", q.robust.linkDegradeFactor)
+        .field("faultsPerScenario", q.robust.faultsPerScenario)
+        .field("stragglerProb", q.robust.stragglerProb)
+        .field("stragglerFactor", q.robust.stragglerFactor)
+        .field("maxLaunchJitter", q.robust.maxLaunchJitter);
+    return fp;
+}
+
+} // namespace
+
+PlanKey
+planKeyOf(const PlanQuery &query)
+{
+    PlanKey key;
+    key.model = modelComponent(query).str();
+    key.cluster = clusterComponent(query).str();
+    key.tune = tuneComponent(query).str();
+    key.fault = faultComponent(query).str();
+    return key;
+}
+
+int
+shortlistSizeFor(const PlanQuery &query)
+{
+    int k = 1;
+    if (query.runRobust)
+        k = std::max(k, query.robust.topK);
+    if (query.runRecovery)
+        k = std::max(k, query.recovery.topK);
+    return k;
+}
+
+} // namespace meshslice

@@ -21,6 +21,19 @@ pipelineScheduleName(PipelineSchedule sched)
     return "?";
 }
 
+PipelineSchedule
+pipelineScheduleFromName(std::string_view name, const std::string &context)
+{
+    for (PipelineSchedule sched :
+         {PipelineSchedule::kGPipe, PipelineSchedule::k1F1B,
+          PipelineSchedule::kInterleaved1F1B})
+        if (name == pipelineScheduleName(sched))
+            return sched;
+    fatal("%s: unknown pipeline schedule \"%.*s\" "
+          "(want GPipe/1F1B/Interleaved1F1B)",
+          context.c_str(), static_cast<int>(name.size()), name.data());
+}
+
 namespace {
 
 /** Raw (pre-toposort) task numbering: (dir, mb, layer chunk). */

@@ -23,6 +23,8 @@
 #ifndef MESHSLICE_PIPELINE_SCHEDULE_HPP_
 #define MESHSLICE_PIPELINE_SCHEDULE_HPP_
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/units.hpp"
@@ -38,6 +40,10 @@ enum class PipelineSchedule
 };
 
 const char *pipelineScheduleName(PipelineSchedule sched);
+
+/** Inverse of `pipelineScheduleName`; `fatal` on an unknown name. */
+PipelineSchedule pipelineScheduleFromName(std::string_view name,
+                                          const std::string &context);
 
 /** One forward or backward execution of one micro-batch on one stage. */
 struct PipeTask

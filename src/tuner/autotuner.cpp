@@ -26,6 +26,16 @@ stationaryName(Stationary st)
     return "?";
 }
 
+Stationary
+stationaryFromName(std::string_view name, const std::string &context)
+{
+    for (Stationary st : {Stationary::kY, Stationary::kX, Stationary::kW})
+        if (name == stationaryName(st))
+            return st;
+    fatal("%s: unknown stationary \"%.*s\" (want Y-stn/X-stn/W-stn)",
+          context.c_str(), static_cast<int>(name.size()), name.data());
+}
+
 std::vector<GemmPlan>
 AutotuneResult::allPlans() const
 {

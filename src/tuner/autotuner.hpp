@@ -12,6 +12,7 @@
 #ifndef MESHSLICE_TUNER_AUTOTUNER_HPP_
 #define MESHSLICE_TUNER_AUTOTUNER_HPP_
 
+#include <string_view>
 #include <vector>
 
 #include "model/transformer.hpp"
@@ -23,6 +24,10 @@ namespace meshslice {
 enum class Stationary { kY, kX, kW };
 
 const char *stationaryName(Stationary st);
+
+/** Inverse of `stationaryName`; `fatal` on an unknown name. */
+Stationary stationaryFromName(std::string_view name,
+                              const std::string &context);
 
 /** A fully configured GeMM: shape, dataflow and slice count. */
 struct GemmPlan

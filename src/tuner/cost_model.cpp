@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <mutex>
 #include <numeric>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "net/collectives.hpp"
 #include "net/topology.hpp"
 #include "tuner/search_trace.hpp"
+#include "util/fingerprint.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -40,39 +43,38 @@ simulateAllGather(const ChipConfig &cfg, int chips, Bytes shard)
     return total;
 }
 
-/**
- * Exact textual fingerprint of every ChipConfig field that the ring
- * simulation (and therefore the calibration result) can depend on.
- * Doubles are rendered in hex-float form so distinct values never
- * collide through rounding.
- */
-std::string
-chipFingerprint(const ChipConfig &cfg)
-{
-    char buf[512];
-    std::snprintf(
-        buf, sizeof(buf),
-        "%a|%a|%a|%a|%a|%lld|%lld|%lld|%lld|%d|%d|%a|%d|%d",
-        cfg.peakFlops, cfg.hbmBandwidth, cfg.iciLinkBandwidth,
-        cfg.syncLatency, cfg.launchOverhead,
-        static_cast<long long>(cfg.systolicDim),
-        static_cast<long long>(cfg.memBlockCols),
-        static_cast<long long>(cfg.scratchpadBytes),
-        static_cast<long long>(cfg.hbmCapacity), cfg.bytesPerElement,
-        cfg.bidirectionalIci ? 1 : 0, cfg.logicalMeshContention,
-        cfg.allowSendRecvOverlap ? 1 : 0,
-        cfg.allowCollectiveOverlap ? 1 : 0);
-    return buf;
-}
-
 std::mutex g_calibration_mu;
+std::condition_variable g_calibration_cv;
 std::unordered_map<std::string, CommCostParams> g_calibration_cache;
+std::unordered_set<std::string> g_calibration_inflight;
 std::atomic<long> g_calibration_runs{0};
 
 /** Run the actual 2-/4-chip ring simulations (uncached). */
 CommCostParams calibrateCommModelUncached(const ChipConfig &cfg);
 
 } // namespace
+
+std::string
+chipConfigFingerprint(const ChipConfig &cfg)
+{
+    Fingerprint fp;
+    fp.field("peakFlops", cfg.peakFlops)
+        .field("hbmBandwidth", cfg.hbmBandwidth)
+        .field("iciLinkBandwidth", cfg.iciLinkBandwidth)
+        .field("hostDmaBandwidth", cfg.hostDmaBandwidth)
+        .field("syncLatency", cfg.syncLatency)
+        .field("launchOverhead", cfg.launchOverhead)
+        .field("systolicDim", cfg.systolicDim)
+        .field("memBlockCols", cfg.memBlockCols)
+        .field("scratchpadBytes", cfg.scratchpadBytes)
+        .field("hbmCapacity", cfg.hbmCapacity)
+        .field("bytesPerElement", cfg.bytesPerElement)
+        .field("bidirectionalIci", cfg.bidirectionalIci)
+        .field("logicalMeshContention", cfg.logicalMeshContention)
+        .field("allowSendRecvOverlap", cfg.allowSendRecvOverlap)
+        .field("allowCollectiveOverlap", cfg.allowCollectiveOverlap);
+    return fp.str();
+}
 
 long
 calibrationRunCount()
@@ -90,17 +92,29 @@ clearCalibrationCache()
 CommCostParams
 calibrateCommModel(const ChipConfig &cfg)
 {
-    const std::string key = chipFingerprint(cfg);
-    // Memoized process-wide: every bench binary and every test
-    // calibrates a given chip configuration exactly once. The mutex is
-    // held across the simulation so concurrent callers with the same
-    // config wait for (rather than repeat) the running calibration.
+    const std::string key = chipConfigFingerprint(cfg);
+    // Memoized process-wide with per-key single-flight: every bench
+    // binary and every test calibrates a given chip configuration
+    // exactly once. A caller that finds its key already being
+    // calibrated waits for that calibration instead of repeating it;
+    // callers with *different* keys run their simulations concurrently
+    // (the lock is dropped around the simulation itself).
     std::unique_lock<std::mutex> lock(g_calibration_mu);
-    auto it = g_calibration_cache.find(key);
-    if (it != g_calibration_cache.end())
-        return it->second;
+    for (;;) {
+        auto it = g_calibration_cache.find(key);
+        if (it != g_calibration_cache.end())
+            return it->second;
+        if (g_calibration_inflight.count(key) == 0)
+            break;
+        g_calibration_cv.wait(lock);
+    }
+    g_calibration_inflight.insert(key);
+    lock.unlock();
     const CommCostParams params = calibrateCommModelUncached(cfg);
+    lock.lock();
     g_calibration_cache.emplace(key, params);
+    g_calibration_inflight.erase(key);
+    g_calibration_cv.notify_all();
     return params;
 }
 

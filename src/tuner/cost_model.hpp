@@ -21,6 +21,8 @@
 #ifndef MESHSLICE_TUNER_COST_MODEL_HPP_
 #define MESHSLICE_TUNER_COST_MODEL_HPP_
 
+#include <string>
+
 #include "core/spec.hpp"
 #include "hw/chip_config.hpp"
 
@@ -38,12 +40,25 @@ struct CommCostParams
  * Calibrate the communication model against the cluster simulator
  * (stand-in for the paper's 2- and 4-chip TPUv4 microbenchmarks).
  *
- * Memoized process-wide on a fingerprint of every ChipConfig field:
- * repeated calls with an identical configuration (every bench binary
- * and every test constructs `CostModel::calibrated(tpuV4Config())`)
- * run the ring simulations exactly once. Thread-safe.
+ * Memoized process-wide on `chipConfigFingerprint`: repeated calls
+ * with an identical configuration (every bench binary and every test
+ * constructs `CostModel::calibrated(tpuV4Config())`) run the ring
+ * simulations exactly once. Thread-safe with per-key single-flight:
+ * concurrent callers with the *same* config wait for the one running
+ * calibration instead of repeating it, while callers with *different*
+ * configs calibrate concurrently — the PlanEngine hammers this from
+ * every pool thread.
  */
 CommCostParams calibrateCommModel(const ChipConfig &cfg);
+
+/**
+ * Exact textual fingerprint of every ChipConfig field the ring
+ * simulations (and therefore any derived result) can depend on, in
+ * hex-float form via `util/fingerprint` so distinct values never
+ * collide through rounding. Keys the calibration memoization and the
+ * cluster component of the PlanEngine's plan-cache key.
+ */
+std::string chipConfigFingerprint(const ChipConfig &cfg);
 
 /**
  * Number of *actual* (cache-missing) calibration simulations this

@@ -192,15 +192,35 @@ tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
            int chips, const RobustTuneConfig &cfg, bool optimize_dataflow,
            StatsRegistry *stats)
 {
+    return tuneRobustShortlist(
+        tuner, algo,
+        tuner.rankShapes(algo, model, train, chips, cfg.topK,
+                         optimize_dataflow),
+        chips, cfg, stats);
+}
+
+RobustTuneResult
+tuneRobustShortlist(const LlmAutotuner &tuner, Algorithm algo,
+                    const std::vector<AutotuneResult> &full_shortlist,
+                    int chips, const RobustTuneConfig &cfg,
+                    StatsRegistry *stats)
+{
     if (!(cfg.quantile > 0.0 && cfg.quantile <= 1.0))
         fatal("tuneRobust: quantile %g outside (0, 1]", cfg.quantile);
+    if (full_shortlist.empty())
+        fatal("tuneRobustShortlist: the shortlist is empty");
 
     RobustTuneResult result;
     result.scenarios = cfg.scenarios.empty() ? sampleScenarios(cfg, chips)
                                              : cfg.scenarios;
 
-    const std::vector<AutotuneResult> shortlist = tuner.rankShapes(
-        algo, model, train, chips, cfg.topK, optimize_dataflow);
+    // The caller may hold a longer shortlist than this re-rank wants
+    // (the PlanEngine caches one shortlist sized for every phase);
+    // evaluating the prefix is identical to rankShapes(cfg.topK).
+    std::vector<AutotuneResult> shortlist = full_shortlist;
+    if (cfg.topK > 0 &&
+        static_cast<int>(shortlist.size()) > cfg.topK)
+        shortlist.resize(static_cast<size_t>(cfg.topK));
     const ChipConfig &chip = tuner.cost().chip();
 
     // Per-candidate GeMM subsets (serial: cheap, and keeps the
@@ -299,6 +319,21 @@ tuneWithRecovery(const LlmAutotuner &tuner, Algorithm algo,
     if (cfg.topK <= 0)
         fatal("tuneWithRecovery: topK must be positive (got %d)",
               cfg.topK);
+    return tuneWithRecoveryShortlist(
+        tuner, algo,
+        tuner.rankShapes(algo, model, train, chips, cfg.topK,
+                         optimize_dataflow),
+        chips, cfg);
+}
+
+RecoveryTuneResult
+tuneWithRecoveryShortlist(const LlmAutotuner &tuner, Algorithm algo,
+                          const std::vector<AutotuneResult> &full_shortlist,
+                          int chips, const RecoveryTuneConfig &cfg)
+{
+    if (cfg.topK <= 0)
+        fatal("tuneWithRecovery: topK must be positive (got %d)",
+              cfg.topK);
     if (!(cfg.chipMtbf > 0.0))
         fatal("tuneWithRecovery: chipMtbf must be positive (got %g s) — "
               "recovery-aware tuning prices failures, so a failure rate "
@@ -308,9 +343,12 @@ tuneWithRecovery(const LlmAutotuner &tuner, Algorithm algo,
               "(got %lld) — the checkpoint write cost anchors the "
               "Young-Daly interval",
               static_cast<long long>(cfg.checkpointBytesPerChip));
+    if (full_shortlist.empty())
+        fatal("tuneWithRecoveryShortlist: the shortlist is empty");
 
-    const std::vector<AutotuneResult> shortlist = tuner.rankShapes(
-        algo, model, train, chips, cfg.topK, optimize_dataflow);
+    std::vector<AutotuneResult> shortlist = full_shortlist;
+    if (static_cast<int>(shortlist.size()) > cfg.topK)
+        shortlist.resize(static_cast<size_t>(cfg.topK));
     const ChipConfig &chip = tuner.cost().chip();
     const double total_state =
         static_cast<double>(cfg.checkpointBytesPerChip) *

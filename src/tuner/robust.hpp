@@ -137,6 +137,19 @@ RobustTuneResult tuneRobust(const LlmAutotuner &tuner, Algorithm algo,
                             bool optimize_dataflow = true,
                             StatsRegistry *stats = nullptr);
 
+/**
+ * The robust re-ranking alone, over a @p shortlist the caller already
+ * holds (at most `cfg.topK` entries are evaluated). `tuneRobust` is
+ * exactly `tuneRobustShortlist(rankShapes(...))`; the PlanEngine's
+ * incremental re-tune calls this directly with the cached phase-1/2
+ * shortlist so a fault-profile-only change skips the shape sweep — and
+ * is bit-identical to the cold full tune by construction.
+ */
+RobustTuneResult tuneRobustShortlist(
+    const LlmAutotuner &tuner, Algorithm algo,
+    const std::vector<AutotuneResult> &shortlist, int chips,
+    const RobustTuneConfig &cfg, StatsRegistry *stats = nullptr);
+
 /** The objective: @p q-quantile of @p times (1.0 = max). */
 Time robustObjective(std::vector<Time> times, double q);
 
@@ -211,6 +224,17 @@ RecoveryTuneResult tuneWithRecovery(const LlmAutotuner &tuner,
                                     const TrainingConfig &train, int chips,
                                     const RecoveryTuneConfig &cfg,
                                     bool optimize_dataflow = true);
+
+/**
+ * The recovery pricing alone, over a caller-held @p shortlist (at most
+ * `cfg.topK` entries are priced). `tuneWithRecovery` is exactly
+ * `tuneWithRecoveryShortlist(rankShapes(...))`; see
+ * `tuneRobustShortlist` for why the split exists.
+ */
+RecoveryTuneResult tuneWithRecoveryShortlist(
+    const LlmAutotuner &tuner, Algorithm algo,
+    const std::vector<AutotuneResult> &shortlist, int chips,
+    const RecoveryTuneConfig &cfg);
 
 /** One survivor-mesh option of a mid-run re-plan. */
 struct ReplanCandidate

@@ -1,0 +1,85 @@
+#include "util/fingerprint.hpp"
+
+#include <cstdio>
+
+namespace meshslice {
+
+Fingerprint &
+Fingerprint::append(std::string_view name, std::string_view value)
+{
+    text_.append(name);
+    text_ += '=';
+    text_.append(value);
+    text_ += ';';
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::field(std::string_view name, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return append(name, buf);
+}
+
+Fingerprint &
+Fingerprint::field(std::string_view name, std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return append(name, buf);
+}
+
+Fingerprint &
+Fingerprint::field(std::string_view name, int v)
+{
+    return field(name, static_cast<std::int64_t>(v));
+}
+
+Fingerprint &
+Fingerprint::field(std::string_view name, bool v)
+{
+    return append(name, v ? "1" : "0");
+}
+
+Fingerprint &
+Fingerprint::field(std::string_view name, std::string_view v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%zu", v.size());
+    text_.append(name);
+    text_ += '=';
+    text_ += buf;
+    text_ += ':';
+    text_.append(v);
+    text_ += ';';
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::sub(std::string_view name, const Fingerprint &fp)
+{
+    return field(name, std::string_view(fp.text_));
+}
+
+std::string
+Fingerprint::digest() const
+{
+    return fnv1a64Hex(text_);
+}
+
+std::string
+fnv1a64Hex(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace meshslice

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Content-addressed fingerprinting of configuration structs.
+ *
+ * A `Fingerprint` is an exact, order-sensitive textual encoding of a
+ * sequence of named fields: doubles are rendered in hex-float form
+ * (`%a`) so distinct values never collide through decimal rounding,
+ * integers and booleans exactly, and strings length-prefixed so field
+ * boundaries cannot be forged by crafted names. Two configurations
+ * fingerprint equal iff every appended field is identical — the
+ * property the PlanEngine's content-addressed plan cache and the
+ * comm-calibration memoization both key on.
+ *
+ * Fingerprints are *not* hashes: the full text is the key (collision
+ * free by construction). `digest()` additionally provides a short
+ * FNV-1a 64-bit hex tag for display, stats paths and log lines.
+ */
+#ifndef MESHSLICE_UTIL_FINGERPRINT_HPP_
+#define MESHSLICE_UTIL_FINGERPRINT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace meshslice {
+
+/** Incremental builder of an exact textual configuration key. */
+class Fingerprint
+{
+  public:
+    /** Append a double in hex-float form (`name=<%a>;`). */
+    Fingerprint &field(std::string_view name, double v);
+
+    /** Append an integer exactly. */
+    Fingerprint &field(std::string_view name, std::int64_t v);
+    Fingerprint &field(std::string_view name, int v);
+
+    /** Append a boolean as 0/1. */
+    Fingerprint &field(std::string_view name, bool v);
+
+    /** Append a string, length-prefixed (`name=<len>:<bytes>;`). */
+    Fingerprint &field(std::string_view name, std::string_view v);
+
+    /** Append a nested fingerprint under `name` (length-prefixed). */
+    Fingerprint &sub(std::string_view name, const Fingerprint &fp);
+
+    /** The exact key text accumulated so far. */
+    const std::string &str() const { return text_; }
+
+    /** 16-hex-digit FNV-1a 64 tag of `str()` (display only). */
+    std::string digest() const;
+
+  private:
+    Fingerprint &append(std::string_view name, std::string_view value);
+
+    std::string text_;
+};
+
+/** FNV-1a 64-bit hash of @p s, as 16 lowercase hex digits. */
+std::string fnv1a64Hex(std::string_view s);
+
+} // namespace meshslice
+
+#endif // MESHSLICE_UTIL_FINGERPRINT_HPP_

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hpp"
 
 namespace meshslice {
 
@@ -65,6 +68,257 @@ jsonNumber(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+namespace {
+
+/**
+ * Recursive-descent parser over objects/arrays/strings/numbers/bools/
+ * null. Errors go through `fatal` with a byte offset so a broken input
+ * file points at the problem.
+ */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, const char *error_prefix,
+               const std::string &context)
+        : text_(text), prefix_(error_prefix), context_(context)
+    {
+    }
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *msg)
+    {
+        fatal("%s: %s at byte %zu of %s", prefix_, msg, pos_,
+              context_.c_str());
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strprintf("expected '%c'", c).c_str());
+        ++pos_;
+    }
+
+    bool
+    consumeKeyword(const char *kw)
+    {
+        size_t len = std::string(kw).size();
+        if (text_.compare(pos_, len, kw) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::kString;
+            v.str = parseString();
+            return v;
+          }
+          case 't':
+          case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::kBool;
+            if (consumeKeyword("true"))
+                v.boolean = true;
+            else if (consumeKeyword("false"))
+                v.boolean = false;
+            else
+                fail("bad keyword");
+            return v;
+          }
+          case 'n': {
+            if (!consumeKeyword("null"))
+                fail("bad keyword");
+            return JsonValue{};
+          }
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::kObject;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.obj.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::kArray;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.arr.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                if (cp >= 0xd800 && cp <= 0xdfff)
+                    fail("surrogate \\u escapes are not supported");
+                // Encode as UTF-8.
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        double num = std::strtod(begin, &end);
+        if (end == begin)
+            fail("expected a JSON value");
+        pos_ += static_cast<size_t>(end - begin);
+        JsonValue v;
+        v.kind = JsonValue::kNumber;
+        v.number = num;
+        return v;
+    }
+
+    const std::string &text_;
+    const char *prefix_;
+    const std::string &context_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text, const char *error_prefix,
+          const std::string &context)
+{
+    return JsonParser(text, error_prefix, context).parseDocument();
 }
 
 } // namespace meshslice

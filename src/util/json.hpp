@@ -1,19 +1,29 @@
 /**
  * @file
- * Minimal JSON emission helpers shared by every writer in the repo
- * (Chrome traces, stats dumps, tuner search JSONL, bench reports).
+ * Minimal JSON emission and parsing helpers shared by every reader and
+ * writer in the repo (Chrome traces, stats dumps, tuner search JSONL,
+ * bench reports, fault scenarios, serialized plans).
  *
  * Historically each writer spliced raw strings into its output, which
  * produced invalid JSON the moment a span name contained a quote or a
  * backslash. All writers now route strings through `escapeJson` and
  * numbers through `jsonNumber` (which maps non-finite values to
  * `null`, the only legal JSON spelling).
+ *
+ * The parser (`parseJson`) started life inside `sim/fault` for
+ * `FaultScenario::fromJson` and moved here when the PlanEngine's plan
+ * serialization needed the same machinery: a small recursive-descent
+ * parser over objects/arrays/strings/numbers/bools/null whose every
+ * error goes through `fatal` with a *byte offset* and a caller-chosen
+ * prefix, so a broken input file points at the problem.
  */
 #ifndef MESHSLICE_UTIL_JSON_HPP_
 #define MESHSLICE_UTIL_JSON_HPP_
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace meshslice {
 
@@ -34,6 +44,41 @@ std::string jsonString(std::string_view s);
  * emitted as `null`.
  */
 std::string jsonNumber(double v);
+
+/**
+ * One parsed JSON value. Objects preserve key order (so a document
+ * can be inspected for duplicate/unknown keys deterministically);
+ * numbers are doubles, matching what `jsonNumber` can emit.
+ */
+struct JsonValue
+{
+    enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+    Kind kind = kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    /** First value under @p key of an object, or nullptr. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+/**
+ * Parse one complete JSON document from @p text. Any syntax error is
+ * `fatal("<error_prefix>: <what> at byte <off> of <context>")` — the
+ * same positional-diagnostic contract `FaultScenario::fromJson`
+ * established. Trailing non-whitespace after the document is an error.
+ */
+JsonValue parseJson(const std::string &text, const char *error_prefix,
+                    const std::string &context);
 
 } // namespace meshslice
 

@@ -4,9 +4,10 @@
 Walks both documents and pairs up every leaf by its JSON path:
 
   - throughput-like numeric leaves (key contains "per_sec" or
-    "throughput") are *gated*: the current value may not fall more than
-    --threshold (default 20%) below the baseline, host-speed noise
-    being the reason the bar is not tighter;
+    "throughput" — steps_per_sec, sim events/sec, the plan server's
+    plans_per_sec_cold/warm) are *gated*: the current value may not
+    fall more than --threshold (default 20%) below the baseline,
+    host-speed noise being the reason the bar is not tighter;
   - boolean leaves that were true in the baseline (the cross_checks /
     identity_check sections: attribution identity, what-if validation,
     bit-identical-off, ...) must still be true — a check that

@@ -11,7 +11,8 @@
 #
 # Usage: check_json.sh <observability_report> [robustness_report]
 #        [recovery_report] [pipeline_report] [explain_report]
-#        [micro_kernels] [onesided_report] [elastic_report] [chips]
+#        [micro_kernels] [onesided_report] [elastic_report]
+#        [plan_server_report] [chips]
 set -euo pipefail
 
 bin=$(readlink -f "$1")
@@ -23,6 +24,7 @@ explain_bin=""
 micro_bin=""
 onesided_bin=""
 elastic_bin=""
+planserver_bin=""
 chips=16
 for arg in "$@"; do
     if [ -f "$arg" ] && [ -x "$arg" ]; then
@@ -40,6 +42,8 @@ for arg in "$@"; do
             onesided_bin=$(readlink -f "$arg")
         elif [ -z "$elastic_bin" ]; then
             elastic_bin=$(readlink -f "$arg")
+        elif [ -z "$planserver_bin" ]; then
+            planserver_bin=$(readlink -f "$arg")
         else
             echo "check_json.sh: too many report binaries: $arg" >&2
             exit 2
@@ -282,6 +286,41 @@ EOF
         echo "ok   BENCH_elastic.json cross-checks"
     else
         echo "FAIL BENCH_elastic.json cross-checks"
+        status=1
+    fi
+fi
+
+if [ -n "$planserver_bin" ]; then
+    "$planserver_bin" "$chips" --smoke > plan_server_report.out
+    for f in BENCH_planserver.json plan_server_cache.json; do
+        check_file "$f"
+    done
+    # The plan-serving report embeds its own acceptance cross-checks
+    # (warm hits byte-identical to the cold serve, incremental re-tune
+    # bit-identical to the cold full tune, thread-count invariance, the
+    # promised >= 5x warm speedup, persistence round-trip); every one
+    # must hold.
+    if "$python3" - BENCH_planserver.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+checks = doc.get("cross_checks", {})
+if not checks:
+    sys.exit("BENCH_planserver.json: missing cross_checks section")
+for key in ("warm_hit_identical", "incremental_equals_full",
+            "thread_invariant", "warm_speedup_5x", "persist_roundtrip"):
+    if key not in checks:
+        sys.exit("BENCH_planserver.json: cross_checks missing %r" % key)
+bad = [k for k, v in checks.items() if v is not True]
+if bad:
+    sys.exit("BENCH_planserver.json cross-checks failed: %s"
+             % ", ".join(bad))
+EOF
+    then
+        echo "ok   BENCH_planserver.json cross-checks"
+    else
+        echo "FAIL BENCH_planserver.json cross-checks"
         status=1
     fi
 fi

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke test of the plan_server example: serves a small NDJSON query
+# batch (a cold tune, an identical repeat and a fault-profile variant)
+# in a scratch directory, checks every response line is valid JSON in
+# input order, and re-serves the same batch from the persisted cache to
+# verify the warm-started responses carry byte-identical plans.
+#
+# Usage: plan_server_smoke.sh <plan_server-binary>
+set -euo pipefail
+
+bin=$(readlink -f "$1")
+python3=${PYTHON3:-python3}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+cat > queries.ndjson <<'EOF'
+{"id": "cold", "model": {"name": "smoke-1b", "layers": 4, "hiddenDim": 2048, "heads": 16, "ffnDim": 8192}, "chips": 16, "robust": {"topK": 2, "numScenarios": 2, "maxGemmsPerEval": 2, "seed": 7}}
+{"id": "repeat", "model": {"name": "smoke-1b", "layers": 4, "hiddenDim": 2048, "heads": 16, "ffnDim": 8192}, "chips": 16, "robust": {"topK": 2, "numScenarios": 2, "maxGemmsPerEval": 2, "seed": 7}}
+{"id": "variant", "model": {"name": "smoke-1b", "layers": 4, "hiddenDim": 2048, "heads": 16, "ffnDim": 8192}, "chips": 16, "robust": {"topK": 2, "numScenarios": 2, "maxGemmsPerEval": 2, "seed": 8}}
+EOF
+
+"$bin" queries.ndjson --cache plan_cache.json > first.ndjson
+"$bin" queries.ndjson --cache plan_cache.json > second.ndjson
+
+"$python3" - first.ndjson second.ndjson <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as fh:
+        lines = [json.loads(l) for l in fh if l.strip()]
+    return lines
+
+first, second = load(sys.argv[1]), load(sys.argv[2])
+if len(first) != 3 or len(second) != 3:
+    sys.exit("expected 3 response lines per serve, got %d/%d"
+             % (len(first), len(second)))
+for i, resp in enumerate(first):
+    if resp["index"] != i:
+        sys.exit("responses out of input order: line %d has index %d"
+                 % (i, resp["index"]))
+ids = [r["id"] for r in first]
+if ids != ["cold", "repeat", "variant"]:
+    sys.exit("unexpected id order: %r" % ids)
+# The identical repeat must serve the byte-identical plan.
+if first[0]["plan"] != first[1]["plan"]:
+    sys.exit("repeat query served a different plan than the cold tune")
+if first[0]["digest"] != first[1]["digest"]:
+    sys.exit("repeat query has a different key digest")
+if first[2]["digest"] == first[0]["digest"]:
+    sys.exit("fault variant unexpectedly shares the cold query's key")
+# The warm-started second serve must be cache hits with identical plans.
+for i, (a, b) in enumerate(zip(first, second)):
+    if a["plan"] != b["plan"]:
+        sys.exit("warm-started serve line %d differs from first serve" % i)
+    if b["source"] not in ("cache_hit", "coalesced"):
+        sys.exit("warm-started serve line %d source=%s, want cache_hit"
+                 % (i, b["source"]))
+print("plan_server smoke ok")
+EOF

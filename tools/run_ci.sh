@@ -57,8 +57,9 @@ for config in $configs; do
             echo "=== [release] check-json (BENCH_*.json artifacts) ==="
             cmake --build "$root/release" --target check-json ||
                 failures+=("release/check-json")
-            # Bench-diff report: regenerate the profiler/kernel smoke
-            # artifacts and diff them against the previous CI run's
+            # Bench-diff report: regenerate the profiler/kernel/
+            # elastic/plan-server smoke artifacts and diff them
+            # against the previous CI run's
             # (seeded on the first run; override the baseline location
             # with BENCH_BASELINE_DIR). Gates throughput keys and the
             # embedded cross-checks via tools/bench_diff.py.
@@ -72,7 +73,9 @@ for config in $configs; do
                 "$root/release/bench/micro_kernels" --smoke \
                     > micro_kernels.out &&
                 "$root/release/bench/elastic_report" --smoke \
-                    > elastic_report.out); then
+                    > elastic_report.out &&
+                "$root/release/bench/plan_server_report" --smoke \
+                    > plan_server_report.out); then
                 if ls "$baseline"/BENCH_*.json > /dev/null 2>&1; then
                     for f in "$artifacts"/BENCH_*.json; do
                         name=$(basename "$f")
